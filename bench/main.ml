@@ -1,0 +1,81 @@
+(* Benchmark harness: one Bechamel test per paper table (measuring the
+   wall-clock cost of regenerating that table's characteristic cell with
+   this reproduction), followed by the full tables themselves so that
+   `dune exec bench/main.exe` emits the complete paper-vs-measured run. *)
+
+open Bechamel
+module W = Psd_workloads
+module Cfg = Psd_cost.Config
+
+(* --- one Test.make per table ------------------------------------------ *)
+
+let test_table2 =
+  Test.make ~name:"table2: ttcp+protolat cell (DECstation)"
+    (Staged.stage (fun () ->
+         ignore (W.Ttcp.run ~mb:1 Cfg.library_shm_ipf);
+         ignore
+           (W.Protolat.run ~rounds:20 ~proto:W.Protolat.Udp ~size:1
+              Cfg.library_shm_ipf)))
+
+let test_table2_gateway =
+  Test.make ~name:"table2: ttcp cell (Gateway 486)"
+    (Staged.stage (fun () ->
+         ignore (W.Ttcp.run ~machine:W.Paper.Gateway ~mb:1 Cfg.mach25_kernel)))
+
+let test_table3 =
+  Test.make ~name:"table3: NEWAPI ttcp cell"
+    (Staged.stage (fun () ->
+         ignore (W.Ttcp.run ~mb:1 Cfg.library_newapi_shm_ipf)))
+
+let test_table4 =
+  Test.make ~name:"table4: instrumented protolat cell"
+    (Staged.stage (fun () ->
+         let b = Psd_cost.Breakdown.create () in
+         ignore
+           (W.Protolat.run ~rounds:20 ~breakdown:b ~proto:W.Protolat.Tcp
+              ~size:1 Cfg.ux_server)))
+
+let benchmark () =
+  let tests =
+    Test.make_grouped ~name:"psd" ~fmt:"%s %s"
+      [ test_table2; test_table2_gateway; test_table3; test_table4 ]
+  in
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:50 ~quota:(Time.second 1.0) ~kde:(Some 10) ()
+  in
+  let raw = Benchmark.all cfg instances tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true
+      ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  Format.printf "=== Bechamel: harness cost per regenerated cell ===@.";
+  Hashtbl.iter
+    (fun name result ->
+      match Analyze.OLS.estimates result with
+      | Some [ est ] ->
+        Format.printf "  %-44s %10.2f ms/run@." name (est /. 1e6)
+      | _ -> Format.printf "  %-44s (no estimate)@." name)
+    results
+
+(* --- the full reproduction --------------------------------------------- *)
+
+let () =
+  benchmark ();
+  W.Tables.figure1 ();
+  W.Tables.table1 ();
+  W.Tables.print_rows ~header:"Table 2 — DECstation 5000/200"
+    (W.Tables.table2 ~machine:W.Paper.Dec ~mb:8 ~rounds:150 ());
+  W.Tables.print_rows ~header:"Table 2 — Gateway 486"
+    (W.Tables.table2 ~machine:W.Paper.Gateway ~mb:8 ~rounds:150 ());
+  W.Tables.print_rows ~header:"Table 3 — NEWAPI (shared-buffer interface)"
+    (W.Tables.table3 ~mb:8 ~rounds:150 ());
+  ignore (W.Tables.table4 ~rounds:150 ());
+  ignore (W.Ablation.delivery ~mb:4 ~rounds:100 ());
+  ignore (W.Ablation.ack_strategy ~mb:4 ());
+  ignore (W.Ablation.sync_weight ~rounds:100 ());
+  ignore (W.Ablation.migration_cost ~conns:10 ());
+  List.iter
+    (fun config -> ignore (W.Ablation.bufsize_sweep ~mb:4 config))
+    [ Cfg.mach25_kernel; Cfg.ux_server; Cfg.library_shm_ipf ]

@@ -1,0 +1,289 @@
+(* psd_bench: regenerate every table and figure of "Protocol Service
+   Decomposition for High-Performance Networking" (SOSP 1993), plus the
+   sweeps and ablations described in DESIGN.md. *)
+
+open Cmdliner
+module W = Psd_workloads
+module Cfg = Psd_cost.Config
+
+let machine_arg =
+  let machine_conv =
+    Arg.enum [ ("dec", W.Paper.Dec); ("gateway", W.Paper.Gateway) ]
+  in
+  Arg.(
+    value
+    & opt machine_conv W.Paper.Dec
+    & info [ "machine" ] ~docv:"MACHINE"
+        ~doc:"Platform: $(b,dec) (DECstation 5000/200) or $(b,gateway) \
+              (Gateway 486).")
+
+let mb_arg =
+  Arg.(
+    value
+    & opt int 16
+    & info [ "mb" ] ~docv:"MB"
+        ~doc:"Megabytes per ttcp transfer (the paper used 16).")
+
+let rounds_arg =
+  Arg.(
+    value
+    & opt int 200
+    & info [ "rounds" ] ~docv:"N" ~doc:"Round trips per latency cell.")
+
+let table1_cmd =
+  let run () = W.Tables.table1 () in
+  Cmd.v (Cmd.info "table1" ~doc:"Print the proxy interface (paper Table 1).")
+    Term.(const run $ const ())
+
+let figure1_cmd =
+  let run () = W.Tables.figure1 () in
+  Cmd.v
+    (Cmd.info "figure1"
+       ~doc:"Print the component placement of each configuration (Figure 1).")
+    Term.(const run $ const ())
+
+let table2_cmd =
+  let run machine mb rounds =
+    let rows = W.Tables.table2 ~machine ~mb ~rounds () in
+    let name =
+      match machine with W.Paper.Dec -> "DECstation 5000/200" | W.Paper.Gateway -> "Gateway 486"
+    in
+    W.Tables.print_rows ~header:("Table 2 — " ^ name) rows
+  in
+  Cmd.v
+    (Cmd.info "table2"
+       ~doc:"TCP throughput and TCP/UDP round-trip latency for every \
+             configuration (paper Table 2).")
+    Term.(const run $ machine_arg $ mb_arg $ rounds_arg)
+
+let table3_cmd =
+  let run mb rounds =
+    let rows = W.Tables.table3 ~mb ~rounds () in
+    W.Tables.print_rows ~header:"Table 3 — NEWAPI (shared-buffer interface)"
+      rows
+  in
+  Cmd.v
+    (Cmd.info "table3"
+       ~doc:"The modified (shared-buffer) socket interface (paper Table 3).")
+    Term.(const run $ mb_arg $ rounds_arg)
+
+let table4_cmd =
+  let run rounds = ignore (W.Tables.table4 ~rounds ()) in
+  Cmd.v
+    (Cmd.info "table4"
+       ~doc:"Per-layer latency breakdown for library, kernel and server \
+             implementations (paper Table 4).")
+    Term.(const run $ rounds_arg)
+
+let sweep_cmd =
+  let run mb =
+    List.iter
+      (fun config -> ignore (W.Ablation.bufsize_sweep ~mb config))
+      [ Cfg.mach25_kernel; Cfg.ux_server; Cfg.library_shm_ipf ]
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:"Throughput versus receive-buffer size (how the paper found \
+             each configuration's best buffer).")
+    Term.(const run $ mb_arg)
+
+let ablation_cmd =
+  let which =
+    Arg.(
+      value
+      & pos 0 (enum
+                 [ ("delivery", `Delivery); ("ack", `Ack); ("spl", `Spl);
+                   ("migration", `Migration); ("all", `All) ])
+          `All
+      & info [] ~docv:"WHICH"
+          ~doc:"$(b,delivery), $(b,ack), $(b,spl), $(b,migration) or \
+                $(b,all).")
+  in
+  let run which =
+    let dl () = ignore (W.Ablation.delivery ()) in
+    let ack () = ignore (W.Ablation.ack_strategy ()) in
+    let spl () = ignore (W.Ablation.sync_weight ()) in
+    let mig () = ignore (W.Ablation.migration_cost ()) in
+    match which with
+    | `Delivery -> dl ()
+    | `Ack -> ack ()
+    | `Spl -> spl ()
+    | `Migration -> mig ()
+    | `All ->
+      dl ();
+      ack ();
+      spl ();
+      mig ()
+  in
+  Cmd.v
+    (Cmd.info "ablation"
+       ~doc:"Ablations of the design choices: delivery variant, ack \
+             strategy, synchronisation weight, migration cost.")
+    Term.(const run $ which)
+
+let series_cmd =
+  let rounds_arg =
+    Arg.(
+      value & opt int 100
+      & info [ "rounds" ] ~docv:"N" ~doc:"Round trips per point.")
+  in
+  let run rounds =
+    (* figure-style artifact: UDP round-trip latency versus message size,
+       one series per configuration — the data behind Table 2's latency
+       columns at a finer grain *)
+    let sizes = [ 1; 64; 128; 256; 512; 768; 1024; 1280; 1472 ] in
+    let configs =
+      [
+        Cfg.mach25_kernel;
+        Cfg.ux_server;
+        Cfg.library_ipc;
+        Cfg.library_shm;
+        Cfg.library_shm_ipf;
+      ]
+    in
+    Format.printf
+      "@.=== Series: UDP round-trip latency (ms) vs message size ===@.";
+    Format.printf "%-8s" "bytes";
+    List.iter
+      (fun (c : Cfg.t) ->
+        let label = c.Cfg.label in
+        let short =
+          String.sub label (max 0 (String.length label - 15))
+            (min 15 (String.length label))
+        in
+        Format.printf " %15s" short)
+      configs;
+    Format.printf "@.";
+    List.iter
+      (fun size ->
+        Format.printf "%-8d" size;
+        List.iter
+          (fun config ->
+            let r =
+              W.Protolat.run ~rounds ~proto:W.Protolat.Udp ~size config
+            in
+            Format.printf " %15.2f" r.W.Protolat.rtt_ms)
+          configs;
+        Format.printf "@.")
+      sizes;
+    Format.printf
+      "(series are linear in size with slopes set by per-byte costs:        checksum + copies + wire)@."
+  in
+  Cmd.v
+    (Cmd.info "series"
+       ~doc:"UDP latency versus message size, one series per configuration              (plot-ready).")
+    Term.(const run $ rounds_arg)
+
+let trace_cmd =
+  let config_arg =
+    let names =
+      [
+        ("kernel", Cfg.mach25_kernel);
+        ("server", Cfg.ux_server);
+        ("library-ipc", Cfg.library_ipc);
+        ("library-shm", Cfg.library_shm);
+        ("library-shm-ipf", Cfg.library_shm_ipf);
+      ]
+    in
+    Arg.(
+      value
+      & opt (enum names) Cfg.library_shm_ipf
+      & info [ "config" ] ~docv:"CONFIG"
+          ~doc:"Placement to trace: $(b,kernel), $(b,server),                 $(b,library-ipc), $(b,library-shm), $(b,library-shm-ipf).")
+  in
+  let run config =
+    let open Psd_core in
+    let eng = Psd_sim.Engine.create () in
+    let segment = Psd_link.Segment.create eng () in
+    let a =
+      System.create ~eng ~segment ~config ~addr:"10.0.0.1" ~name:"a" ()
+    in
+    let b =
+      System.create ~eng ~segment ~config ~addr:"10.0.0.2" ~name:"b" ()
+    in
+    let tap = Snoop.attach eng segment in
+    let srv = System.app b ~name:"srv" in
+    Psd_sim.Engine.spawn eng (fun () ->
+        let l = Sockets.stream srv in
+        ignore (Result.get_ok (Sockets.bind l ~port:7 ()));
+        Result.get_ok (Sockets.listen l ());
+        let c = Result.get_ok (Sockets.accept l) in
+        let rec loop () =
+          match Sockets.recv c ~max:65536 with
+          | Ok "" -> Sockets.close c
+          | Ok d ->
+            ignore (Sockets.send c d);
+            loop ()
+          | Error _ -> ()
+        in
+        loop ());
+    let cli = System.app a ~name:"cli" in
+    Psd_sim.Engine.spawn eng (fun () ->
+        let s = Sockets.stream cli in
+        Result.get_ok (Sockets.connect s (System.addr b) 7);
+        ignore (Result.get_ok (Sockets.send s (String.make 3000 'x')));
+        let rec read n =
+          if n < 3000 then
+            match Sockets.recv s ~max:4096 with
+            | Ok "" -> ()
+            | Ok d -> read (n + String.length d)
+            | Error _ -> ()
+        in
+        read 0;
+        Sockets.close s);
+    Psd_sim.Engine.run_for eng (Psd_sim.Time.sec 10);
+    Format.printf
+      "trace of connect + 3000B echo + close under %s (%d frames):@."
+      config.Cfg.label (Snoop.count tap);
+    Format.printf "%a" Snoop.pp_trace tap
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Print a tcpdump-style decode of a small echo scenario on the              simulated wire.")
+    Term.(const run $ config_arg)
+
+let all_cmd =
+  let run mb rounds =
+    W.Tables.figure1 ();
+    W.Tables.table1 ();
+    W.Tables.print_rows ~header:"Table 2 — DECstation 5000/200"
+      (W.Tables.table2 ~machine:W.Paper.Dec ~mb ~rounds ());
+    W.Tables.print_rows ~header:"Table 2 — Gateway 486"
+      (W.Tables.table2 ~machine:W.Paper.Gateway ~mb ~rounds ());
+    W.Tables.print_rows ~header:"Table 3 — NEWAPI (shared-buffer interface)"
+      (W.Tables.table3 ~mb ~rounds ());
+    ignore (W.Tables.table4 ~rounds ());
+    ignore (W.Ablation.delivery ());
+    ignore (W.Ablation.ack_strategy ());
+    ignore (W.Ablation.sync_weight ());
+    ignore (W.Ablation.migration_cost ());
+    List.iter
+      (fun config -> ignore (W.Ablation.bufsize_sweep ~mb:(min mb 8) config))
+      [ Cfg.mach25_kernel; Cfg.ux_server; Cfg.library_shm_ipf ]
+  in
+  Cmd.v
+    (Cmd.info "all"
+       ~doc:"Run every experiment: Figure 1, Tables 1-4 (both machines), \
+             ablations and sweeps.")
+    Term.(const run $ mb_arg $ rounds_arg)
+
+let main =
+  Cmd.group
+    (Cmd.info "psd_bench" ~version:"1.0"
+       ~doc:
+         "Reproduction harness for 'Protocol Service Decomposition for \
+          High-Performance Networking' (Maeda & Bershad, SOSP 1993).")
+    [
+      table1_cmd;
+      figure1_cmd;
+      table2_cmd;
+      table3_cmd;
+      table4_cmd;
+      sweep_cmd;
+      ablation_cmd;
+      series_cmd;
+      trace_cmd;
+      all_cmd;
+    ]
+
+let () = Stdlib.exit (Cmd.eval main)

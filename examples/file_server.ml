@@ -1,0 +1,88 @@
+(* An FTP-style bulk-transfer workload: a client fetches "files" from a
+   file server and we compare the same application code running under
+   three protocol placements — the paper's headline comparison, as an
+   application rather than a microbenchmark.
+
+   Run with: dune exec examples/file_server.exe *)
+
+open Psd_core
+module Cfg = Psd_cost.Config
+
+(* The protocol is trivial: the client sends "GET <size>\n"; the server
+   responds with that many bytes and closes the data direction. *)
+
+let run_one config =
+  let eng = Psd_sim.Engine.create ~seed:21 () in
+  let segment = Psd_link.Segment.create eng () in
+  let host_srv =
+    System.create ~eng ~segment ~config ~addr:"10.0.0.1" ~name:"ftpd-host" ()
+  in
+  let host_cli =
+    System.create ~eng ~segment ~config ~addr:"10.0.0.2" ~name:"cli-host" ()
+  in
+  let app = System.app host_srv ~name:"ftpd" in
+  Psd_sim.Engine.spawn eng ~name:"ftpd" (fun () ->
+      let listener = Sockets.stream app in
+      ignore (Result.get_ok (Sockets.bind listener ~port:21 ()));
+      Result.get_ok (Sockets.listen listener ());
+      let rec serve () =
+        match Sockets.accept listener with
+        | Error _ -> ()
+        | Ok c ->
+          (match Sockets.recv c ~max:256 with
+          | Ok req when String.length req > 4 ->
+            let size = int_of_string (String.trim (String.sub req 4 (String.length req - 4))) in
+            let block = String.make 8192 'f' in
+            let rec push sent =
+              if sent < size then begin
+                let n = min (String.length block) (size - sent) in
+                match Sockets.send c (String.sub block 0 n) with
+                | Ok _ -> push (sent + n)
+                | Error _ -> ()
+              end
+            in
+            push 0
+          | _ -> ());
+          Sockets.close c;
+          serve ()
+      in
+      serve ());
+  let fetched = ref 0 in
+  let elapsed = ref 0 in
+  let app = System.app host_cli ~name:"ftp" in
+  Psd_sim.Engine.spawn eng ~name:"ftp" (fun () ->
+      let t0 = Psd_sim.Engine.now eng in
+      (* three files of increasing size, like a small mirror run *)
+      List.iter
+        (fun size ->
+          let s = Sockets.stream app in
+          Result.get_ok (Sockets.connect s (System.addr host_srv) 21);
+          ignore (Result.get_ok (Sockets.send s (Printf.sprintf "GET %d\n" size)));
+          let rec drain got =
+            if got < size then
+              match Sockets.recv s ~max:65536 with
+              | Ok "" -> got
+              | Ok d -> drain (got + String.length d)
+              | Error _ -> got
+            else got
+          in
+          fetched := !fetched + drain 0;
+          Sockets.close s)
+        [ 256 * 1024; 1024 * 1024; 2 * 1024 * 1024 ];
+      elapsed := Psd_sim.Engine.now eng - t0);
+  Psd_sim.Engine.run_for eng (Psd_sim.Time.sec 300);
+  ( float_of_int !fetched /. 1024. /. (float_of_int !elapsed /. 1e9),
+    !fetched )
+
+let () =
+  Format.printf "fetching 3 files (0.25 + 1 + 2 MB) over each placement:@.";
+  List.iter
+    (fun config ->
+      let kbps, bytes = run_one config in
+      Format.printf "  %-36s %6.0f KB/s (%d bytes)@."
+        config.Cfg.label kbps bytes)
+    [ Cfg.mach25_kernel; Cfg.ux_server; Cfg.library_shm_ipf ];
+  Format.printf
+    "@.the decomposed library placement moves bulk data at in-kernel \
+     speed;@.the server placement pays four copies and two scheduler \
+     handoffs per call.@."

@@ -1,0 +1,91 @@
+(* A classic forking daemon (the inetd pattern) on the decomposed
+   architecture — the hard case the paper designs for.
+
+   BSD fork semantics require parent and child descriptors to name the
+   SAME session, which is impossible while the session lives in one
+   address space. The proxy therefore returns all sessions to the
+   operating-system server before forking (proxy_return, Table 1); both
+   processes then reach the session through the server.
+
+   Run with: dune exec examples/fork_worker.exe *)
+
+open Psd_core
+
+let () =
+  let eng = Psd_sim.Engine.create () in
+  let segment = Psd_link.Segment.create eng () in
+  let config = Psd_cost.Config.library_shm in
+  let host_a =
+    System.create ~eng ~segment ~config ~addr:"10.0.0.1" ~name:"daemon-host" ()
+  in
+  let host_b =
+    System.create ~eng ~segment ~config ~addr:"10.0.0.2" ~name:"client-host" ()
+  in
+
+  (* --- the daemon: accept, then fork a worker per connection --- *)
+  let daemon = System.app host_a ~name:"inetd" in
+  Psd_sim.Engine.spawn eng ~name:"inetd" (fun () ->
+      let listener = Sockets.stream daemon in
+      ignore (Result.get_ok (Sockets.bind listener ~port:79 ()));
+      Result.get_ok (Sockets.listen listener ~backlog:8 ());
+      for i = 1 to 2 do
+        let conn = Result.get_ok (Sockets.accept listener) in
+        Format.printf "[inetd] conn %d accepted, session location: %s@." i
+          (match Sockets.location conn with
+          | Sockets.Loc_library -> "library (fast path)"
+          | Sockets.Loc_server -> "server"
+          | _ -> "?");
+        (* fork: all sessions are first returned to the OS server *)
+        let child = Sockets.fork daemon ~name:(Printf.sprintf "worker%d" i) in
+        Format.printf "[inetd] after fork, session location: %s@."
+          (match Sockets.location conn with
+          | Sockets.Loc_server -> "server (shared by parent and child)"
+          | _ -> "?");
+        Psd_sim.Engine.spawn eng ~name:(Printf.sprintf "worker%d" i)
+          (fun () ->
+            (* child serves the request on its inherited descriptor (the
+               most recently accepted connection) *)
+            match
+              List.find_opt
+                (fun s -> Sockets.kind s = Session.Stream
+                          && Sockets.remote_endpoint s <> None)
+                (List.rev (Sockets.fork_inherited child))
+            with
+            | Some c ->
+              (match Sockets.recv c ~max:256 with
+              | Ok user ->
+                ignore
+                  (Sockets.send c
+                     (Printf.sprintf "%s is logged on from a forked worker\n"
+                        user))
+              | Error e -> Format.printf "[worker] recv error: %s@." e);
+              Sockets.close c;
+              Sockets.exit child
+            | None -> Format.printf "[worker%d] no inherited socket@." i);
+        (* the parent closes its copy of the connection *)
+        Sockets.close conn
+      done);
+
+  (* --- two finger-style clients --- *)
+  for i = 1 to 2 do
+    let cli = System.app host_b ~name:(Printf.sprintf "finger%d" i) in
+    Psd_sim.Engine.spawn eng ~name:(Printf.sprintf "finger%d" i) (fun () ->
+        Psd_sim.Engine.sleep eng (Psd_sim.Time.ms (50 * i));
+        let s = Sockets.stream cli in
+        Result.get_ok (Sockets.connect s (System.addr host_a) 79);
+        ignore (Result.get_ok (Sockets.send s (Printf.sprintf "user%d" i)));
+        (match Sockets.recv s ~max:256 with
+        | Ok reply -> Format.printf "[finger%d] %s" i reply
+        | Error e -> Format.printf "[finger%d] error: %s@." i e);
+        Sockets.close s)
+  done;
+
+  Psd_sim.Engine.run_for eng (Psd_sim.Time.sec 30);
+  match System.server host_a with
+  | Some srv ->
+    Format.printf
+      "[daemon-host] OS server: %d migrations performed, %d sessions still \
+       active@."
+      (Os_server.migrations srv)
+      (Os_server.sessions_active srv)
+  | None -> ()

@@ -1,0 +1,53 @@
+open Psd_util
+
+type op = Request | Reply
+
+type t = {
+  op : op;
+  sender_mac : Psd_link.Macaddr.t;
+  sender_ip : Psd_ip.Addr.t;
+  target_mac : Psd_link.Macaddr.t;
+  target_ip : Psd_ip.Addr.t;
+}
+
+let size = 28
+
+let encode t =
+  let b = Bytes.create size in
+  Codec.set_u16 b 0 1 (* htype ethernet *);
+  Codec.set_u16 b 2 0x0800 (* ptype ipv4 *);
+  Codec.set_u8 b 4 6 (* hlen *);
+  Codec.set_u8 b 5 4 (* plen *);
+  Codec.set_u16 b 6 (match t.op with Request -> 1 | Reply -> 2);
+  Psd_link.Macaddr.write t.sender_mac b 8;
+  Codec.set_u32i b 14 (Psd_ip.Addr.to_int t.sender_ip);
+  Psd_link.Macaddr.write t.target_mac b 18;
+  Codec.set_u32i b 24 (Psd_ip.Addr.to_int t.target_ip);
+  b
+
+let decode b ~off ~len =
+  if len < size then Error "arp: too short"
+  else if Codec.get_u16 b off <> 1 then Error "arp: bad htype"
+  else if Codec.get_u16 b (off + 2) <> 0x0800 then Error "arp: bad ptype"
+  else
+    match Codec.get_u16 b (off + 6) with
+    | 1 | 2 ->
+      let op = if Codec.get_u16 b (off + 6) = 1 then Request else Reply in
+      Ok
+        {
+          op;
+          sender_mac = Psd_link.Macaddr.read b (off + 8);
+          sender_ip = Psd_ip.Addr.of_int (Codec.get_u32i b (off + 14));
+          target_mac = Psd_link.Macaddr.read b (off + 18);
+          target_ip = Psd_ip.Addr.of_int (Codec.get_u32i b (off + 24));
+        }
+    | op -> Error (Printf.sprintf "arp: bad op %d" op)
+
+let pp fmt t =
+  match t.op with
+  | Request ->
+    Format.fprintf fmt "arp who-has %a tell %a" Psd_ip.Addr.pp t.target_ip
+      Psd_ip.Addr.pp t.sender_ip
+  | Reply ->
+    Format.fprintf fmt "arp %a is-at %a" Psd_ip.Addr.pp t.sender_ip
+      Psd_link.Macaddr.pp t.sender_mac

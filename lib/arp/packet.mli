@@ -1,0 +1,20 @@
+(** ARP packet encoding for IPv4 over Ethernet (RFC 826). *)
+
+type op = Request | Reply
+
+type t = {
+  op : op;
+  sender_mac : Psd_link.Macaddr.t;
+  sender_ip : Psd_ip.Addr.t;
+  target_mac : Psd_link.Macaddr.t;  (** zero MAC in requests *)
+  target_ip : Psd_ip.Addr.t;
+}
+
+val size : int
+(** 28 bytes. *)
+
+val encode : t -> Bytes.t
+
+val decode : Bytes.t -> off:int -> len:int -> (t, string) result
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,94 @@
+type waiting = {
+  mutable continuations : (Psd_link.Macaddr.t option -> unit) list;
+  mutable tries_left : int;
+  mutable cancel : Psd_sim.Engine.cancel;
+}
+
+type t = {
+  eng : Psd_sim.Engine.t;
+  cache : Cache.t;
+  my_ip : Psd_ip.Addr.t;
+  my_mac : Psd_link.Macaddr.t;
+  send : dst:Psd_link.Macaddr.t -> Packet.t -> unit;
+  retries : int;
+  retry_interval_ns : int;
+  pending : (Psd_ip.Addr.t, waiting) Hashtbl.t;
+}
+
+let create ~eng ~cache ~my_ip ~my_mac ~send ?(retries = 3)
+    ?(retry_interval_ns = Psd_sim.Time.sec 1) () =
+  {
+    eng;
+    cache;
+    my_ip;
+    my_mac;
+    send;
+    retries;
+    retry_interval_ns;
+    pending = Hashtbl.create 8;
+  }
+
+let query t ip =
+  t.send ~dst:Psd_link.Macaddr.broadcast
+    {
+      Packet.op = Packet.Request;
+      sender_mac = t.my_mac;
+      sender_ip = t.my_ip;
+      target_mac = Psd_link.Macaddr.of_string "\x00\x00\x00\x00\x00\x00";
+      target_ip = ip;
+    }
+
+let rec arm_retry t ip w =
+  w.cancel <-
+    Psd_sim.Engine.after t.eng t.retry_interval_ns (fun () ->
+        if w.tries_left > 0 then begin
+          w.tries_left <- w.tries_left - 1;
+          query t ip;
+          arm_retry t ip w
+        end
+        else begin
+          Hashtbl.remove t.pending ip;
+          List.iter (fun k -> k None) (List.rev w.continuations)
+        end)
+
+let resolve t ip k =
+  match Cache.lookup t.cache ip with
+  | Some mac -> k (Some mac)
+  | None -> (
+    match Hashtbl.find_opt t.pending ip with
+    | Some w -> w.continuations <- k :: w.continuations
+    | None ->
+      let w =
+        { continuations = [ k ]; tries_left = t.retries; cancel = (fun () -> ()) }
+      in
+      Hashtbl.add t.pending ip w;
+      query t ip;
+      arm_retry t ip w)
+
+let learn t ip mac =
+  Cache.insert t.cache ip mac;
+  match Hashtbl.find_opt t.pending ip with
+  | None -> ()
+  | Some w ->
+    Hashtbl.remove t.pending ip;
+    w.cancel ();
+    List.iter (fun k -> k (Some mac)) (List.rev w.continuations)
+
+let input t (p : Packet.t) =
+  match p.op with
+  | Packet.Request ->
+    (* Opportunistically learn the sender; reply if the target is us. *)
+    if Hashtbl.mem t.pending p.sender_ip || Cache.lookup t.cache p.sender_ip <> None
+    then learn t p.sender_ip p.sender_mac;
+    if Psd_ip.Addr.equal p.target_ip t.my_ip then
+      t.send ~dst:p.sender_mac
+        {
+          Packet.op = Packet.Reply;
+          sender_mac = t.my_mac;
+          sender_ip = t.my_ip;
+          target_mac = p.sender_mac;
+          target_ip = p.sender_ip;
+        }
+  | Packet.Reply -> learn t p.sender_ip p.sender_mac
+
+let pending t = Hashtbl.length t.pending

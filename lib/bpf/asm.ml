@@ -1,0 +1,56 @@
+type stmt =
+  | Label of string
+  | I of Insn.t
+  | J of Insn.cond * Insn.src * string * string
+  | Goto of string
+
+let assemble stmts =
+  let exception E of string in
+  try
+    (* First pass: assign instruction indices to labels. *)
+    let labels = Hashtbl.create 16 in
+    let count =
+      List.fold_left
+        (fun idx stmt ->
+          match stmt with
+          | Label name ->
+            if Hashtbl.mem labels name then
+              raise (E ("duplicate label " ^ name));
+            Hashtbl.add labels name idx;
+            idx
+          | I _ | J _ | Goto _ -> idx + 1)
+        0 stmts
+    in
+    let resolve at name =
+      match Hashtbl.find_opt labels name with
+      | None -> raise (E ("unknown label " ^ name))
+      | Some target ->
+        let off = target - (at + 1) in
+        if off < 0 then raise (E ("backward jump to " ^ name));
+        off
+    in
+    let prog = Array.make count (Insn.Ret (Insn.RetK 0)) in
+    let idx = ref 0 in
+    List.iter
+      (fun stmt ->
+        match stmt with
+        | Label _ -> ()
+        | I insn ->
+          prog.(!idx) <- insn;
+          incr idx
+        | J (cond, src, jt, jf) ->
+          prog.(!idx) <- Insn.Jmp (cond, src, resolve !idx jt, resolve !idx jf);
+          incr idx
+        | Goto name ->
+          prog.(!idx) <- Insn.Ja (resolve !idx name);
+          incr idx)
+      stmts;
+    match Vm.validate prog with
+    | Ok () -> Ok prog
+    | Error e -> Error (Format.asprintf "%a" Vm.pp_error e)
+  with E msg -> Error msg
+
+let assemble_exn stmts =
+  match assemble stmts with
+  | Ok p -> p
+  | Error msg -> invalid_arg ("Asm.assemble: " ^ msg)

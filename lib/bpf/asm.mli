@@ -1,0 +1,18 @@
+(** Tiny assembler: filter programs with symbolic jump targets.
+
+    BPF jump offsets are relative and forward-only, which is error-prone
+    to compute by hand; filters are written against labels instead and
+    resolved here. *)
+
+type stmt =
+  | Label of string
+  | I of Insn.t  (** any non-jumping instruction *)
+  | J of Insn.cond * Insn.src * string * string
+      (** conditional jump to two labels *)
+  | Goto of string
+
+val assemble : stmt list -> (Vm.program, string) result
+(** Resolve labels to relative offsets and validate the result. Fails on
+    unknown or duplicate labels and on programs {!Vm.validate} rejects. *)
+
+val assemble_exn : stmt list -> Vm.program

@@ -1,0 +1,119 @@
+type proto = Tcp | Udp
+
+type spec = {
+  proto : proto;
+  local_ip : int;
+  local_port : int;
+  remote_ip : int option;
+  remote_port : int option;
+}
+
+let snaplen = 0xffff
+
+(* Ethernet II offsets *)
+let off_ethertype = 12
+let off_ip = 14
+let off_ip_frag = off_ip + 6
+let off_ip_proto = off_ip + 9
+let off_ip_src = off_ip + 12
+let off_ip_dst = off_ip + 16
+
+let ethertype_ip = 0x0800
+let ethertype_arp = 0x0806
+
+let proto_number = function Tcp -> 6 | Udp -> 17
+
+let session spec =
+  let open Insn in
+  let open Asm in
+  let check_remote_ip =
+    match spec.remote_ip with
+    | None -> []
+    | Some ip ->
+      [ I (Ld (W, Abs off_ip_src)); J (Jeq, K ip, "cont_rip", "reject");
+        Label "cont_rip" ]
+  in
+  let check_remote_port =
+    match spec.remote_port with
+    | None -> []
+    | Some port ->
+      (* source port: first TCP/UDP header field, at x + 14 *)
+      [ I (Ld (H, Ind off_ip)); J (Jeq, K port, "cont_rport", "reject");
+        Label "cont_rport" ]
+  in
+  Asm.assemble_exn
+    ([
+       I (Ld (H, Abs off_ethertype));
+       J (Jeq, K ethertype_ip, "is_ip", "reject");
+       Label "is_ip";
+       I (Ld (B, Abs off_ip_proto));
+       J (Jeq, K (proto_number spec.proto), "proto_ok", "reject");
+       Label "proto_ok";
+       I (Ld (W, Abs off_ip_dst));
+       J (Jeq, K spec.local_ip, "dst_ok", "reject");
+       Label "dst_ok";
+     ]
+    @ check_remote_ip
+    @ [
+        (* Non-first fragment: ports are not present; accept on addresses. *)
+        I (Ld (H, Abs off_ip_frag));
+        J (Jset, K 0x1fff, "accept", "first_frag");
+        Label "first_frag";
+        I (Ldx (Msh off_ip));
+        (* destination port at x + 14 + 2 *)
+        I (Ld (H, Ind (off_ip + 2)));
+        J (Jeq, K spec.local_port, "lport_ok", "reject");
+        Label "lport_ok";
+      ]
+    @ check_remote_port
+    @ [
+        Label "accept";
+        I (Ret (RetK snaplen));
+        Label "reject";
+        I (Ret (RetK 0));
+      ])
+
+let arp =
+  let open Insn in
+  let open Asm in
+  Asm.assemble_exn
+    [
+      I (Ld (H, Abs off_ethertype));
+      J (Jeq, K ethertype_arp, "accept", "reject");
+      Label "accept";
+      I (Ret (RetK snaplen));
+      Label "reject";
+      I (Ret (RetK 0));
+    ]
+
+let ip_all =
+  let open Insn in
+  let open Asm in
+  Asm.assemble_exn
+    [
+      I (Ld (H, Abs off_ethertype));
+      J (Jeq, K ethertype_ip, "accept", "reject");
+      Label "accept";
+      I (Ret (RetK snaplen));
+      Label "reject";
+      I (Ret (RetK 0));
+    ]
+
+let icmp ~local_ip =
+  let open Insn in
+  let open Asm in
+  Asm.assemble_exn
+    [
+      I (Ld (H, Abs off_ethertype));
+      J (Jeq, K ethertype_ip, "is_ip", "reject");
+      Label "is_ip";
+      I (Ld (B, Abs off_ip_proto));
+      J (Jeq, K 1, "is_icmp", "reject");
+      Label "is_icmp";
+      I (Ld (W, Abs off_ip_dst));
+      J (Jeq, K local_ip, "accept", "reject");
+      Label "accept";
+      I (Ret (RetK snaplen));
+      Label "reject";
+      I (Ret (RetK 0));
+    ]

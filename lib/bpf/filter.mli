@@ -1,0 +1,39 @@
+(** Compilation of network-session specifications to filter programs.
+
+    The operating system compiles and installs one of these per network
+    session (paper Section 3.1): the kernel then demultiplexes each
+    incoming Ethernet frame to the address space holding the matching
+    endpoint. Addresses are IPv4 in host byte order as unsigned 31-bit-safe
+    OCaml ints; offsets assume Ethernet II framing. *)
+
+type proto = Tcp | Udp
+
+type spec = {
+  proto : proto;
+  local_ip : int;  (** destination address of packets we should receive *)
+  local_port : int;
+  remote_ip : int option;  (** [None] matches any peer (unconnected UDP,
+                               listening TCP) *)
+  remote_port : int option;
+}
+
+val session : spec -> Vm.program
+(** Accept exactly the frames addressed to the session: Ethernet type IP,
+    matching IP protocol, destination (and optionally source) address and
+    port. Non-first IP fragments that match at the address level are
+    accepted even though their ports are not inspectable, so that the
+    endpoint's reassembly sees every piece. *)
+
+val arp : Vm.program
+(** Accept ARP frames (the operating system server handles these). *)
+
+val ip_all : Vm.program
+(** Accept every IP frame — the single filter used when a whole protocol
+    stack (kernel or server placement) receives all traffic. *)
+
+val icmp : local_ip:int -> Vm.program
+(** Accept ICMP addressed to the host (exceptional packets go to the
+    operating system server). *)
+
+val snaplen : int
+(** Accept length used by generated filters (covers any Ethernet frame). *)

@@ -1,0 +1,142 @@
+type program = Insn.t array
+
+type error =
+  | Empty_program
+  | Jump_out_of_range of int
+  | Backward_jump of int
+  | Division_by_zero of int
+  | Bad_scratch_index of int
+  | Missing_return
+  | Msh_in_ld of int
+
+let pp_error fmt = function
+  | Empty_program -> Format.fprintf fmt "empty program"
+  | Jump_out_of_range i -> Format.fprintf fmt "jump out of range at %d" i
+  | Backward_jump i -> Format.fprintf fmt "backward jump at %d" i
+  | Division_by_zero i -> Format.fprintf fmt "constant division by zero at %d" i
+  | Bad_scratch_index i -> Format.fprintf fmt "bad scratch index at %d" i
+  | Missing_return -> Format.fprintf fmt "program can fall off the end"
+  | Msh_in_ld i -> Format.fprintf fmt "msh addressing outside ldx at %d" i
+
+let scratch_cells = 16
+
+let validate prog =
+  let n = Array.length prog in
+  if n = 0 then Error Empty_program
+  else begin
+    let exception E of error in
+    let check_jump i off =
+      if off < 0 then raise (E (Backward_jump i));
+      if i + 1 + off >= n then raise (E (Jump_out_of_range i))
+    in
+    let check_scratch i k =
+      if k < 0 || k >= scratch_cells then raise (E (Bad_scratch_index i))
+    in
+    try
+      Array.iteri
+        (fun i insn ->
+          match (insn : Insn.t) with
+          | Ld (_, Msh _) -> raise (E (Msh_in_ld i))
+          | Ld (_, Mem k) | Ldx (Mem k) | St k | Stx k -> check_scratch i k
+          | Ld _ | Ldx _ | Neg | Tax | Txa | Ret _ -> ()
+          | Alu (Div, K 0) -> raise (E (Division_by_zero i))
+          | Alu _ -> ()
+          | Ja off -> check_jump i off
+          | Jmp (_, _, jt, jf) ->
+            check_jump i jt;
+            check_jump i jf)
+        prog;
+      (match prog.(n - 1) with
+      | Ret _ -> ()
+      | _ -> raise (E Missing_return));
+      Ok ()
+    with E e -> Error e
+  end
+
+let mask32 v = v land 0xffffffff
+
+let run prog pkt =
+  match validate prog with
+  | Error _ -> Error `Invalid
+  | Ok () ->
+    let len = Bytes.length pkt in
+    let mem = Array.make scratch_cells 0 in
+    let exception Done of int in
+    let steps = ref 0 in
+    let load_size (size : Insn.size) off =
+      let need = match size with Insn.B -> 1 | H -> 2 | W -> 4 in
+      if off < 0 || off + need > len then raise (Done 0)
+      else
+        match size with
+        | Insn.B -> Psd_util.Codec.get_u8 pkt off
+        | H -> Psd_util.Codec.get_u16 pkt off
+        | W -> Psd_util.Codec.get_u32i pkt off
+    in
+    let result =
+      try
+        let a = ref 0 and x = ref 0 in
+        let pc = ref 0 in
+        while true do
+          let insn = prog.(!pc) in
+          incr steps;
+          incr pc;
+          match (insn : Insn.t) with
+          | Ld (size, mode) ->
+            a :=
+              (match mode with
+              | Abs k -> load_size size k
+              | Ind k -> load_size size (!x + k)
+              | Len -> len
+              | Imm k -> mask32 k
+              | Mem k -> mem.(k)
+              | Msh _ -> assert false)
+          | Ldx mode ->
+            x :=
+              (match mode with
+              | Imm k -> mask32 k
+              | Mem k -> mem.(k)
+              | Len -> len
+              | Msh k -> 4 * (load_size Insn.B k land 0xf)
+              | Abs k -> load_size Insn.W k
+              | Ind k -> load_size Insn.W (!x + k))
+          | St k -> mem.(k) <- !a
+          | Stx k -> mem.(k) <- !x
+          | Alu (op, src) ->
+            let v = match src with Insn.K k -> mask32 k | X -> !x in
+            a :=
+              mask32
+                (match op with
+                | Add -> !a + v
+                | Sub -> !a - v
+                | Mul -> !a * v
+                | Div -> if v = 0 then raise (Done 0) else !a / v
+                | And -> !a land v
+                | Or -> !a lor v
+                | Lsh -> !a lsl (v land 31)
+                | Rsh -> !a lsr (v land 31))
+          | Neg -> a := mask32 (- !a)
+          | Tax -> x := !a
+          | Txa -> a := !x
+          | Ja off -> pc := !pc + off
+          | Jmp (cond, src, jt, jf) ->
+            let v = match src with Insn.K k -> mask32 k | X -> !x in
+            let taken =
+              match cond with
+              | Jeq -> !a = v
+              | Jgt -> !a > v
+              | Jge -> !a >= v
+              | Jset -> !a land v <> 0
+            in
+            pc := !pc + if taken then jt else jf
+          | Ret (RetK k) -> raise (Done k)
+          | Ret RetA -> raise (Done !a)
+        done;
+        assert false
+      with Done v -> v
+    in
+    Ok (result, !steps)
+
+let run_exn prog pkt =
+  match run prog pkt with
+  | Ok r -> r
+  | Error `Invalid -> invalid_arg "Vm.run_exn: invalid program"

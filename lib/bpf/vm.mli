@@ -1,0 +1,31 @@
+(** Packet-filter virtual machine: validation and interpretation. *)
+
+type program = Insn.t array
+
+type error =
+  | Empty_program
+  | Jump_out_of_range of int  (** instruction index *)
+  | Backward_jump of int
+  | Division_by_zero of int
+  | Bad_scratch_index of int
+  | Missing_return
+  | Msh_in_ld of int  (** [Msh] addressing is only legal in [Ldx] *)
+
+val pp_error : Format.formatter -> error -> unit
+
+val validate : program -> (unit, error) result
+(** Static checks performed when a filter is installed in the kernel:
+    all jumps are forward and in range, constant divisors are non-zero,
+    scratch indices are in [0..15], and the last instruction (and hence
+    every path, given forward-only jumps) is reachable only through
+    returns or falls into a return. *)
+
+val run : program -> Bytes.t -> (int * int, [ `Invalid ]) result
+(** [run prog pkt] interprets the filter over the packet and returns
+    [(accepted_bytes, instructions_executed)]. An out-of-bounds packet
+    load rejects the packet ([0] accepted bytes), matching BSD semantics.
+    [`Invalid] is returned only for programs that fail {!validate}. *)
+
+val run_exn : program -> Bytes.t -> int * int
+(** Like {!run} on a pre-validated program.
+    @raise Invalid_argument on an invalid program. *)

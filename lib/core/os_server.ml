@@ -1,0 +1,831 @@
+open Psd_cost
+module S = Session
+
+type app_ref = {
+  a_id : int;
+  a_task : Psd_mach.Task.t;
+  a_sink : Bytes.t -> unit;
+  a_error : S.sid -> string -> unit;
+}
+
+type server_binding = {
+  mutable b_tcp : Psd_tcp.Tcp.pcb option;
+  mutable b_listener : Psd_tcp.Tcp.listener option;
+  mutable b_udp : Psd_udp.Udp.pcb option;
+  b_rcv : Psd_socket.Sockbuf.t;
+  b_dq : Psd_socket.Dgramq.t;
+  b_acked : Psd_sim.Cond.t;
+  b_accept : Psd_sim.Cond.t;
+}
+
+type location = Embryonic | In_server of server_binding | In_app
+
+type session = {
+  sid : S.sid;
+  kind : S.kind;
+  app : app_ref;
+  mutable lport : int option;
+  mutable remote : S.endpoint option;
+  mutable location : location;
+  mutable filter : Psd_mach.Netdev.filter_id option;
+  mutable app_readable : bool;
+  mutable closing : bool;
+  mutable refs : int; (* descriptors naming this session (fork dups) *)
+}
+
+type t = {
+  host : Psd_mach.Host.t;
+  task : Psd_mach.Task.t;
+  config : Config.t;
+  netdev : Psd_mach.Netdev.t;
+  stack : Netstack.t;
+  tcp_ports : Portalloc.t;
+  udp_ports : Portalloc.t;
+  arp_master : Psd_arp.Cache.t;
+  routes : Psd_ip.Route.t;
+  sessions : (S.sid, session) Hashtbl.t;
+  apps : (int, app_ref) Hashtbl.t;
+  rpc : (S.req, S.resp) Psd_mach.Ipc.port;
+  select_cond : Psd_sim.Cond.t;
+  mutable next_sid : int;
+  mutable next_app : int;
+  mutable migrations : int;
+  snd_hiwat : int;
+}
+
+let eng t = Psd_mach.Host.eng t.host
+
+let sctx t = Netstack.ctx t.stack
+
+let rpc_port t = t.rpc
+
+let stack t = t.stack
+
+let routes t = t.routes
+
+let arp_master t = t.arp_master
+
+let tcp_ports t = t.tcp_ports
+
+let sessions_active t = Hashtbl.length t.sessions
+
+let migrations t = t.migrations
+
+let host t = t.host
+
+let app_id a = a.a_id
+
+(* ---------------------------------------------------------------- *)
+(* filters                                                            *)
+
+let bpf_proto = function S.Stream -> Psd_bpf.Filter.Tcp | S.Dgram -> Psd_bpf.Filter.Udp
+
+let install_session_filter t sess ~sink =
+  (match sess.filter with
+  | Some id -> Psd_mach.Netdev.detach t.netdev id
+  | None -> ());
+  match sess.lport with
+  | None -> ()
+  | Some lport ->
+    let spec =
+      {
+        Psd_bpf.Filter.proto = bpf_proto sess.kind;
+        local_ip = Psd_ip.Addr.to_int (Netstack.addr t.stack);
+        local_port = lport;
+        remote_ip =
+          Option.map (fun (ip, _) -> Psd_ip.Addr.to_int ip) sess.remote;
+        remote_port = Option.map snd sess.remote;
+      }
+    in
+    let prio = if sess.remote <> None then 5 else 20 in
+    let prog = Psd_bpf.Filter.session spec in
+    sess.filter <-
+      Some (Psd_mach.Netdev.attach t.netdev ~prio ~prog ~sink ())
+
+let drop_session_filter t sess =
+  match sess.filter with
+  | Some id ->
+    Psd_mach.Netdev.detach t.netdev id;
+    sess.filter <- None
+  | None -> ()
+
+(* ---------------------------------------------------------------- *)
+(* session bookkeeping                                                *)
+
+let ports_of t = function
+  | S.Stream -> t.tcp_ports
+  | S.Dgram -> t.udp_ports
+
+let destroy_session t sess =
+  drop_session_filter t sess;
+  (match sess.lport with
+  | Some p -> Portalloc.release (ports_of t sess.kind) p
+  | None -> ());
+  Hashtbl.remove t.sessions sess.sid;
+  Psd_sim.Cond.broadcast t.select_cond
+
+let make_binding t =
+  let b =
+    {
+      b_tcp = None;
+      b_listener = None;
+      b_udp = None;
+      b_rcv = Psd_socket.Sockbuf.create (eng t) ();
+      b_dq = Psd_socket.Dgramq.create (eng t) ();
+      b_acked = Psd_sim.Cond.create (eng t);
+      b_accept = Psd_sim.Cond.create (eng t);
+    }
+  in
+  Psd_socket.Sockbuf.on_change b.b_rcv (fun () ->
+      Psd_sim.Cond.broadcast t.select_cond);
+  Psd_socket.Dgramq.on_change b.b_dq (fun () ->
+      Psd_sim.Cond.broadcast t.select_cond);
+  b
+
+(* Handlers for a server-resident stream session: data flows into the
+   binding's socket buffer; acks wake blocked senders. *)
+let wire_stream_handlers t sess b =
+  let ctx = sctx t in
+  let plat = ctx.Ctx.plat in
+  {
+    Psd_tcp.Tcp.deliver =
+      (fun m ->
+        Ctx.charge ctx Phase.Proto_input
+          (plat.Platform.mbuf_op + ctx.Ctx.sync_ns);
+        if Psd_socket.Sockbuf.has_waiters b.b_rcv then
+          Ctx.charge ctx Phase.Wakeup ctx.Ctx.wakeup_ns;
+        Psd_socket.Sockbuf.append b.b_rcv m);
+    deliver_fin = (fun () -> Psd_socket.Sockbuf.set_eof b.b_rcv);
+    on_established = (fun () -> Psd_sim.Cond.broadcast b.b_accept);
+    on_acked =
+      (fun _ ->
+        Psd_sim.Cond.broadcast b.b_acked;
+        Psd_sim.Cond.broadcast t.select_cond);
+    on_error =
+      (fun e ->
+        Psd_socket.Sockbuf.set_error b.b_rcv
+          (Format.asprintf "%a" Psd_tcp.Tcp.pp_error e);
+        Psd_sim.Cond.broadcast b.b_acked);
+    on_state =
+      (fun st ->
+        if st = Psd_tcp.Tcp.Closed then
+          if sess.closing then destroy_session t sess);
+  }
+
+(* Handlers used while the server winds a connection down after the
+   application closed it: incoming data is discarded but consumed so the
+   peer is not stalled. *)
+let wire_drain_handlers t sess pcb_ref =
+  {
+    Psd_tcp.Tcp.null_handlers with
+    Psd_tcp.Tcp.deliver =
+      (fun m ->
+        let n = Psd_mbuf.Mbuf.length m in
+        Psd_sim.Engine.spawn (eng t) ~name:"drain" (fun () ->
+            match !pcb_ref with
+            | Some pcb -> Psd_tcp.Tcp.user_consumed pcb n
+            | None -> ()));
+    on_state =
+      (fun st ->
+        if st = Psd_tcp.Tcp.Closed then destroy_session t sess);
+  }
+
+(* ---------------------------------------------------------------- *)
+(* request handlers                                                   *)
+
+let find t sid = Hashtbl.find_opt t.sessions sid
+
+let fresh_sid t =
+  let sid = t.next_sid in
+  t.next_sid <- sid + 1;
+  sid
+
+let alloc_port t kind = function
+  | Some p -> (
+    match Portalloc.reserve (ports_of t kind) p with
+    | Ok () -> Ok p
+    | Error `In_use -> Error "address in use")
+  | None -> Ok (Portalloc.alloc_ephemeral (ports_of t kind))
+
+let readiness sess =
+  match sess.location with
+  | In_app -> sess.app_readable
+  | Embryonic -> false
+  | In_server b -> (
+    Psd_socket.Sockbuf.readable b.b_rcv
+    || Psd_socket.Dgramq.readable b.b_dq
+    || match b.b_listener with
+       | Some l -> Psd_tcp.Tcp.pending l > 0
+       | None -> false)
+
+let migrate_to_library t = t.config.Config.placement = Config.Library
+
+let handle_socket t ~kind ~app_id =
+  match Hashtbl.find_opt t.apps app_id with
+  | None -> S.Rs_err "unknown application"
+  | Some app ->
+    let sid = fresh_sid t in
+    Hashtbl.replace t.sessions sid
+      {
+        sid;
+        kind;
+        app;
+        lport = None;
+        remote = None;
+        location = Embryonic;
+        filter = None;
+        app_readable = false;
+        closing = false;
+        refs = 1;
+      };
+    S.Rs_socket sid
+
+let bind_server_udp t sess b port =
+  let receive dg =
+    let ctx = sctx t in
+    if Psd_socket.Dgramq.has_waiters b.b_dq then
+      Ctx.charge ctx Phase.Wakeup ctx.Ctx.wakeup_ns;
+    ignore
+      (Psd_socket.Dgramq.push b.b_dq
+         ~src:(Psd_ip.Addr.to_int dg.Psd_udp.Udp.src, dg.Psd_udp.Udp.src_port)
+         (Psd_mbuf.Mbuf.to_string dg.Psd_udp.Udp.payload))
+  in
+  match Psd_udp.Udp.bind (Netstack.udp t.stack) ~port ~receive with
+  | Ok pcb ->
+    b.b_udp <- Some pcb;
+    (match sess.remote with
+    | Some (ip, p) -> Psd_udp.Udp.connect pcb ip p
+    | None -> ());
+    Ok ()
+  | Error `Port_in_use -> Error "port in use in server stack"
+
+let handle_bind t ~sid ~port =
+  match find t sid with
+  | None -> S.Rs_err "no such session"
+  | Some sess -> (
+    match alloc_port t sess.kind port with
+    | Error e -> S.Rs_err e
+    | Ok port -> (
+      sess.lport <- Some port;
+      let local = (Netstack.addr t.stack, port) in
+      match (sess.kind, migrate_to_library t) with
+      | S.Dgram, true ->
+        (* the UDP session migrates to the application at bind time *)
+        install_session_filter t sess ~sink:sess.app.a_sink;
+        sess.location <- In_app;
+        t.migrations <- t.migrations + 1;
+        S.Rs_bound { S.m_local = local; m_remote = None; m_tcb = None }
+      | S.Dgram, false -> (
+        let b = make_binding t in
+        match bind_server_udp t sess b port with
+        | Ok () ->
+          sess.location <- In_server b;
+          S.Rs_bound { S.m_local = local; m_remote = None; m_tcb = None }
+        | Error e -> S.Rs_err e)
+      | S.Stream, _ ->
+        (* only the endpoint name is fixed at bind time for TCP *)
+        S.Rs_bound { S.m_local = local; m_remote = None; m_tcb = None }))
+
+let handle_connect t ~sid ~dst =
+  match find t sid with
+  | None -> S.Rs_err "no such session"
+  | Some sess -> (
+    sess.remote <- Some dst;
+    let port =
+      match sess.lport with
+      | Some p -> Ok p
+      | None -> alloc_port t sess.kind None
+    in
+    match port with
+    | Error e -> S.Rs_err e
+    | Ok port -> (
+      sess.lport <- Some port;
+      let local = (Netstack.addr t.stack, port) in
+      match sess.kind with
+      | S.Dgram ->
+        if migrate_to_library t then begin
+          install_session_filter t sess ~sink:sess.app.a_sink;
+          sess.location <- In_app;
+          if sess.location = In_app then ();
+          S.Rs_connected
+            { S.m_local = local; m_remote = Some dst; m_tcb = None }
+        end
+        else begin
+          match sess.location with
+          | In_server b -> (
+            match b.b_udp with
+            | Some pcb ->
+              Psd_udp.Udp.connect pcb (fst dst) (snd dst);
+              install_session_filter t sess ~sink:(Netstack.sink t.stack);
+              S.Rs_connected
+                { S.m_local = local; m_remote = Some dst; m_tcb = None }
+            | None -> S.Rs_err "not bound")
+          | _ -> (
+            let b = make_binding t in
+            match bind_server_udp t sess b port with
+            | Ok () ->
+              sess.location <- In_server b;
+              S.Rs_connected
+                { S.m_local = local; m_remote = Some dst; m_tcb = None }
+            | Error e -> S.Rs_err e)
+        end
+      | S.Stream -> (
+        (* Establishment is always performed by the operating system:
+           packets for the nascent connection come to the server stack. *)
+        install_session_filter t sess ~sink:(Netstack.sink t.stack);
+        let b = make_binding t in
+        let established = ref false and failed = ref None in
+        let control =
+          {
+            Psd_tcp.Tcp.null_handlers with
+            Psd_tcp.Tcp.on_established =
+              (fun () ->
+                established := true;
+                Psd_sim.Cond.broadcast b.b_accept);
+            on_error =
+              (fun e ->
+                failed := Some e;
+                Psd_sim.Cond.broadcast b.b_accept);
+          }
+        in
+        let pcb =
+          Psd_tcp.Tcp.connect (Netstack.tcp t.stack) ~handlers:control
+            ~claim_data:false ~src_port:port ~dst:(fst dst)
+            ~dst_port:(snd dst) ()
+        in
+        b.b_tcp <- Some pcb;
+        (* wait for the handshake *)
+        let () =
+          Psd_sim.Cond.until b.b_accept (fun () ->
+              if !established || !failed <> None then Some () else None)
+        in
+        match !failed with
+        | Some e ->
+          destroy_session t sess;
+          S.Rs_err (Format.asprintf "%a" Psd_tcp.Tcp.pp_error e)
+        | None ->
+          if migrate_to_library t then begin
+            let snap = Psd_tcp.Tcp.export pcb in
+            b.b_tcp <- None;
+            (* segments racing the filter switch must not draw RSTs *)
+            Psd_tcp.Tcp.mute (Netstack.tcp t.stack) ~local_port:port
+              ~remote:dst ~duration_ns:(Psd_sim.Time.sec 1);
+            install_session_filter t sess ~sink:sess.app.a_sink;
+            sess.location <- In_app;
+            t.migrations <- t.migrations + 1;
+            S.Rs_connected
+              { S.m_local = local; m_remote = Some dst; m_tcb = Some snap }
+          end
+          else begin
+            Psd_tcp.Tcp.set_handlers pcb (wire_stream_handlers t sess b);
+            sess.location <- In_server b;
+            S.Rs_connected
+              { S.m_local = local; m_remote = Some dst; m_tcb = None }
+          end)))
+
+let handle_listen t ~sid ~backlog =
+  match find t sid with
+  | None -> S.Rs_err "no such session"
+  | Some sess -> (
+    match (sess.kind, sess.lport) with
+    | S.Dgram, _ -> S.Rs_err "listen on datagram socket"
+    | S.Stream, None -> S.Rs_err "listen before bind"
+    | S.Stream, Some port ->
+      let b = make_binding t in
+      let listener =
+        Psd_tcp.Tcp.listen (Netstack.tcp t.stack) ~port ~backlog ()
+      in
+      b.b_listener <- Some listener;
+      Psd_tcp.Tcp.on_ready listener (fun () ->
+          Psd_sim.Cond.broadcast b.b_accept;
+          Psd_sim.Cond.broadcast t.select_cond);
+      sess.location <- In_server b;
+      (* the wildcard filter brings handshake traffic to the server *)
+      if migrate_to_library t then
+        install_session_filter t sess ~sink:(Netstack.sink t.stack);
+      S.Rs_ok)
+
+let handle_accept t ~sid =
+  match find t sid with
+  | None -> S.Rs_err "no such session"
+  | Some sess -> (
+    match sess.location with
+    | In_server ({ b_listener = Some listener; _ } as b) -> (
+      let pcb =
+        Psd_sim.Cond.until b.b_accept (fun () ->
+            Psd_tcp.Tcp.accept_ready listener)
+      in
+      let remote = Psd_tcp.Tcp.remote pcb in
+      let sid' = fresh_sid t in
+      let sess' =
+        {
+          sid = sid';
+          kind = S.Stream;
+          app = sess.app;
+          lport = sess.lport;
+          remote = Some remote;
+          location = Embryonic;
+          filter = None;
+          app_readable = false;
+          closing = false;
+          refs = 1;
+        }
+      in
+      Hashtbl.replace t.sessions sid' sess';
+      let local = (Netstack.addr t.stack, Option.get sess.lport) in
+      if migrate_to_library t then begin
+        let snap = Psd_tcp.Tcp.export pcb in
+        Psd_tcp.Tcp.mute (Netstack.tcp t.stack)
+          ~local_port:(Option.get sess.lport) ~remote
+          ~duration_ns:(Psd_sim.Time.sec 1);
+        install_session_filter t sess' ~sink:sess'.app.a_sink;
+        sess'.location <- In_app;
+        t.migrations <- t.migrations + 1;
+        S.Rs_accepted
+          ( sid',
+            { S.m_local = local; m_remote = Some remote; m_tcb = Some snap }
+          )
+      end
+      else begin
+        let b' = make_binding t in
+        b'.b_tcp <- Some pcb;
+        Psd_tcp.Tcp.set_handlers pcb (wire_stream_handlers t sess' b');
+        sess'.location <- In_server b';
+        S.Rs_accepted
+          (sid', { S.m_local = local; m_remote = Some remote; m_tcb = None })
+      end)
+    | _ -> S.Rs_err "accept on non-listening session")
+
+let import_to_server t sess snap =
+  let b = make_binding t in
+  let pcb = ref None in
+  let handlers = wire_stream_handlers t sess b in
+  let p = Psd_tcp.Tcp.import (Netstack.tcp t.stack) ~handlers snap in
+  pcb := Some p;
+  b.b_tcp <- Some p;
+  b
+
+let handle_return t ~sid ~tcb =
+  match find t sid with
+  | None -> S.Rs_err "no such session"
+  | Some sess -> (
+    match (sess.kind, tcb) with
+    | S.Stream, Some snap ->
+      let b = import_to_server t sess snap in
+      sess.location <- In_server b;
+      install_session_filter t sess ~sink:(Netstack.sink t.stack);
+      t.migrations <- t.migrations + 1;
+      Psd_sim.Cond.broadcast t.select_cond;
+      S.Rs_ok
+    | S.Dgram, _ -> (
+      match sess.lport with
+      | None -> S.Rs_err "return of unbound datagram session"
+      | Some port -> (
+        let b = make_binding t in
+        match bind_server_udp t sess b port with
+        | Ok () ->
+          sess.location <- In_server b;
+          install_session_filter t sess ~sink:(Netstack.sink t.stack);
+          t.migrations <- t.migrations + 1;
+          S.Rs_ok
+        | Error e -> S.Rs_err e))
+    | S.Stream, None -> S.Rs_err "return without protocol state")
+
+let handle_close t ~sid ~tcb =
+  match find t sid with
+  | None -> S.Rs_err "no such session"
+  | Some sess when sess.refs > 1 ->
+    (* another descriptor (fork duplicate) still names the session *)
+    sess.refs <- sess.refs - 1;
+    (match tcb with
+    | Some snap ->
+      (* the closer held the live state: bring it home so the surviving
+         descriptor can keep using it *)
+      let b = import_to_server t sess snap in
+      sess.location <- In_server b;
+      install_session_filter t sess ~sink:(Netstack.sink t.stack);
+      t.migrations <- t.migrations + 1
+    | None -> ());
+    S.Rs_ok
+  | Some sess -> (
+    sess.closing <- true;
+    match sess.kind with
+    | S.Dgram ->
+      (match sess.location with
+      | In_server { b_udp = Some pcb; _ } ->
+        Psd_udp.Udp.close (Netstack.udp t.stack) pcb
+      | _ -> ());
+      destroy_session t sess;
+      S.Rs_ok
+    | S.Stream -> (
+      match (sess.location, tcb) with
+      | In_app, Some snap ->
+        (* migrate home, then run the full shutdown protocol here *)
+        install_session_filter t sess ~sink:(Netstack.sink t.stack);
+        t.migrations <- t.migrations + 1;
+        let pcb_ref = ref None in
+        let handlers = wire_drain_handlers t sess pcb_ref in
+        let pcb = Psd_tcp.Tcp.import (Netstack.tcp t.stack) ~handlers snap in
+        pcb_ref := Some pcb;
+        sess.location <- Embryonic;
+        Psd_tcp.Tcp.shutdown_send pcb;
+        S.Rs_ok
+      | In_server b, _ ->
+        (match b.b_listener with
+        | Some l ->
+          Psd_tcp.Tcp.close_listener (Netstack.tcp t.stack) l;
+          destroy_session t sess
+        | None -> ());
+        (match b.b_tcp with
+        | Some pcb ->
+          (* rebind state hooks so the session dies when TCP does *)
+          Psd_tcp.Tcp.shutdown_send pcb;
+          if Psd_tcp.Tcp.state pcb = Psd_tcp.Tcp.Closed then
+            destroy_session t sess
+        | None -> ());
+        S.Rs_ok
+      | (Embryonic | In_app), _ ->
+        destroy_session t sess;
+        S.Rs_ok))
+
+let handle_send t ~sid ~data ~dst =
+  match find t sid with
+  | None -> S.Rs_err "no such session"
+  | Some sess -> (
+    match sess.location with
+    | In_server b -> (
+      match sess.kind with
+      | S.Stream -> (
+        match b.b_tcp with
+        | Some pcb when Psd_tcp.Tcp.can_send pcb ->
+          let ctx = sctx t in
+          let plat = ctx.Ctx.plat in
+          Ctx.charge ctx Phase.Entry_copyin
+            (plat.Platform.socket_layer + plat.Platform.mbuf_alloc
+           + ctx.Ctx.sync_ns);
+          (* send-buffer backpressure: chunk large writes *)
+          let len = String.length data in
+          let rec push off =
+            if off >= len then S.Rs_ok
+            else begin
+              let space =
+                Psd_sim.Cond.until b.b_acked (fun () ->
+                    if Psd_tcp.Tcp.state pcb = Psd_tcp.Tcp.Closed then
+                      Some 0
+                    else
+                      let sp = t.snd_hiwat - Psd_tcp.Tcp.sndq_length pcb in
+                      if sp > 0 then Some sp else None)
+              in
+              if space = 0 then S.Rs_err "connection closed"
+              else if not (Psd_tcp.Tcp.can_send pcb) then
+                S.Rs_err "connection closed"
+              else begin
+                let n = min space (len - off) in
+                Psd_tcp.Tcp.send pcb
+                  (Psd_mbuf.Mbuf.of_string (String.sub data off n));
+                push (off + n)
+              end
+            end
+          in
+          push 0
+        | Some _ -> S.Rs_err "connection closing"
+        | None -> S.Rs_err "not connected")
+      | S.Dgram -> (
+        match b.b_udp with
+        | Some pcb when Psd_udp.Udp.take_error pcb <> None ->
+          S.Rs_err "connection refused"
+        | Some pcb -> (
+          let ctx = sctx t in
+          let plat = ctx.Ctx.plat in
+          Ctx.charge ctx Phase.Entry_copyin
+            (plat.Platform.socket_layer + plat.Platform.mbuf_alloc
+           + ctx.Ctx.sync_ns);
+          match
+            Psd_udp.Udp.send pcb
+              ?dst:(Option.map (fun (ip, p) -> (ip, p)) dst)
+              (Psd_mbuf.Mbuf.of_string data)
+          with
+          | Ok () -> S.Rs_ok
+          | Error `No_destination -> S.Rs_err "destination required"
+          | Error `No_route -> S.Rs_err "no route to host"
+          | Error `Too_big -> S.Rs_err "message too long")
+        | None -> S.Rs_err "not bound"))
+    | _ -> S.Rs_err "session not resident in server")
+
+let handle_recv t ~sid ~max =
+  match find t sid with
+  | None -> S.Rs_err "no such session"
+  | Some sess -> (
+    match sess.location with
+    | In_server b -> (
+      match sess.kind with
+      | S.Stream -> (
+        let ctx = sctx t in
+        Ctx.charge ctx Phase.Copyout_exit ctx.Ctx.plat.Platform.socket_layer;
+        match Psd_socket.Sockbuf.read b.b_rcv ~max with
+        | Ok m ->
+          let len = Psd_mbuf.Mbuf.length m in
+          (match b.b_tcp with
+          | Some pcb -> Psd_tcp.Tcp.user_consumed pcb len
+          | None -> ());
+          S.Rs_recv (Ok (Psd_mbuf.Mbuf.to_string m, None))
+        | Error `Eof -> S.Rs_recv (Error `Eof)
+        | Error (`Error e) -> S.Rs_recv (Error (`Err e)))
+      | S.Dgram ->
+        let (src_ip, src_port), payload = Psd_socket.Dgramq.recv b.b_dq in
+        S.Rs_recv
+          (Ok (payload, Some (Psd_ip.Addr.of_int src_ip, src_port))))
+    | _ -> S.Rs_err "session not resident in server")
+
+let handle_select t ~sids ~timeout_ns =
+  let ready () =
+    let rs =
+      List.filter
+        (fun sid ->
+          match find t sid with Some s -> readiness s | None -> false)
+        sids
+    in
+    if rs = [] then None else Some rs
+  in
+  match timeout_ns with
+  | None -> S.Rs_select (Psd_sim.Cond.until t.select_cond ready)
+  | Some dt -> (
+    match Psd_sim.Cond.until_timeout t.select_cond dt ready with
+    | Some rs -> S.Rs_select rs
+    | None -> S.Rs_select [])
+
+let handle_arp t ip =
+  match Psd_arp.Cache.lookup t.arp_master ip with
+  | Some mac -> S.Rs_arp (Some mac)
+  | None -> (
+    match Netstack.arp_resolver t.stack with
+    | None -> S.Rs_arp None
+    | Some r ->
+      let result = ref None and done_ = ref false in
+      let cond = Psd_sim.Cond.create (eng t) in
+      Psd_arp.Resolver.resolve r ip (fun res ->
+          result := res;
+          done_ := true;
+          Psd_sim.Cond.broadcast cond);
+      Psd_sim.Cond.until cond (fun () -> if !done_ then Some () else None);
+      S.Rs_arp !result)
+
+let handle_task_exited t ~app_id =
+  let owned =
+    Hashtbl.fold
+      (fun _ sess acc -> if sess.app.a_id = app_id then sess :: acc else acc)
+      t.sessions []
+  in
+  List.iter
+    (fun sess ->
+      (match sess.location with
+      | In_server b ->
+        (match b.b_listener with
+        | Some l -> Psd_tcp.Tcp.close_listener (Netstack.tcp t.stack) l
+        | None -> ());
+        (match b.b_tcp with
+        | Some pcb -> Psd_tcp.Tcp.abort pcb
+        | None -> ());
+        (match b.b_udp with
+        | Some pcb -> Psd_udp.Udp.close (Netstack.udp t.stack) pcb
+        | None -> ())
+      | In_app | Embryonic -> ());
+      destroy_session t sess)
+    owned;
+  Hashtbl.remove t.apps app_id;
+  S.Rs_ok
+
+let handle t req =
+  (* every server entry pays its socket-layer bookkeeping *)
+  let ctx = sctx t in
+  Ctx.charge ctx Phase.Control ctx.Ctx.plat.Platform.socket_layer;
+  match req with
+  | S.R_socket { kind; app } -> handle_socket t ~kind ~app_id:app
+  | S.R_bind { sid; port } -> handle_bind t ~sid ~port
+  | S.R_connect { sid; dst } -> handle_connect t ~sid ~dst
+  | S.R_listen { sid; backlog } -> handle_listen t ~sid ~backlog
+  | S.R_accept { sid } -> handle_accept t ~sid
+  | S.R_return { sid; tcb } -> handle_return t ~sid ~tcb
+  | S.R_close { sid; tcb } -> handle_close t ~sid ~tcb
+  | S.R_status { sid; readable } -> (
+    match find t sid with
+    | Some sess ->
+      sess.app_readable <- readable;
+      Psd_sim.Cond.broadcast t.select_cond;
+      S.Rs_ok
+    | None -> S.Rs_ok)
+  | S.R_select { app = _; sids; timeout_ns } -> handle_select t ~sids ~timeout_ns
+  | S.R_arp ip -> handle_arp t ip
+  | S.R_send { sid; data; dst } -> handle_send t ~sid ~data ~dst
+  | S.R_recv { sid; max } -> handle_recv t ~sid ~max
+  | S.R_shutdown { sid } -> (
+    match find t sid with
+    | Some { location = In_server { b_tcp = Some pcb; _ }; _ } ->
+      Psd_tcp.Tcp.shutdown_send pcb;
+      S.Rs_ok
+    | Some _ -> S.Rs_err "shutdown on non-stream or migrated session"
+    | None -> S.Rs_err "no such session")
+  | S.R_dup { sid } -> (
+    match find t sid with
+    | Some sess ->
+      sess.refs <- sess.refs + 1;
+      S.Rs_ok
+    | None -> S.Rs_err "no such session")
+  | S.R_task_exited { app } -> handle_task_exited t ~app_id:app
+
+let create ~host ~netdev ~config ~addr ~routes ?rcv_buf ?delack_ns () =
+  let eng = Psd_mach.Host.eng host in
+  let cpu = Psd_mach.Host.cpu host in
+  let plat = Psd_mach.Host.plat host in
+  let task = Psd_mach.Task.create host ~name:"os-server" () in
+  let ctx = Ctx.create ~eng ~cpu ~plat ~role:Ctx.Server_stack in
+  let arp_master = Psd_arp.Cache.create eng () in
+  (* The server receives packets through a kernel queue with copyout
+     into its address space; wakeups amortise over packet trains just as
+     for application channels (the paper's server numbers reflect a
+     mature, optimised delivery path — Table 4 "kernel copyout"). *)
+  let chan =
+    Psd_mach.Pktchan.create host ~kind:(Psd_mach.Pktchan.Shm 256)
+      ~deliver_fixed:48_000
+      ~deliver_per_byte:plat.Platform.kernel_mem_read_per_byte
+  in
+  let stack =
+    Netstack.create ~ctx ~netdev ~addr ~routes ~arp:Netstack.Arp_authoritative
+      ~arp_cache:arp_master ~input:(Netstack.Chan chan) ?rcv_buf ?delack_ns
+      ()
+  in
+  let t =
+    {
+      host;
+      task;
+      config;
+      netdev;
+      stack;
+      tcp_ports = Portalloc.create ();
+      udp_ports = Portalloc.create ();
+      arp_master;
+      routes;
+      sessions = Hashtbl.create 32;
+      apps = Hashtbl.create 8;
+      rpc = Psd_mach.Ipc.create_port host;
+      select_cond = Psd_sim.Cond.create eng;
+      next_sid = 1;
+      next_app = 1;
+      migrations = 0;
+      snd_hiwat = 24 * 1024;
+    }
+  in
+  (* standing filters: ARP always; all IP when the server runs the whole
+     data path (Server placement) *)
+  let (_ : Psd_mach.Netdev.filter_id) =
+    Psd_mach.Netdev.attach netdev ~prio:50 ~prog:Psd_bpf.Filter.arp
+      ~sink:(Netstack.sink stack) ()
+  in
+  (match config.Config.placement with
+  | Config.Server ->
+    let (_ : Psd_mach.Netdev.filter_id) =
+      Psd_mach.Netdev.attach netdev ~prio:100 ~prog:Psd_bpf.Filter.ip_all
+        ~sink:(Netstack.sink stack) ()
+    in
+    ()
+  | Config.Library ->
+    (* exceptional packets — segments for unknown ports, ICMP — fall
+       through every session filter to the operating system *)
+    let (_ : Psd_mach.Netdev.filter_id) =
+      Psd_mach.Netdev.attach netdev ~prio:200 ~prog:Psd_bpf.Filter.ip_all
+        ~sink:(Netstack.sink stack) ()
+    in
+    ()
+  | Config.In_kernel -> ());
+  (* ICMP port-unreachables for sessions that migrated to applications
+     are forwarded as soft errors (one kernel message each) *)
+  (match Netstack.icmp stack with
+  | Some icmp ->
+    Psd_ip.Icmp.on_unreachable icmp
+      (fun ~orig_dst ~orig_proto ~orig_dst_port ->
+        if orig_proto = Psd_ip.Header.proto_udp then
+          Hashtbl.iter
+            (fun _ sess ->
+              match (sess.kind, sess.location, sess.remote) with
+              | S.Dgram, In_app, Some (ip, port)
+                when Psd_ip.Addr.equal ip orig_dst && port = orig_dst_port
+                ->
+                Ctx.charge (sctx t) Phase.Control
+                  plat.Platform.ipc_msg;
+                sess.app.a_error sess.sid "connection refused"
+              | _ -> ())
+            t.sessions)
+  | None -> ());
+  Psd_mach.Ipc.serve t.rpc ~workers:16 (fun req -> handle t req);
+  t
+
+let register_app t ~task ~sink ?(on_error = fun _ _ -> ()) () =
+  let a =
+    { a_id = t.next_app; a_task = task; a_sink = sink; a_error = on_error }
+  in
+  t.next_app <- t.next_app + 1;
+  Hashtbl.replace t.apps a.a_id a;
+  Psd_mach.Task.on_exit task (fun () ->
+      Psd_sim.Engine.spawn (eng t) ~name:"task-exit-cleanup" (fun () ->
+          ignore (handle_task_exited t ~app_id:a.a_id)));
+  a

@@ -1,0 +1,41 @@
+type t = {
+  used : (int, unit) Hashtbl.t;
+  ephemeral_base : int;
+  mutable next : int;
+}
+
+let max_port = 65535
+
+let create ?(ephemeral_base = 1024) () =
+  { used = Hashtbl.create 32; ephemeral_base; next = ephemeral_base }
+
+let in_use t port = Hashtbl.mem t.used port
+
+let reserve t port =
+  if port <= 0 || port > max_port then Error `In_use
+  else if in_use t port then Error `In_use
+  else begin
+    Hashtbl.replace t.used port ();
+    Ok ()
+  end
+
+let alloc_ephemeral t =
+  let start = t.next in
+  let rec scan p ~wrapped =
+    if p > max_port then
+      if wrapped then failwith "Portalloc: namespace exhausted"
+      else scan t.ephemeral_base ~wrapped:true
+    else if (not (in_use t p)) && (not wrapped || p < start) then begin
+      Hashtbl.replace t.used p ();
+      t.next <- (if p >= max_port then t.ephemeral_base else p + 1);
+      p
+    end
+    else if wrapped && p >= start then
+      failwith "Portalloc: namespace exhausted"
+    else scan (p + 1) ~wrapped
+  in
+  scan start ~wrapped:false
+
+let release t port = Hashtbl.remove t.used port
+
+let count t = Hashtbl.length t.used

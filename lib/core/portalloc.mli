@@ -1,0 +1,24 @@
+(** Host-wide transport port namespace.
+
+    With protocol stacks in application address spaces, port uniqueness
+    can no longer be enforced by a single in-kernel PCB table; the
+    operating-system server owns this allocator and every endpoint name
+    passes through it (paper Section 3.2, "Establishing connections"). *)
+
+type t
+
+val create : ?ephemeral_base:int -> unit -> t
+(** Ephemeral allocation starts at [ephemeral_base] (default 1024). *)
+
+val reserve : t -> int -> (unit, [ `In_use ]) result
+(** Claim a specific port. *)
+
+val alloc_ephemeral : t -> int
+(** Claim the next free ephemeral port.
+    @raise Failure if the namespace is exhausted. *)
+
+val release : t -> int -> unit
+
+val in_use : t -> int -> bool
+
+val count : t -> int

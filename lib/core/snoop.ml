@@ -1,0 +1,97 @@
+type record = { at_ns : int; line : string; frame : Bytes.t }
+
+type t = { eng : Psd_sim.Engine.t; mutable recs : record list }
+
+let tcp_flags b off =
+  let f = Psd_util.Codec.get_u8 b (off + 13) in
+  let bit mask ch = if f land mask <> 0 then String.make 1 ch else "" in
+  bit 0x02 'S' ^ bit 0x01 'F' ^ bit 0x04 'R' ^ bit 0x08 'P'
+  ^ if f land 0x10 <> 0 then "." else ""
+
+let decode_frame frame =
+  let open Psd_util in
+  if not (Psd_link.Frame.is_valid frame) then "runt frame"
+  else begin
+    let ethertype = Psd_link.Frame.ethertype frame in
+    if ethertype = Psd_link.Frame.ethertype_arp then
+      match Psd_arp.Packet.decode frame ~off:14 ~len:(Bytes.length frame - 14) with
+      | Ok p -> Format.asprintf "%a" Psd_arp.Packet.pp p
+      | Error e -> e
+    else if ethertype = Psd_link.Frame.ethertype_ip then begin
+      match
+        Psd_ip.Header.decode frame ~off:14 ~len:(Bytes.length frame - 14)
+      with
+      | Error e -> Format.asprintf "bad ip: %a" Psd_ip.Header.pp_error e
+      | Ok h ->
+        let o = 14 + Psd_ip.Header.size in
+        let plen = h.Psd_ip.Header.total_len - Psd_ip.Header.size in
+        if h.Psd_ip.Header.frag_off > 0 then
+          Format.asprintf "%a > %a ip fragment off %d len %d" Psd_ip.Addr.pp
+            h.Psd_ip.Header.src Psd_ip.Addr.pp h.Psd_ip.Header.dst
+            h.Psd_ip.Header.frag_off plen
+        else if h.Psd_ip.Header.proto = Psd_ip.Header.proto_tcp then
+          Format.asprintf "%a.%d > %a.%d tcp [%s] seq %d ack %d win %d len %d"
+            Psd_ip.Addr.pp h.Psd_ip.Header.src (Codec.get_u16 frame o)
+            Psd_ip.Addr.pp h.Psd_ip.Header.dst
+            (Codec.get_u16 frame (o + 2))
+            (tcp_flags frame o)
+            (Codec.get_u32i frame (o + 4))
+            (Codec.get_u32i frame (o + 8))
+            (Codec.get_u16 frame (o + 14))
+            (plen - (Codec.get_u8 frame (o + 12) lsr 4 * 4))
+        else if h.Psd_ip.Header.proto = Psd_ip.Header.proto_udp then
+          Format.asprintf "%a.%d > %a.%d udp len %d" Psd_ip.Addr.pp
+            h.Psd_ip.Header.src (Codec.get_u16 frame o) Psd_ip.Addr.pp
+            h.Psd_ip.Header.dst
+            (Codec.get_u16 frame (o + 2))
+            (plen - 8)
+        else if h.Psd_ip.Header.proto = Psd_ip.Header.proto_icmp then
+          Format.asprintf "%a > %a icmp type %d" Psd_ip.Addr.pp
+            h.Psd_ip.Header.src Psd_ip.Addr.pp h.Psd_ip.Header.dst
+            (Codec.get_u8 frame o)
+        else
+          Format.asprintf "%a > %a proto %d len %d" Psd_ip.Addr.pp
+            h.Psd_ip.Header.src Psd_ip.Addr.pp h.Psd_ip.Header.dst
+            h.Psd_ip.Header.proto plen
+    end
+    else Printf.sprintf "ethertype 0x%04x len %d" ethertype (Bytes.length frame)
+  end
+
+let attach eng segment =
+  let t = { eng; recs = [] } in
+  let mac = Psd_link.Macaddr.of_host_id 0xfffff in
+  let nic = Psd_link.Segment.attach segment ~mac in
+  Psd_link.Segment.set_promiscuous nic true;
+  Psd_link.Segment.set_rx nic (fun frame ->
+      t.recs <-
+        { at_ns = Psd_sim.Engine.now eng; line = decode_frame frame; frame }
+        :: t.recs);
+  t
+
+let records t = List.rev t.recs
+
+let count t = List.length t.recs
+
+let clear t = t.recs <- []
+
+let contains_sub hay needle =
+  let hl = Bytes.length hay and nl = String.length needle in
+  if nl = 0 then true
+  else begin
+    let rec at i =
+      if i + nl > hl then false
+      else if Bytes.sub_string hay i nl = needle then true
+      else at (i + 1)
+    in
+    at 0
+  end
+
+let payload_seen t needle =
+  List.exists (fun r -> contains_sub r.frame needle) t.recs
+
+let pp_trace fmt t =
+  List.iter
+    (fun r ->
+      Format.fprintf fmt "%10.3fms  %s@." (float_of_int r.at_ns /. 1e6)
+        r.line)
+    (records t)

@@ -1,0 +1,822 @@
+open Psd_cost
+module S = Session
+
+type app = {
+  host : Psd_mach.Host.t;
+  config : Config.t;
+  task : Psd_mach.Task.t;
+  stack : Netstack.t option; (* protocol library (Library placement) *)
+  call_ctx : Ctx.t;
+  server : (S.req, S.resp) Psd_mach.Ipc.port option;
+  server_app_id : int option;
+  kernel_stack : Netstack.t option;
+  kernel_tcp_ports : Portalloc.t option;
+  kernel_udp_ports : Portalloc.t option;
+  local_cond : Psd_sim.Cond.t; (* any local socket changed readiness *)
+  mutable sockets : t list;
+  mutable forker : (name:string -> app) option;
+  mutable next_local_sid : int;
+}
+
+and t = {
+  a : app;
+  knd : S.kind;
+  sid : S.sid;
+  mutable loc : loc;
+  rcv : Psd_socket.Sockbuf.t;
+  dq : Psd_socket.Dgramq.t;
+  acked : Psd_sim.Cond.t;
+  conn : Psd_sim.Cond.t;
+  mutable conn_ok : bool;
+  mutable conn_err : string option;
+  mutable nodelay_flag : bool;
+  mutable selected : bool;
+  mutable reported : bool; (* readiness the server currently believes *)
+  mutable local : S.endpoint option;
+  mutable rem : S.endpoint option;
+  snd_hiwat : int;
+  mutable closed : bool;
+  mutable soft_err : string option; (* e.g. ICMP port unreachable *)
+  mutable nonblocking : bool;
+}
+
+and loc =
+  | Fresh
+  | Remote
+  | Ltcp of Psd_tcp.Tcp.pcb * Netstack.t
+  | Ludp of Psd_udp.Udp.pcb * Netstack.t
+  | Llisten of Psd_tcp.Tcp.listener * Netstack.t
+
+type location = Loc_library | Loc_server | Loc_kernel | Loc_none
+
+let task a = a.task
+
+let app_stack a = a.stack
+
+let kind s = s.knd
+
+let local_endpoint s = s.local
+
+let remote_endpoint s = s.rem
+
+let set_nodelay s v =
+  s.nodelay_flag <- v;
+  match s.loc with
+  | Ltcp (pcb, _) -> Psd_tcp.Tcp.set_nodelay pcb v
+  | _ -> ()
+
+let eng a = Psd_mach.Host.eng a.host
+
+let in_kernel a = a.config.Config.placement = Config.In_kernel
+
+let location s =
+  match s.loc with
+  | Fresh -> Loc_none
+  | Remote -> Loc_server
+  | Llisten _ | Ltcp _ | Ludp _ -> if in_kernel s.a then Loc_kernel else Loc_library
+
+let readable s =
+  match s.loc with
+  | Llisten (l, _) -> Psd_tcp.Tcp.pending l > 0
+  | Ltcp _ -> Psd_socket.Sockbuf.readable s.rcv
+  | Ludp _ -> Psd_socket.Dgramq.readable s.dq
+  | Remote | Fresh ->
+    (* server-resident readiness is known only to the server *)
+    Psd_socket.Sockbuf.readable s.rcv || Psd_socket.Dgramq.readable s.dq
+
+(* ------------------------------------------------------------------ *)
+(* proxy: RPC plumbing and the cooperative status protocol             *)
+
+let server_port a =
+  match a.server with
+  | Some p -> p
+  | None -> invalid_arg "Sockets: no operating-system server"
+
+let rpc s ?req_bytes ?resp_size ?(phase = Phase.Control) req =
+  Psd_mach.Ipc.call (server_port s.a) ~ctx:s.a.call_ctx ~phase ?req_bytes
+    ?resp_size req
+
+(* proxy_status: tell the server when a selected socket's readiness
+   changes (it cannot observe application-resident sessions itself).
+   A "became readable" report must later be withdrawn when the data is
+   consumed, even if no select is outstanding at that moment — otherwise
+   the server's view goes stale and later selects return spuriously. *)
+let notify_status s =
+  if s.sid >= 0 then begin
+    let r = readable s in
+    let must_tell = (s.selected || s.reported) && r <> s.reported in
+    if must_tell then begin
+      s.reported <- r;
+      match s.a.server with
+      | Some port ->
+        Psd_mach.Ipc.oneway port ~ctx:s.a.call_ctx ~phase:Phase.Control
+          (S.R_status { sid = s.sid; readable = r })
+      | None -> ()
+    end
+  end
+
+let signal_local a = Psd_sim.Cond.broadcast a.local_cond
+
+let ewouldblock = "operation would block"
+
+(* ------------------------------------------------------------------ *)
+(* cost charging for the data path entry/exit                          *)
+
+let chunks len = max 1 ((len + Psd_mbuf.Mbuf.cluster_size - 1) / Psd_mbuf.Mbuf.cluster_size)
+
+(* Entry into the socket layer for a local (kernel or library) session.
+   When the data is not copied (library UDP: "the user data can be
+   referenced instead of copied", Table 4) no mbuf storage is allocated
+   either. *)
+let charge_entry a (stack : Netstack.t) ~len ~copies =
+  let ctx = Netstack.ctx stack in
+  let plat = ctx.Ctx.plat in
+  let via_trap = in_kernel a in
+  let copy_per_byte =
+    if a.config.Config.api = Config.Newapi then 0
+    else if via_trap then plat.Platform.copy_user_kernel_per_byte
+    else plat.Platform.copy_per_byte
+  in
+  Ctx.charge ctx Phase.Entry_copyin
+    ((if via_trap then plat.Platform.trap else plat.Platform.proc_call)
+    + plat.Platform.socket_layer
+    + (if copies then chunks len * plat.Platform.mbuf_alloc else 0)
+    + ctx.Ctx.sync_ns
+    + if copies then len * copy_per_byte else 0)
+
+let charge_exit a (stack : Netstack.t) ~len ~copies =
+  let ctx = Netstack.ctx stack in
+  let plat = ctx.Ctx.plat in
+  let via_trap = in_kernel a in
+  let copy_per_byte =
+    if a.config.Config.api = Config.Newapi then 0
+    else if via_trap then plat.Platform.copy_user_kernel_per_byte
+    else plat.Platform.copy_per_byte
+  in
+  Ctx.charge ctx Phase.Copyout_exit
+    ((if via_trap then plat.Platform.trap else plat.Platform.proc_call)
+    + plat.Platform.mbuf_op + ctx.Ctx.sync_ns
+    + if copies then len * copy_per_byte else 0)
+
+(* ------------------------------------------------------------------ *)
+(* socket creation                                                     *)
+
+let make_socket a knd sid =
+  let s =
+    {
+      a;
+      knd;
+      sid;
+      loc = Fresh;
+      rcv = Psd_socket.Sockbuf.create (eng a) ();
+      dq = Psd_socket.Dgramq.create (eng a) ();
+      acked = Psd_sim.Cond.create (eng a);
+      conn = Psd_sim.Cond.create (eng a);
+      conn_ok = false;
+      conn_err = None;
+      nodelay_flag = false;
+      selected = false;
+      reported = false;
+      local = None;
+      rem = None;
+      snd_hiwat = 24 * 1024;
+      closed = false;
+      soft_err = None;
+      nonblocking = false;
+    }
+  in
+  Psd_socket.Sockbuf.on_change s.rcv (fun () -> signal_local a);
+  Psd_socket.Dgramq.on_change s.dq (fun () -> signal_local a);
+  a.sockets <- s :: a.sockets;
+  s
+
+let fresh_local_sid a =
+  let sid = a.next_local_sid in
+  a.next_local_sid <- sid - 1;
+  sid
+
+let create_socket a knd =
+  if in_kernel a then make_socket a knd (fresh_local_sid a)
+  else begin
+    let app_id = Option.get a.server_app_id in
+    match
+      Psd_mach.Ipc.call (server_port a) ~ctx:a.call_ctx ~phase:Phase.Control
+        (S.R_socket { kind = knd; app = app_id })
+    with
+    | S.Rs_socket sid -> make_socket a knd sid
+    | S.Rs_err e -> failwith ("socket: " ^ e)
+    | _ -> failwith "socket: protocol error"
+  end
+
+let stream a = create_socket a S.Stream
+
+let dgram a = create_socket a S.Dgram
+
+(* ------------------------------------------------------------------ *)
+(* handlers wiring for library/kernel-resident sessions                *)
+
+let stream_handlers s (stack : Netstack.t) =
+  let ctx = Netstack.ctx stack in
+  let plat = ctx.Ctx.plat in
+  {
+    Psd_tcp.Tcp.deliver =
+      (fun m ->
+        Ctx.charge ctx Phase.Proto_input
+          (plat.Platform.mbuf_op + ctx.Ctx.sync_ns);
+        if Psd_socket.Sockbuf.has_waiters s.rcv then
+          Ctx.charge ctx Phase.Wakeup ctx.Ctx.wakeup_ns;
+        Psd_socket.Sockbuf.append s.rcv m;
+        notify_status s);
+    deliver_fin =
+      (fun () ->
+        Psd_socket.Sockbuf.set_eof s.rcv;
+        notify_status s);
+    on_established =
+      (fun () ->
+        s.conn_ok <- true;
+        Psd_sim.Cond.broadcast s.conn);
+    on_acked =
+      (fun _ ->
+        Psd_sim.Cond.broadcast s.acked;
+        signal_local s.a);
+    on_error =
+      (fun e ->
+        let msg = Format.asprintf "%a" Psd_tcp.Tcp.pp_error e in
+        s.conn_err <- Some msg;
+        Psd_socket.Sockbuf.set_error s.rcv msg;
+        Psd_sim.Cond.broadcast s.conn;
+        Psd_sim.Cond.broadcast s.acked;
+        notify_status s);
+    on_state = (fun _ -> signal_local s.a);
+  }
+
+let udp_receive s (stack : Netstack.t) (dg : Psd_udp.Udp.datagram) =
+  let ctx = Netstack.ctx stack in
+  if Psd_socket.Dgramq.has_waiters s.dq then
+    Ctx.charge ctx Phase.Wakeup ctx.Ctx.wakeup_ns;
+  ignore
+    (Psd_socket.Dgramq.push s.dq
+       ~src:(Psd_ip.Addr.to_int dg.Psd_udp.Udp.src, dg.Psd_udp.Udp.src_port)
+       (Psd_mbuf.Mbuf.to_string dg.Psd_udp.Udp.payload));
+  notify_status s
+
+(* ------------------------------------------------------------------ *)
+(* bind / connect / listen / accept                                    *)
+
+let kernel_ports a = function
+  | S.Stream -> Option.get a.kernel_tcp_ports
+  | S.Dgram -> Option.get a.kernel_udp_ports
+
+let kstack a = Option.get a.kernel_stack
+
+let charge_trap a =
+  let plat = Psd_mach.Host.plat a.host in
+  Ctx.charge a.call_ctx Phase.Control plat.Platform.trap
+
+let bind_local_udp s stack port =
+  match
+    Psd_udp.Udp.bind (Netstack.udp stack) ~port
+      ~receive:(fun dg -> udp_receive s stack dg)
+  with
+  | Ok pcb ->
+    s.loc <- Ludp (pcb, stack);
+    s.local <- Some (Netstack.addr stack, port);
+    Ok port
+  | Error `Port_in_use -> Error "port in use in stack"
+
+let bind s ?port () =
+  if s.closed then Error "bad descriptor"
+  else if in_kernel s.a then begin
+    charge_trap s.a;
+    let ports = kernel_ports s.a s.knd in
+    let result =
+      match port with
+      | Some p -> (
+        match Portalloc.reserve ports p with
+        | Ok () -> Ok p
+        | Error `In_use -> Error "address in use")
+      | None -> Ok (Portalloc.alloc_ephemeral ports)
+    in
+    match result with
+    | Error e -> Error e
+    | Ok p -> (
+      match s.knd with
+      | S.Dgram -> bind_local_udp s (kstack s.a) p
+      | S.Stream ->
+        s.local <- Some (Netstack.addr (kstack s.a), p);
+        Ok p)
+  end
+  else
+    match rpc s (S.R_bind { sid = s.sid; port }) with
+    | S.Rs_bound m -> (
+      s.local <- Some m.S.m_local;
+      match (s.knd, s.a.stack) with
+      | S.Dgram, Some stack ->
+        (* the UDP session has migrated here: bind the library stack *)
+        bind_local_udp s stack (snd m.S.m_local)
+      | _ ->
+        s.loc <- (if s.knd = S.Dgram then Remote else s.loc);
+        Ok (snd m.S.m_local))
+    | S.Rs_err e -> Error e
+    | _ -> Error "protocol error"
+
+let wait_connected s =
+  Psd_sim.Cond.until s.conn (fun () ->
+      if s.conn_ok then Some (Ok ())
+      else
+        match s.conn_err with Some e -> Some (Error e) | None -> None)
+
+let connect s ip port =
+  if s.closed then Error "bad descriptor"
+  else if in_kernel s.a then begin
+    charge_trap s.a;
+    match s.knd with
+    | S.Dgram -> (
+      let ensure_bound =
+        match s.loc with
+        | Ludp _ -> Ok 0
+        | Fresh -> bind s ()
+        | _ -> Error "invalid state"
+      in
+      match (ensure_bound, s.loc) with
+      | Ok _, Ludp (pcb, _) ->
+        Psd_udp.Udp.connect pcb ip port;
+        s.rem <- Some (ip, port);
+        Ok ()
+      | Error e, _ -> Error e
+      | _ -> Error "invalid state")
+    | S.Stream -> (
+      let src_port =
+        match s.local with
+        | Some (_, p) -> p
+        | None -> Portalloc.alloc_ephemeral (kernel_ports s.a S.Stream)
+      in
+      let stack = kstack s.a in
+      s.local <- Some (Netstack.addr stack, src_port);
+      let pcb =
+        Psd_tcp.Tcp.connect (Netstack.tcp stack) ~src_port ~dst:ip
+          ~dst_port:port ()
+      in
+      s.loc <- Ltcp (pcb, stack);
+      s.rem <- Some (ip, port);
+      Psd_tcp.Tcp.set_handlers pcb (stream_handlers s stack);
+      Psd_tcp.Tcp.set_nodelay pcb s.nodelay_flag;
+      match wait_connected s with
+      | Ok () -> Ok ()
+      | Error e ->
+        s.loc <- Fresh;
+        Error e)
+  end
+  else
+    match rpc s (S.R_connect { sid = s.sid; dst = (ip, port) }) with
+    | S.Rs_connected m -> (
+      s.local <- Some m.S.m_local;
+      s.rem <- Some (ip, port);
+      match (m.S.m_tcb, s.knd, s.a.stack) with
+      | Some snap, S.Stream, Some stack ->
+        (* the established session migrates into our protocol library;
+           the handlers must be live at import time because any data that
+           arrived during establishment is re-delivered through them *)
+        let pcb =
+          Psd_tcp.Tcp.import (Netstack.tcp stack)
+            ~handlers:(stream_handlers s stack) snap
+        in
+        s.loc <- Ltcp (pcb, stack);
+        s.conn_ok <- true;
+        Psd_tcp.Tcp.set_nodelay pcb s.nodelay_flag;
+        Ok ()
+      | None, S.Dgram, Some stack -> (
+        (* library UDP: (re)bind locally with the connected peer *)
+        (match s.loc with
+        | Ludp (pcb, _) ->
+          Psd_udp.Udp.connect pcb ip port;
+          Ok ()
+        | Fresh -> (
+          match bind_local_udp s stack (snd m.S.m_local) with
+          | Ok _ -> (
+            match s.loc with
+            | Ludp (pcb, _) ->
+              Psd_udp.Udp.connect pcb ip port;
+              Ok ()
+            | _ -> Error "bind failed")
+          | Error e -> Error e)
+        | _ -> Error "invalid state"))
+      | _ ->
+        (* server-resident session (Server placement) *)
+        s.loc <- Remote;
+        s.conn_ok <- true;
+        Ok ())
+    | S.Rs_err e -> Error e
+    | _ -> Error "protocol error"
+
+let listen s ?(backlog = 5) () =
+  if s.knd <> S.Stream then Error "listen on datagram socket"
+  else if in_kernel s.a then begin
+    charge_trap s.a;
+    match s.local with
+    | None -> Error "listen before bind"
+    | Some (_, port) ->
+      let stack = kstack s.a in
+      let listener = Psd_tcp.Tcp.listen (Netstack.tcp stack) ~port ~backlog () in
+      Psd_tcp.Tcp.on_ready listener (fun () -> signal_local s.a);
+      s.loc <- Llisten (listener, stack);
+      Ok ()
+  end
+  else
+    match rpc s (S.R_listen { sid = s.sid; backlog }) with
+    | S.Rs_ok ->
+      s.loc <- Remote;
+      Ok ()
+    | S.Rs_err e -> Error e
+    | _ -> Error "protocol error"
+
+let accept s =
+  if in_kernel s.a then begin
+    charge_trap s.a;
+    match s.loc with
+    | Llisten (listener, _) when s.nonblocking
+                                 && Psd_tcp.Tcp.pending listener = 0 ->
+      Error ewouldblock
+    | Llisten (listener, stack) ->
+      let pcb =
+        Psd_sim.Cond.until s.a.local_cond (fun () ->
+            Psd_tcp.Tcp.accept_ready listener)
+      in
+      let s' = make_socket s.a S.Stream (fresh_local_sid s.a) in
+      s'.loc <- Ltcp (pcb, stack);
+      s'.local <- s.local;
+      s'.rem <- Some (Psd_tcp.Tcp.remote pcb);
+      s'.conn_ok <- true;
+      Psd_tcp.Tcp.set_handlers pcb (stream_handlers s' stack);
+      Ok s'
+    | _ -> Error "accept on non-listening socket"
+  end
+  else if
+    s.nonblocking
+    && (match
+          rpc s
+            (S.R_select
+               {
+                 app = Option.value s.a.server_app_id ~default:0;
+                 sids = [ s.sid ];
+                 timeout_ns = Some 0;
+               })
+        with
+       | S.Rs_select [] -> true
+       | _ -> false)
+  then Error ewouldblock
+  else
+    match rpc s (S.R_accept { sid = s.sid }) with
+    | S.Rs_accepted (sid', m) -> (
+      let s' = make_socket s.a S.Stream sid' in
+      s'.local <- Some m.S.m_local;
+      s'.rem <- m.S.m_remote;
+      s'.conn_ok <- true;
+      match (m.S.m_tcb, s.a.stack) with
+      | Some snap, Some stack ->
+        let pcb =
+          Psd_tcp.Tcp.import (Netstack.tcp stack)
+            ~handlers:(stream_handlers s' stack) snap
+        in
+        s'.loc <- Ltcp (pcb, stack);
+        Ok s'
+      | _ ->
+        s'.loc <- Remote;
+        Ok s')
+    | S.Rs_err e -> Error e
+    | _ -> Error "protocol error"
+
+(* ------------------------------------------------------------------ *)
+(* data transfer                                                       *)
+
+let charge_app_overhead s =
+  let plat = Psd_mach.Host.plat s.a.host in
+  Ctx.charge s.a.call_ctx Phase.Control plat.Platform.app_call_overhead
+
+let send s ?dst data =
+  let len = String.length data in
+  charge_app_overhead s;
+  if s.closed then Error "bad descriptor"
+  else
+    match s.loc with
+    | Ltcp (pcb, stack) when s.nonblocking ->
+      charge_entry s.a stack ~len ~copies:true;
+      (* non-blocking: write what fits, never wait *)
+      let space = s.snd_hiwat - Psd_tcp.Tcp.sndq_length pcb in
+      if s.conn_err <> None then
+        Error (Option.value s.conn_err ~default:"error")
+      else if space <= 0 then Error ewouldblock
+      else begin
+        let n = min space len in
+        Psd_tcp.Tcp.send pcb (Psd_mbuf.Mbuf.of_string (String.sub data 0 n));
+        Ok n
+      end
+    | Ltcp (pcb, stack) ->
+      charge_entry s.a stack ~len ~copies:true;
+      (* send-buffer backpressure: large writes go in as space opens *)
+      let rec push off =
+        if off >= len then Ok len
+        else begin
+          let space =
+            Psd_sim.Cond.until s.acked (fun () ->
+                if s.conn_err <> None then Some 0
+                else
+                  let sp = s.snd_hiwat - Psd_tcp.Tcp.sndq_length pcb in
+                  if sp > 0 then Some sp else None)
+          in
+          if space = 0 then
+            Error (Option.value s.conn_err ~default:"error")
+          else begin
+            let n = min space (len - off) in
+            Psd_tcp.Tcp.send pcb
+              (Psd_mbuf.Mbuf.of_string (String.sub data off n));
+            push (off + n)
+          end
+        end
+      in
+      push 0
+    | Ludp (pcb, stack) -> (
+      charge_entry s.a stack ~len ~copies:(in_kernel s.a);
+      let pending =
+        match Psd_udp.Udp.take_error pcb with
+        | Some e -> Some e
+        | None ->
+          let e = s.soft_err in
+          s.soft_err <- None;
+          e
+      in
+      match pending with
+      | Some e -> Error e
+      | None ->
+      match
+        Psd_udp.Udp.send pcb
+          ?dst:(Option.map (fun (ip, p) -> (ip, p)) dst)
+          (Psd_mbuf.Mbuf.of_string data)
+      with
+      | Ok () -> Ok len
+      | Error `No_destination -> Error "destination required"
+      | Error `No_route -> Error "no route to host"
+      | Error `Too_big -> Error "message too long")
+    | Remote -> (
+      (* a data-bearing RPC copies the payload four times in total
+         (paper Section 4.3): charge three message-copy passes here, the
+         server's socket layer performs the fourth *)
+      match
+        rpc s ~phase:Phase.Entry_copyin ~req_bytes:((3 * len) + 32)
+          (S.R_send { sid = s.sid; data; dst })
+      with
+      | S.Rs_ok -> Ok len
+      | S.Rs_err e -> Error e
+      | _ -> Error "protocol error")
+    | Fresh | Llisten _ -> Error "not connected"
+
+let recvfrom s ~max =
+  charge_app_overhead s;
+  if s.closed then Error "bad descriptor"
+  else if
+    s.nonblocking
+    && (match s.loc with
+       | Ltcp _ ->
+         not (Psd_socket.Sockbuf.readable s.rcv)
+       | Ludp _ -> not (Psd_socket.Dgramq.readable s.dq)
+       | _ -> false)
+  then Error ewouldblock
+  else
+    match s.loc with
+    | Ltcp (pcb, stack) -> (
+      match Psd_socket.Sockbuf.read s.rcv ~max with
+      | Ok m ->
+        let len = Psd_mbuf.Mbuf.length m in
+        charge_exit s.a stack ~len ~copies:true;
+        Psd_tcp.Tcp.user_consumed pcb len;
+        notify_status s;
+        Ok (Psd_mbuf.Mbuf.to_string m, None)
+      | Error `Eof -> Ok ("", None)
+      | Error (`Error e) -> Error e)
+    | Ludp (_, stack) ->
+      let (src_ip, src_port), payload = Psd_socket.Dgramq.recv s.dq in
+      let payload =
+        if String.length payload > max then String.sub payload 0 max
+        else payload
+      in
+      charge_exit s.a stack ~len:(String.length payload) ~copies:true;
+      notify_status s;
+      Ok (payload, Some (Psd_ip.Addr.of_int src_ip, src_port))
+    | Remote -> (
+      let resp_size = function
+        | S.Rs_recv (Ok (data, _)) -> (3 * String.length data) + 32
+        | _ -> 32
+      in
+      match
+        rpc s ~phase:Phase.Copyout_exit ~resp_size
+          (S.R_recv { sid = s.sid; max })
+      with
+      | S.Rs_recv (Ok (data, src)) -> Ok (data, src)
+      | S.Rs_recv (Error `Eof) -> Ok ("", None)
+      | S.Rs_recv (Error (`Err e)) -> Error e
+      | S.Rs_err e -> Error e
+      | _ -> Error "protocol error")
+    | Fresh | Llisten _ -> Error "not connected"
+
+let recv s ~max =
+  match recvfrom s ~max with Ok (d, _) -> Ok d | Error e -> Error e
+
+(* ------------------------------------------------------------------ *)
+(* select                                                              *)
+
+let select ?timeout_ns socks =
+  match socks with
+  | [] -> []
+  | first :: _ ->
+    let a = first.a in
+    let locally_ready () =
+      match List.filter readable socks with [] -> None | rs -> Some rs
+    in
+    if in_kernel a then begin
+      charge_trap a;
+      match timeout_ns with
+      | None -> Psd_sim.Cond.until a.local_cond locally_ready
+      | Some dt -> (
+        match Psd_sim.Cond.until_timeout a.local_cond dt locally_ready with
+        | Some rs -> rs
+        | None -> [])
+    end
+    else begin
+      match locally_ready () with
+      | Some rs -> rs (* no operating-system involvement needed *)
+      | None -> (
+        (* register interest and report current status, then call
+           through to the server's select *)
+        List.iter
+          (fun s ->
+            s.selected <- true;
+            (* sync the server's view before blocking there *)
+            notify_status s)
+          socks;
+        let sids = List.map (fun s -> s.sid) socks in
+        let resp =
+          rpc first
+            (S.R_select
+               {
+                 app = Option.value a.server_app_id ~default:0;
+                 sids;
+                 timeout_ns;
+               })
+        in
+        List.iter (fun s -> s.selected <- false) socks;
+        match resp with
+        | S.Rs_select ready_sids ->
+          List.filter
+            (fun s -> readable s || List.mem s.sid ready_sids)
+            socks
+        | _ -> [])
+    end
+
+(* ------------------------------------------------------------------ *)
+(* teardown, fork, exit                                                *)
+
+let close s =
+  if not s.closed then begin
+    s.closed <- true;
+    s.a.sockets <- List.filter (fun s' -> s' != s) s.a.sockets;
+    if in_kernel s.a then begin
+      charge_trap s.a;
+      (match s.loc with
+      | Ltcp (pcb, _) -> Psd_tcp.Tcp.shutdown_send pcb
+      | Ludp (pcb, stack) -> Psd_udp.Udp.close (Netstack.udp stack) pcb
+      | Llisten (l, stack) ->
+        Psd_tcp.Tcp.close_listener (Netstack.tcp stack) l
+      | Remote | Fresh -> ());
+      match (s.loc, s.local) with
+      | (Ltcp _ | Llisten _), Some (_, p) ->
+        Portalloc.release (kernel_ports s.a S.Stream) p
+      | Ludp _, Some (_, p) -> Portalloc.release (kernel_ports s.a S.Dgram) p
+      | _ -> ()
+    end
+    else begin
+      let tcb =
+        match s.loc with
+        | Ltcp (pcb, stack) when Psd_tcp.Tcp.state pcb <> Psd_tcp.Tcp.Closed
+          ->
+          (* graceful shutdown runs in the operating-system server *)
+          let snap = Psd_tcp.Tcp.export pcb in
+          (match s.rem with
+          | Some remote ->
+            Psd_tcp.Tcp.mute (Netstack.tcp stack)
+              ~local_port:(Psd_tcp.Tcp.snapshot_local_port snap)
+              ~remote ~duration_ns:(Psd_sim.Time.sec 1)
+          | None -> ());
+          Some snap
+        | _ -> None
+      in
+      (match s.loc with
+      | Ludp (pcb, stack) -> Psd_udp.Udp.close (Netstack.udp stack) pcb
+      | _ -> ());
+      match rpc s (S.R_close { sid = s.sid; tcb }) with _ -> ()
+    end
+  end
+
+let fork a ~name =
+  let forker =
+    match a.forker with
+    | Some f -> f
+    | None -> invalid_arg "Sockets.fork: no forker installed"
+  in
+  (* Per the paper: sessions must be returned to the operating system
+     before fork so parent and child share them there. *)
+  if not (in_kernel a) then
+    List.iter
+      (fun s ->
+        match s.loc with
+        | Ltcp (pcb, stack) when Psd_tcp.Tcp.state pcb <> Psd_tcp.Tcp.Closed
+          ->
+          let snap = Psd_tcp.Tcp.export pcb in
+          (match s.rem with
+          | Some remote ->
+            Psd_tcp.Tcp.mute (Netstack.tcp stack)
+              ~local_port:(Psd_tcp.Tcp.snapshot_local_port snap)
+              ~remote ~duration_ns:(Psd_sim.Time.sec 1)
+          | None -> ());
+          (match rpc s (S.R_return { sid = s.sid; tcb = Some snap }) with
+          | _ -> ());
+          s.loc <- Remote
+        | Ltcp (_, _) -> s.loc <- Remote
+        | Ludp (pcb, stack) ->
+          Psd_udp.Udp.close (Netstack.udp stack) pcb;
+          (match rpc s (S.R_return { sid = s.sid; tcb = None }) with
+          | _ -> ());
+          s.loc <- Remote
+        | _ -> ())
+      a.sockets;
+  let child = forker ~name in
+  (* duplicate descriptors: both refer to the same (server) sessions,
+     which stay alive until the last reference closes *)
+  List.iter
+    (fun s ->
+      if not s.closed then begin
+        let dup = make_socket child s.knd s.sid in
+        dup.loc <- s.loc;
+        dup.local <- s.local;
+        dup.rem <- s.rem;
+        dup.conn_ok <- s.conn_ok;
+        if (not (in_kernel a)) && s.sid >= 0 then
+          match rpc s (S.R_dup { sid = s.sid }) with _ -> ()
+      end)
+    (List.rev a.sockets);
+  child
+
+let exit a =
+  (* abort library-resident connections: RSTs go to the peers *)
+  List.iter
+    (fun s ->
+      match s.loc with
+      | Ltcp (pcb, _) -> Psd_tcp.Tcp.abort pcb
+      | Ludp (pcb, stack) -> Psd_udp.Udp.close (Netstack.udp stack) pcb
+      | _ -> ())
+    a.sockets;
+  a.sockets <- [];
+  Psd_mach.Task.exit a.task
+
+(* ------------------------------------------------------------------ *)
+(* wiring                                                              *)
+
+let make_app ~host ~config ~task ~stack ~call_ctx ~server ~server_app_id
+    ~kernel_stack ~kernel_tcp_ports ~kernel_udp_ports =
+  {
+    host;
+    config;
+    task;
+    stack;
+    call_ctx;
+    server;
+    server_app_id;
+    kernel_stack;
+    kernel_tcp_ports;
+    kernel_udp_ports;
+    local_cond = Psd_sim.Cond.create (Psd_mach.Host.eng host);
+    sockets = [];
+    forker = None;
+    next_local_sid = -1;
+  }
+
+let set_forker a f = a.forker <- Some f
+
+let set_nonblocking s v = s.nonblocking <- v
+
+let shutdown s =
+  match s.loc with
+  | Ltcp (pcb, _) ->
+    if in_kernel s.a then charge_trap s.a;
+    Psd_tcp.Tcp.shutdown_send pcb;
+    Ok ()
+  | Remote -> (
+    match rpc s (S.R_shutdown { sid = s.sid }) with
+    | S.Rs_ok -> Ok ()
+    | S.Rs_err e -> Error e
+    | _ -> Error "protocol error")
+  | _ -> Error "not connected"
+
+let fork_inherited a = List.rev a.sockets
+
+let deliver_soft_error a sid msg =
+  List.iter (fun s -> if s.sid = sid then s.soft_err <- Some msg) a.sockets

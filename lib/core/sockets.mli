@@ -1,0 +1,139 @@
+(** The application programming interface: BSD sockets, implemented by
+    the proxy/library decomposition.
+
+    An {!app} is one application address space. Its socket calls are
+    dispatched by configuration:
+
+    - {e In-kernel}: every call traps into the kernel stack.
+    - {e Server}: every call is an RPC to the operating-system server.
+    - {e Library} (the paper's architecture): [socket]/[bind]/[connect]/
+      [listen]/[accept]/[close]/[select]/[fork] go through the proxy to
+      the server, which establishes sessions and {e migrates} them into
+      the application's protocol library; [send]/[recv] then run
+      entirely at user level against the migrated session. After
+      {!fork}, sessions have been returned to the server and data
+      operations are routed there — exactly the fallback the paper
+      describes.
+
+    All calls that may block must run in a simulation fiber. The API is
+    syntactically close to the BSD one on purpose (source-level
+    compatibility, paper Section 2.1). *)
+
+type app
+type t
+(** A socket descriptor. *)
+
+(** How an open socket currently reaches its session — observable for
+    tests and experiments. *)
+type location =
+  | Loc_library  (** session migrated into this application *)
+  | Loc_server  (** session resident in the operating-system server *)
+  | Loc_kernel  (** in-kernel configuration *)
+  | Loc_none  (** not yet bound/connected *)
+
+(* --- application lifecycle -------------------------------------------- *)
+
+val task : app -> Psd_mach.Task.t
+
+val app_stack : app -> Netstack.t option
+(** The application's protocol library stack (Library placement only). *)
+
+val fork : app -> name:string -> app
+(** The BSD [fork] protocol: every library-resident session is returned
+    to the operating-system server first (paper Table 1, [proxy_return]),
+    then the task forks. Parent and child descriptors afterwards share
+    the server-resident sessions. *)
+
+val exit : app -> unit
+(** Task death: library-resident connections are aborted (RST to peers)
+    and the server cleans up naming state. *)
+
+(* --- the socket calls --------------------------------------------------- *)
+
+val stream : app -> t
+(** [socket(AF_INET, SOCK_STREAM, 0)] *)
+
+val dgram : app -> t
+(** [socket(AF_INET, SOCK_DGRAM, 0)] *)
+
+val bind : t -> ?port:int -> unit -> (int, string) result
+(** Returns the bound port (ephemeral when [port] is omitted). *)
+
+val connect : t -> Psd_ip.Addr.t -> int -> (unit, string) result
+(** Blocking active open. *)
+
+val listen : t -> ?backlog:int -> unit -> (unit, string) result
+
+val accept : t -> (t, string) result
+(** Blocking; returns the connected socket. *)
+
+val send : t -> ?dst:Session.endpoint -> string -> (int, string) result
+(** Blocking send ([write]/[sendto]); applies send-buffer backpressure
+    for streams. Returns the byte count written. *)
+
+val recv : t -> max:int -> (string, string) result
+(** Blocking receive; [""] means EOF on a stream. *)
+
+val recvfrom :
+  t -> max:int -> (string * Session.endpoint option, string) result
+(** Like {!recv} but also reports the datagram source. *)
+
+val select : ?timeout_ns:int -> t list -> t list
+(** Readability select over sockets of one application. Implemented
+    cooperatively: locally-ready sockets return without contacting the
+    server; otherwise the proxy registers interest, calls through to the
+    server, and application-level protocol libraries notify the server
+    of readiness changes ([proxy_status], paper Section 3.2). *)
+
+val close : t -> unit
+(** For library-resident streams, the session (and its shutdown
+    handshake, TIME_WAIT included) migrates back to the server. *)
+
+val set_nodelay : t -> bool -> unit
+
+val set_nonblocking : t -> bool -> unit
+(** In non-blocking mode, {!recv}/{!recvfrom} with nothing buffered,
+    {!send} with a full send buffer, and {!accept} with an empty queue
+    return [Error "operation would block"]; stream sends may write
+    partially. Pair with {!select}, as BSD programs do. *)
+
+val shutdown : t -> (unit, string) result
+(** [shutdown(fd, SHUT_WR)]: close the send side (FIN after pending
+    data); the socket remains readable until the peer closes. *)
+
+(* --- introspection ------------------------------------------------------ *)
+
+val location : t -> location
+val local_endpoint : t -> Session.endpoint option
+val remote_endpoint : t -> Session.endpoint option
+val kind : t -> Session.kind
+val readable : t -> bool
+
+(* --- wiring (used by System) -------------------------------------------- *)
+
+val make_app :
+  host:Psd_mach.Host.t ->
+  config:Psd_cost.Config.t ->
+  task:Psd_mach.Task.t ->
+  stack:Netstack.t option ->
+  call_ctx:Psd_cost.Ctx.t ->
+  server:(Session.req, Session.resp) Psd_mach.Ipc.port option ->
+  server_app_id:int option ->
+  kernel_stack:Netstack.t option ->
+  kernel_tcp_ports:Portalloc.t option ->
+  kernel_udp_ports:Portalloc.t option ->
+  app
+(** Assembled by {!System.app}; not meant for direct use. *)
+
+val deliver_soft_error : app -> Session.sid -> string -> unit
+(** Used by the System wiring: the operating-system server pushes ICMP
+    soft errors (port unreachable) into the owning application; the next
+    data operation on the affected socket fails with it. *)
+
+val fork_inherited : app -> t list
+(** The descriptors an application holds (for a forked child: the
+    duplicates inherited from its parent), oldest first. *)
+
+val set_forker : app -> (name:string -> app) -> unit
+(** Install the factory used by {!fork} to create the child application
+    (assembled by {!System}). *)

@@ -1,0 +1,134 @@
+type t = {
+  name : string;
+  app_call_overhead : int;
+  proc_call : int;
+  trap : int;
+  ipc_msg : int;
+  ipc_per_byte : int;
+  wakeup_light : int;
+  wakeup_kernel : int;
+  wakeup_heavy : int;
+  sync_kernel : int;
+  sync_light : int;
+  sync_heavy : int;
+  copy_per_byte : int;
+  copy_user_kernel_per_byte : int;
+  kernel_mem_read_per_byte : int;
+  device_read_per_byte : int;
+  device_write_per_byte : int;
+  checksum_per_byte : int;
+  mbuf_alloc : int;
+  mbuf_op : int;
+  socket_layer : int;
+  tcp_fixed : int;
+  udp_fixed : int;
+  ip_fixed : int;
+  ether_fixed : int;
+  route_lookup : int;
+  arp_cache_hit : int;
+  intr : int;
+  drv_rx_fixed : int;
+  drv_rx_peek : int;
+  netisr : int;
+  pf_base : int;
+  pf_per_insn : int;
+  shm_deliver_fixed : int;
+  wire_bps : int;
+  wire_ifg : int;
+  wire_preamble_bytes : int;
+}
+
+(* Values in nanoseconds, calibrated against the paper's Table 4
+   (DECstation 5000/200 column sums); see DESIGN.md. *)
+let decstation =
+  {
+    name = "DECstation 5000/200";
+    app_call_overhead = 40_000;
+    proc_call = 2_000;
+    trap = 23_000;
+    ipc_msg = 75_000;
+    ipc_per_byte = 90;
+    wakeup_light = 40_000;
+    wakeup_kernel = 65_000;
+    wakeup_heavy = 230_000;
+    sync_kernel = 1_500;
+    sync_light = 9_000;
+    sync_heavy = 70_000;
+    copy_per_byte = 126;
+    copy_user_kernel_per_byte = 70;
+    kernel_mem_read_per_byte = 24;
+    device_read_per_byte = 270;
+    device_write_per_byte = 20;
+    checksum_per_byte = 150;
+    mbuf_alloc = 8_000;
+    mbuf_op = 5_000;
+    socket_layer = 9_000;
+    tcp_fixed = 60_000;
+    udp_fixed = 15_000;
+    ip_fixed = 18_000;
+    ether_fixed = 50_000;
+    route_lookup = 5_000;
+    arp_cache_hit = 3_000;
+    intr = 30_000;
+    drv_rx_fixed = 45_000;
+    drv_rx_peek = 8_000;
+    netisr = 40_000;
+    pf_base = 20_000;
+    pf_per_insn = 400;
+    shm_deliver_fixed = 55_000;
+    wire_bps = 10_000_000;
+    wire_ifg = 9_600;
+    wire_preamble_bytes = 8;
+  }
+
+(* The i486 at 33 MHz runs this integer-heavy code a little slower than the
+   R3000 at 25 MHz; the dominant difference is the ISA-bus 3C503 NIC, whose
+   programmed-I/O transfers cost over a microsecond per byte. *)
+let gateway486 =
+  let scale n = n * 13 / 10 in
+  {
+    name = "Gateway 486";
+    app_call_overhead = scale 40_000;
+    proc_call = scale 2_000;
+    trap = scale 30_000;
+    ipc_msg = 80_000;
+    ipc_per_byte = 100;
+    wakeup_light = scale 40_000;
+    wakeup_kernel = scale 70_000;
+    wakeup_heavy = 230_000;
+    sync_kernel = scale 2_000;
+    sync_light = scale 10_000;
+    sync_heavy = 70_000;
+    copy_per_byte = 110;
+    copy_user_kernel_per_byte = 90;
+    kernel_mem_read_per_byte = 40;
+    device_read_per_byte = 1_150;
+    device_write_per_byte = 1_050;
+    checksum_per_byte = 190;
+    mbuf_alloc = scale 8_000;
+    mbuf_op = scale 5_000;
+    socket_layer = scale 9_000;
+    tcp_fixed = scale 60_000;
+    udp_fixed = scale 15_000;
+    ip_fixed = scale 18_000;
+    ether_fixed = scale 50_000;
+    route_lookup = scale 5_000;
+    arp_cache_hit = scale 3_000;
+    intr = scale 40_000;
+    drv_rx_fixed = scale 50_000;
+    drv_rx_peek = scale 8_000;
+    netisr = scale 40_000;
+    pf_base = scale 22_000;
+    pf_per_insn = scale 400;
+    shm_deliver_fixed = scale 55_000;
+    wire_bps = 10_000_000;
+    wire_ifg = 9_600;
+    wire_preamble_bytes = 8;
+  }
+
+let frame_time p len =
+  let bits = (len + p.wire_preamble_bytes) * 8 in
+  let ns_per_bit = 1_000_000_000 / p.wire_bps in
+  (bits * ns_per_bit) + p.wire_ifg
+
+let pp fmt p = Format.fprintf fmt "%s" p.name

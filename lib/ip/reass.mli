@@ -1,0 +1,19 @@
+(** IP fragment reassembly with per-datagram timeout. *)
+
+type t
+
+val create : Psd_sim.Engine.t -> ?timeout_ns:int -> unit -> t
+(** Default timeout 30 s (BSD's IPFRAGTTL at 2 Hz ticks, roughly). *)
+
+val input : t -> Header.t -> Psd_mbuf.Mbuf.t -> (Header.t * Psd_mbuf.Mbuf.t) option
+(** Feed one fragment (header + transport payload). Returns the whole
+    datagram when this fragment completes it: a header with fragmentation
+    fields cleared and [total_len] covering the reassembled payload.
+    Overlapping fragments are resolved in favour of later arrivals.
+    Expired partial datagrams are discarded silently. *)
+
+val pending : t -> int
+(** Incomplete datagrams currently buffered. *)
+
+val timed_out : t -> int
+(** Datagrams dropped by the reassembly timer since creation. *)

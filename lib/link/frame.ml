@@ -1,0 +1,20 @@
+let header_size = 14
+let min_frame = 60
+let mtu = 1500
+let max_frame = header_size + mtu
+
+let ethertype_ip = 0x0800
+let ethertype_arp = 0x0806
+
+let set_header b ~off ~dst ~src ~ethertype =
+  Macaddr.write dst b off;
+  Macaddr.write src b (off + 6);
+  Psd_util.Codec.set_u16 b (off + 12) ethertype
+
+let dst b = Macaddr.read b 0
+
+let src b = Macaddr.read b 6
+
+let ethertype b = Psd_util.Codec.get_u16 b 12
+
+let is_valid b = Bytes.length b >= header_size

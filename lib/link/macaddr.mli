@@ -1,0 +1,29 @@
+(** 48-bit Ethernet MAC addresses. *)
+
+type t
+
+val of_string : string -> t
+(** From six raw bytes. @raise Invalid_argument otherwise. *)
+
+val of_host_id : int -> t
+(** A locally-administered unicast address derived from a small host
+    number — how the simulator assigns NIC addresses. *)
+
+val broadcast : t
+
+val is_broadcast : t -> bool
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+
+val write : t -> Bytes.t -> int -> unit
+(** Encode the six bytes at an offset. *)
+
+val read : Bytes.t -> int -> t
+
+val pp : Format.formatter -> t -> unit
+(** [aa:bb:cc:dd:ee:ff] notation. *)
+
+val to_string : t -> string
+(** The six raw bytes. *)

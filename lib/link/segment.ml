@@ -1,0 +1,89 @@
+type nic = {
+  nic_mac : Macaddr.t;
+  mutable rx : Bytes.t -> unit;
+  mutable promisc : bool;
+  segment : t;
+}
+
+and t = {
+  eng : Psd_sim.Engine.t;
+  bps : int;
+  ifg_ns : int;
+  mutable nics : nic list;
+  mutable busy_until : int;
+  mutable frames : int;
+  mutable bytes : int;
+  mutable busy_ns : int;
+}
+
+let preamble_bytes = 8
+
+let create eng ?(bps = 10_000_000) ?(ifg_ns = 9_600) () =
+  {
+    eng;
+    bps;
+    ifg_ns;
+    nics = [];
+    busy_until = 0;
+    frames = 0;
+    bytes = 0;
+    busy_ns = 0;
+  }
+
+let attach t ~mac =
+  let nic = { nic_mac = mac; rx = (fun _ -> ()); promisc = false; segment = t } in
+  t.nics <- t.nics @ [ nic ];
+  nic
+
+let mac nic = nic.nic_mac
+
+let set_rx nic f = nic.rx <- f
+
+let set_promiscuous nic v = nic.promisc <- v
+
+let frame_time t len =
+  let len = max len Frame.min_frame in
+  let bits = (len + preamble_bytes) * 8 in
+  (bits * 1_000_000_000 / t.bps) + t.ifg_ns
+
+let pad frame =
+  let len = Bytes.length frame in
+  if len >= Frame.min_frame then frame
+  else begin
+    let padded = Bytes.make Frame.min_frame '\x00' in
+    Bytes.blit frame 0 padded 0 len;
+    padded
+  end
+
+let transmit nic frame =
+  let t = nic.segment in
+  let len = Bytes.length frame in
+  if len < Frame.header_size then invalid_arg "Segment.transmit: runt frame";
+  if len > Frame.max_frame then invalid_arg "Segment.transmit: giant frame";
+  let frame = pad frame in
+  let now = Psd_sim.Engine.now t.eng in
+  let start = max now t.busy_until in
+  let occupancy = frame_time t (Bytes.length frame) in
+  t.busy_until <- start + occupancy;
+  t.frames <- t.frames + 1;
+  t.bytes <- t.bytes + Bytes.length frame;
+  t.busy_ns <- t.busy_ns + occupancy;
+  let arrival = start + occupancy - t.ifg_ns in
+  let dst = Frame.dst frame in
+  Psd_sim.Engine.schedule t.eng (arrival - now) (fun () ->
+      List.iter
+        (fun receiver ->
+          if receiver != nic then
+            let wanted =
+              receiver.promisc
+              || Macaddr.is_broadcast dst
+              || Macaddr.equal dst receiver.nic_mac
+            in
+            if wanted then receiver.rx (Bytes.copy frame))
+        t.nics)
+
+let frames_sent t = t.frames
+
+let bytes_sent t = t.bytes
+
+let busy_ns t = t.busy_ns

@@ -1,0 +1,43 @@
+(** A shared 10 Mb/s Ethernet segment.
+
+    Frames are serialised FIFO at the configured bit rate with a preamble
+    and inter-frame gap per frame; a frame is delivered to the NICs whose
+    address matches (or that are promiscuous) when its last bit arrives.
+    Collisions are not modelled — the paper's measurements are taken on a
+    private two-host network where the medium is effectively
+    collision-free (DESIGN.md section 6). *)
+
+type t
+
+type nic
+
+val create : Psd_sim.Engine.t -> ?bps:int -> ?ifg_ns:int -> unit -> t
+(** Default 10 Mb/s with the standard 9.6 µs inter-frame gap. *)
+
+val attach : t -> mac:Macaddr.t -> nic
+(** Attach a NIC with the given address. *)
+
+val mac : nic -> Macaddr.t
+
+val set_rx : nic -> (Bytes.t -> unit) -> unit
+(** Install the receive handler (the host's device-interrupt entry).
+    The handler receives the padded on-wire frame. *)
+
+val set_promiscuous : nic -> bool -> unit
+
+val transmit : nic -> Bytes.t -> unit
+(** Queue a frame for transmission. Undersized frames are padded to the
+    Ethernet minimum; frames above the MTU raise [Invalid_argument].
+    Transmission is asynchronous: the call returns immediately and
+    delivery happens when serialisation completes. *)
+
+val frame_time : t -> int -> int
+(** Wire occupancy (ns) of a frame of the given length on this segment,
+    including preamble, padding and inter-frame gap. *)
+
+val frames_sent : t -> int
+
+val bytes_sent : t -> int
+
+val busy_ns : t -> int
+(** Cumulative wire-busy time, for utilisation reporting. *)

@@ -1,0 +1,51 @@
+open Psd_cost
+
+type ('req, 'resp) port = {
+  host : Host.t;
+  mb : ('req * ('resp -> unit)) Psd_sim.Mailbox.t;
+}
+
+let create_port host = { host; mb = Psd_sim.Mailbox.create (Host.eng host) }
+
+let serve port ?(workers = 2) handler =
+  for _ = 1 to workers do
+    Psd_sim.Engine.spawn (Host.eng port.host) ~name:"ipc-server" (fun () ->
+        let rec loop () =
+          let req, reply = Psd_sim.Mailbox.recv port.mb in
+          reply (handler req);
+          loop ()
+        in
+        loop ())
+  done
+
+let msg_cost (plat : Platform.t) bytes =
+  plat.Platform.ipc_msg + (bytes * plat.Platform.ipc_per_byte)
+
+let call port ~ctx ~phase ?(req_bytes = 64) ?(resp_size = fun _ -> 64) req
+    =
+  let plat = ctx.Ctx.plat in
+  (* request half: trap, message, handoff to the server *)
+  Ctx.charge ctx phase
+    (plat.Platform.trap + msg_cost plat req_bytes
+   + plat.Platform.wakeup_kernel);
+  let result = ref None in
+  let cond = Psd_sim.Cond.create (Host.eng port.host) in
+  Psd_sim.Mailbox.send port.mb
+    ( req,
+      fun resp ->
+        result := Some resp;
+        Psd_sim.Cond.signal cond );
+  let resp = Psd_sim.Cond.until cond (fun () -> !result) in
+  (* reply half: message back plus our own wakeup *)
+  Ctx.charge ctx phase
+    (msg_cost plat (resp_size resp) + plat.Platform.wakeup_kernel);
+  resp
+
+let oneway port ~ctx ~phase ?(req_bytes = 64) req =
+  let plat = ctx.Ctx.plat in
+  Ctx.charge ctx phase
+    (plat.Platform.trap + msg_cost plat req_bytes
+   + plat.Platform.wakeup_kernel);
+  Psd_sim.Mailbox.send port.mb (req, fun _ -> ())
+
+let queue_length port = Psd_sim.Mailbox.length port.mb

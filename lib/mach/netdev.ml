@@ -1,0 +1,161 @@
+open Psd_cost
+
+type rx_mode = Rx_full_copy | Rx_deferred
+
+type filter_id = int
+
+type filter = {
+  id : filter_id;
+  prio : int;
+  prog : Psd_bpf.Vm.program;
+  sink : Bytes.t -> unit;
+}
+
+type t = {
+  host : Host.t;
+  nic : Psd_link.Segment.nic;
+  mutable mode : rx_mode;
+  mutable filters : filter list; (* sorted by prio *)
+  mutable egress : (filter_id * Psd_bpf.Vm.program) list;
+  mutable next_id : int;
+  mutable rx_frames : int;
+  mutable rx_unmatched : int;
+  mutable tx_blocked : int;
+}
+
+let create host segment ~mac =
+  let nic = Psd_link.Segment.attach segment ~mac in
+  let t =
+    {
+      host;
+      nic;
+      mode = Rx_full_copy;
+      filters = [];
+      egress = [];
+      next_id = 1;
+      rx_frames = 0;
+      rx_unmatched = 0;
+      tx_blocked = 0;
+    }
+  in
+  Psd_link.Segment.set_rx nic (fun frame ->
+      Psd_sim.Engine.spawn (Host.eng host) ~name:"netintr" (fun () ->
+          let plat = Host.plat host in
+          let kctx = Host.kernel_ctx host in
+          let len = Bytes.length frame in
+          t.rx_frames <- t.rx_frames + 1;
+          (* interrupt + driver read *)
+          let intr_cost =
+            match t.mode with
+            | Rx_full_copy ->
+              plat.Platform.intr + plat.Platform.drv_rx_fixed
+              + (len * plat.Platform.device_read_per_byte)
+            | Rx_deferred -> plat.Platform.intr + plat.Platform.drv_rx_peek
+          in
+          Ctx.charge_at kctx Psd_sim.Cpu.Interrupt Phase.Device_intr
+            intr_cost;
+          (* demultiplex through the filters, first match wins *)
+          let insns = ref 0 in
+          let rec demux = function
+            | [] -> None
+            | f :: rest -> (
+              match Psd_bpf.Vm.run f.prog frame with
+              | Ok (accept, steps) ->
+                insns := !insns + steps;
+                if accept > 0 then Some f else demux rest
+              | Error `Invalid -> demux rest)
+          in
+          let matched = demux t.filters in
+          Ctx.charge_at kctx Psd_sim.Cpu.Interrupt Phase.Netisr_filter
+            (plat.Platform.netisr + plat.Platform.pf_base
+            + (!insns * plat.Platform.pf_per_insn));
+          match matched with
+          | Some f -> f.sink frame
+          | None -> t.rx_unmatched <- t.rx_unmatched + 1));
+  t
+
+let mac t = Psd_link.Segment.mac t.nic
+
+let host t = t.host
+
+let set_rx_mode t mode = t.mode <- mode
+
+let attach t ?(prio = 10) ~prog ~sink () =
+  (match Psd_bpf.Vm.validate prog with
+  | Ok () -> ()
+  | Error e ->
+    invalid_arg
+      (Format.asprintf "Netdev.attach: invalid filter: %a" Psd_bpf.Vm.pp_error
+         e));
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  let f = { id; prio; prog; sink } in
+  t.filters <-
+    List.stable_sort
+      (fun a b -> compare a.prio b.prio)
+      (f :: t.filters);
+  id
+
+let detach t id = t.filters <- List.filter (fun f -> f.id <> id) t.filters
+
+(* Outgoing packet limiting (paper Section 3.4): when egress filters are
+   installed, a frame must be accepted by at least one of them or it is
+   silently discarded. The check runs in the kernel, after the trap, so
+   an application library cannot bypass it. *)
+let egress_allows t frame =
+  match t.egress with
+  | [] -> true
+  | progs ->
+    let plat = Host.plat t.host in
+    let insns = ref 0 in
+    let ok =
+      List.exists
+        (fun (_, prog) ->
+          match Psd_bpf.Vm.run prog frame with
+          | Ok (accept, steps) ->
+            insns := !insns + steps;
+            accept > 0
+          | Error `Invalid -> false)
+        progs
+    in
+    Psd_sim.Engine.spawn (Host.eng t.host) ~name:"egress-charge" (fun () ->
+        Ctx.charge_at (Host.kernel_ctx t.host) Psd_sim.Cpu.Kernel
+          Phase.Ether_output
+          (plat.Platform.pf_base + (!insns * plat.Platform.pf_per_insn)));
+    ok
+
+let transmit t ~ctx ~from_user frame =
+  let plat = Host.plat t.host in
+  let len = Bytes.length frame in
+  let cost =
+    (if from_user then
+       plat.Platform.trap + (len * plat.Platform.copy_user_kernel_per_byte)
+     else 0)
+    + (len * plat.Platform.device_write_per_byte)
+  in
+  Ctx.charge ctx Phase.Ether_output cost;
+  if egress_allows t frame then Psd_link.Segment.transmit t.nic frame
+  else t.tx_blocked <- t.tx_blocked + 1
+
+let attach_egress t ~prog () =
+  (match Psd_bpf.Vm.validate prog with
+  | Ok () -> ()
+  | Error e ->
+    invalid_arg
+      (Format.asprintf "Netdev.attach_egress: invalid filter: %a"
+         Psd_bpf.Vm.pp_error e));
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  t.egress <- (id, prog) :: t.egress;
+  id
+
+let detach_egress t id =
+  t.egress <- List.filter (fun (id', _) -> id' <> id) t.egress
+
+let tx_blocked t = t.tx_blocked
+
+let rx_frames t = t.rx_frames
+
+let rx_unmatched t = t.rx_unmatched
+
+let filters t = List.length t.filters

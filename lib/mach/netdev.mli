@@ -1,0 +1,69 @@
+(** The kernel network interface: device driver, interrupt path, and the
+    packet-filter demultiplexer.
+
+    Receive path: NIC interrupt → driver reads the frame out of device
+    memory (entirely, or just the headers when the integrated packet
+    filter defers the body copy) → installed filters run in priority
+    order → the first match's sink takes the frame. Send path: a
+    low-latency trap copies the frame from the sender's address space
+    into a wired kernel buffer and hands it to the device. *)
+
+type t
+
+type rx_mode =
+  | Rx_full_copy  (** copy the whole frame out of the device at interrupt
+                      time (standard driver) *)
+  | Rx_deferred  (** integrated packet filter: peek at headers only;
+                     whoever delivers the packet pays the single body
+                     copy from device memory (Library-SHM-IPF) *)
+
+type filter_id
+
+val create : Host.t -> Psd_link.Segment.t -> mac:Psd_link.Macaddr.t -> t
+
+val mac : t -> Psd_link.Macaddr.t
+
+val host : t -> Host.t
+
+val set_rx_mode : t -> rx_mode -> unit
+
+val attach :
+  t ->
+  ?prio:int ->
+  prog:Psd_bpf.Vm.program ->
+  sink:(Bytes.t -> unit) ->
+  unit ->
+  filter_id
+(** Install a validated filter program. Lower [prio] runs first (default
+    10); session-specific filters should outrank wildcard ones. The sink
+    runs in the interrupt fiber after demultiplexing costs are charged —
+    it should enqueue, not process.
+    @raise Invalid_argument if the program fails validation. *)
+
+val detach : t -> filter_id -> unit
+
+val transmit : t -> ctx:Psd_cost.Ctx.t -> from_user:bool -> Bytes.t -> unit
+(** Send a complete Ethernet frame. [from_user] adds the trap and the
+    user→kernel copy (library and server placements). Device-write costs
+    are charged to [ctx]; wire serialisation is handled by the segment.
+    When egress filters are installed, frames none of them accept are
+    silently dropped (counted in {!tx_blocked}). *)
+
+val attach_egress : t -> prog:Psd_bpf.Vm.program -> unit -> filter_id
+(** Install an outgoing-packet limiter (paper Section 3.4): with one or
+    more egress filters present, only frames at least one accepts may
+    leave. The check runs in the kernel, below the protocol library, so
+    applications cannot spoof packets past it.
+    @raise Invalid_argument if the program fails validation. *)
+
+val detach_egress : t -> filter_id -> unit
+
+val tx_blocked : t -> int
+(** Frames discarded by the egress limiter since creation. *)
+
+val rx_frames : t -> int
+
+val rx_unmatched : t -> int
+(** Frames no filter accepted (counted, then dropped). *)
+
+val filters : t -> int

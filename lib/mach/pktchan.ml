@@ -1,0 +1,93 @@
+open Psd_cost
+
+type kind = Ipc | Shm of int
+
+type t = {
+  host : Host.t;
+  kind : kind;
+  ring : Bytes.t Psd_util.Ring.t option; (* None for Ipc (unbounded) *)
+  q : Bytes.t Queue.t;
+  cond : Psd_sim.Cond.t;
+  deliver_fixed : int;
+  deliver_per_byte : int;
+  mutable waiting : int;
+  mutable dropped : int;
+  mutable wakeups : int;
+  mutable delivered : int;
+}
+
+let create host ~kind ~deliver_fixed ~deliver_per_byte =
+  {
+    host;
+    kind;
+    ring =
+      (match kind with
+      | Ipc -> None
+      | Shm cap -> Some (Psd_util.Ring.create ~capacity:cap));
+    q = Queue.create ();
+    cond = Psd_sim.Cond.create (Host.eng host);
+    deliver_fixed;
+    deliver_per_byte;
+    waiting = 0;
+    dropped = 0;
+    wakeups = 0;
+    delivered = 0;
+  }
+
+let kctx t = Host.kernel_ctx t.host
+
+let deliver t pkt =
+  let plat = Host.plat t.host in
+  let len = Bytes.length pkt in
+  match t.kind with
+  | Ipc ->
+    (* per-packet message: base cost + copies + unconditional dispatch *)
+    Ctx.charge_at (kctx t) Psd_sim.Cpu.Kernel Phase.Kernel_copyout
+      (t.deliver_fixed + plat.Platform.ipc_msg + plat.Platform.wakeup_kernel
+      + (len * (t.deliver_per_byte + plat.Platform.ipc_per_byte)));
+    Queue.push pkt t.q;
+    t.delivered <- t.delivered + 1;
+    t.wakeups <- t.wakeups + 1;
+    Psd_sim.Cond.signal t.cond
+  | Shm _ ->
+    Ctx.charge_at (kctx t) Psd_sim.Cpu.Kernel Phase.Kernel_copyout
+      (t.deliver_fixed + (len * t.deliver_per_byte));
+    let ring = Option.get t.ring in
+    if Psd_util.Ring.push ring pkt then begin
+      t.delivered <- t.delivered + 1;
+      (* lightweight condition: wake only a blocked receiver *)
+      if t.waiting > 0 then begin
+        t.wakeups <- t.wakeups + 1;
+        Ctx.charge_at (kctx t) Psd_sim.Cpu.Kernel Phase.Kernel_copyout
+          plat.Platform.wakeup_kernel;
+        Psd_sim.Cond.signal t.cond
+      end
+    end
+    else t.dropped <- t.dropped + 1
+
+let pop t =
+  match t.kind with
+  | Ipc -> Queue.take_opt t.q
+  | Shm _ -> Psd_util.Ring.pop (Option.get t.ring)
+
+let rec recv t =
+  match pop t with
+  | Some pkt -> pkt
+  | None ->
+    t.waiting <- t.waiting + 1;
+    Psd_sim.Cond.wait t.cond;
+    t.waiting <- t.waiting - 1;
+    recv t
+
+let try_recv t = pop t
+
+let queued t =
+  match t.kind with
+  | Ipc -> Queue.length t.q
+  | Shm _ -> Psd_util.Ring.length (Option.get t.ring)
+
+let dropped t = t.dropped
+
+let wakeups t = t.wakeups
+
+let delivered t = t.delivered

@@ -1,0 +1,43 @@
+(** Kernel→address-space packet delivery channels.
+
+    The three user/kernel network interfaces the paper measures map onto
+    two channel kinds plus a cost parameterisation:
+
+    - [`Ipc]: one Mach message per packet (Library-IPC). Every delivery
+      pays the message cost, and the receiver is scheduled per packet.
+    - [`Shm cap]: a fixed-size shared-memory ring (Library-SHM and
+      Library-SHM-IPF). The kernel copies the packet into the ring and
+      signals a lightweight condition variable {e only when the receiver
+      is blocked} — packet trains amortise the scheduling cost, which is
+      exactly why SHM beats IPC on throughput (paper Section 4.1).
+
+    The per-byte copy charged at delivery is a parameter because it
+    differs between SHM (copy out of a wired kernel buffer) and SHM-IPF
+    (deferred copy straight out of device memory). *)
+
+type t
+
+type kind = Ipc | Shm of int  (** ring capacity *)
+
+val create :
+  Host.t -> kind:kind -> deliver_fixed:int -> deliver_per_byte:int -> t
+
+val deliver : t -> Bytes.t -> unit
+(** Kernel side; called from the interrupt/netisr fiber. Charges the
+    kernel context under [Kernel_copyout]. IPC channels also pay the
+    message cost; full rings drop the packet. *)
+
+val recv : t -> Bytes.t
+(** Receiver side; blocks the calling fiber until a packet arrives. *)
+
+val try_recv : t -> Bytes.t option
+
+val queued : t -> int
+
+val dropped : t -> int
+(** Packets lost to ring overflow since creation. *)
+
+val wakeups : t -> int
+(** Scheduler wakeups performed — the batching observable. *)
+
+val delivered : t -> int

@@ -1,0 +1,149 @@
+type seg = { buf : Bytes.t; mutable off : int; mutable len : int }
+
+type t = { mutable segs : seg list }
+
+let mlen = 108
+let cluster_size = 2048
+let default_headroom = 64
+
+let empty () = { segs = [] }
+
+let length t = List.fold_left (fun acc s -> acc + s.len) 0 t.segs
+
+let seg_count t = List.length t.segs
+
+let is_empty t = length t = 0
+
+let of_bytes ?(headroom = default_headroom) b ~off ~len =
+  if off < 0 || len < 0 || off + len > Bytes.length b then
+    invalid_arg "Mbuf.of_bytes";
+  let rec chunks off len acc first =
+    if len = 0 then List.rev acc
+    else begin
+      let room = if first then headroom else 0 in
+      let n = min len cluster_size in
+      let buf = Bytes.create (room + n) in
+      Bytes.blit b off buf room n;
+      let s = { buf; off = room; len = n } in
+      chunks (off + n) (len - n) (s :: acc) false
+    end
+  in
+  let segs =
+    if len = 0 then
+      (* keep headroom available for header prepends on empty payloads *)
+      [ { buf = Bytes.create headroom; off = headroom; len = 0 } ]
+    else chunks off len [] true
+  in
+  { segs }
+
+let of_string ?headroom s =
+  of_bytes ?headroom (Bytes.unsafe_of_string s) ~off:0 ~len:(String.length s)
+
+let prepend t n =
+  if n < 0 then invalid_arg "Mbuf.prepend";
+  match t.segs with
+  | s :: _ when s.off >= n ->
+    s.off <- s.off - n;
+    s.len <- s.len + n;
+    (s.buf, s.off)
+  | segs ->
+    let buf = Bytes.create (max n mlen) in
+    let off = Bytes.length buf - n in
+    let s = { buf; off; len = n } in
+    t.segs <- s :: segs;
+    (buf, off)
+
+let trim_front t n =
+  if n < 0 || n > length t then invalid_arg "Mbuf.trim_front";
+  let rec go n segs =
+    if n = 0 then segs
+    else
+      match segs with
+      | [] -> assert false
+      | s :: rest ->
+        if s.len <= n then go (n - s.len) rest
+        else begin
+          s.off <- s.off + n;
+          s.len <- s.len - n;
+          segs
+        end
+  in
+  t.segs <- go n t.segs
+
+let drop_front = trim_front
+
+let trim_back t n =
+  if n < 0 || n > length t then invalid_arg "Mbuf.trim_back";
+  let keep = length t - n in
+  let rec go remaining segs =
+    match segs with
+    | [] -> []
+    | s :: rest ->
+      if s.len <= remaining then s :: go (remaining - s.len) rest
+      else if remaining = 0 then []
+      else begin
+        s.len <- remaining;
+        [ s ]
+      end
+  in
+  t.segs <- go keep t.segs
+
+let concat a b =
+  a.segs <- a.segs @ b.segs;
+  b.segs <- []
+
+let fold_ranges t ~init ~f =
+  List.fold_left
+    (fun acc s -> if s.len = 0 then acc else f acc s.buf ~off:s.off ~len:s.len)
+    init t.segs
+
+let copy_range t ~off ~len =
+  if off < 0 || len < 0 || off + len > length t then
+    invalid_arg "Mbuf.copy_range";
+  let flat = Bytes.create len in
+  let filled = ref 0 in
+  let pos = ref 0 in
+  List.iter
+    (fun s ->
+      let seg_start = !pos and seg_end = !pos + s.len in
+      pos := seg_end;
+      let lo = max seg_start off and hi = min seg_end (off + len) in
+      if lo < hi then begin
+        Bytes.blit s.buf (s.off + lo - seg_start) flat (lo - off) (hi - lo);
+        filled := !filled + (hi - lo)
+      end)
+    t.segs;
+  assert (!filled = len);
+  of_bytes flat ~off:0 ~len
+
+let split t n =
+  if n < 0 || n > length t then invalid_arg "Mbuf.split";
+  let front = copy_range t ~off:0 ~len:n in
+  trim_front t n;
+  front
+
+let blit_to_bytes t b off =
+  let pos = ref off in
+  List.iter
+    (fun s ->
+      Bytes.blit s.buf s.off b !pos s.len;
+      pos := !pos + s.len)
+    t.segs
+
+let to_bytes t =
+  let b = Bytes.create (length t) in
+  blit_to_bytes t b 0;
+  b
+
+let to_string t = Bytes.unsafe_to_string (to_bytes t)
+
+let get_u8 t i =
+  if i < 0 || i >= length t then invalid_arg "Mbuf.get_u8";
+  let rec go i segs =
+    match segs with
+    | [] -> assert false
+    | s :: rest ->
+      if i < s.len then Char.code (Bytes.get s.buf (s.off + i))
+      else go (i - s.len) rest
+  in
+  go i t.segs

@@ -1,0 +1,35 @@
+(** Condition variables for simulation fibers.
+
+    Unlike POSIX condition variables there is no associated mutex: fibers
+    are cooperative, so the check-then-wait sequence is atomic with respect
+    to other fibers. As with POSIX, waiters must re-check their predicate
+    in a loop — a signal may race with a timeout, and broadcast wakes
+    everyone. *)
+
+type t
+
+val create : Engine.t -> t
+
+val wait : t -> unit
+(** Block the calling fiber until signalled. *)
+
+val wait_timeout : t -> int -> [ `Ok | `Timeout ]
+(** Block until signalled or until the given number of nanoseconds has
+    elapsed, whichever is first. *)
+
+val signal : t -> unit
+(** Wake the oldest waiter, if any. *)
+
+val broadcast : t -> unit
+(** Wake every current waiter. *)
+
+val until : t -> (unit -> 'a option) -> 'a
+(** [until t f] repeatedly evaluates [f]; when it returns [Some v], [v] is
+    the result, otherwise the fiber waits for a signal and retries. The
+    standard shape for blocking on a predicate. *)
+
+val until_timeout : t -> int -> (unit -> 'a option) -> 'a option
+(** Like {!until} but gives up [None] once the given number of nanoseconds
+    has elapsed without the predicate holding. *)
+
+val waiters : t -> int

@@ -1,0 +1,45 @@
+type prio = Interrupt | Kernel | User
+
+type t = {
+  eng : Engine.t;
+  mutable busy : bool;
+  queues : (unit -> unit) Queue.t array; (* index 0 = Interrupt *)
+  mutable busy_time : int;
+}
+
+let band = function Interrupt -> 0 | Kernel -> 1 | User -> 2
+
+let create eng =
+  { eng; busy = false; queues = Array.init 3 (fun _ -> Queue.create ());
+    busy_time = 0 }
+
+let next_waiter t =
+  let rec find i =
+    if i >= 3 then None
+    else if Queue.is_empty t.queues.(i) then find (i + 1)
+    else Some (Queue.pop t.queues.(i))
+  in
+  find 0
+
+let acquire t prio =
+  if t.busy then
+    Engine.suspend t.eng (fun resume ->
+        Queue.push resume t.queues.(band prio))
+    (* the releaser hands ownership directly to us: busy stays true *)
+  else t.busy <- true
+
+let release t =
+  match next_waiter t with
+  | Some resume -> resume ()
+  | None -> t.busy <- false
+
+let consume t ~prio ns =
+  if ns < 0 then invalid_arg "Cpu.consume: negative time";
+  if ns > 0 then begin
+    acquire t prio;
+    t.busy_time <- t.busy_time + ns;
+    Engine.sleep t.eng ns;
+    release t
+  end
+
+let busy_time t = t.busy_time

@@ -1,0 +1,123 @@
+type t = {
+  mutable now : int;
+  events : (unit -> unit) Psd_util.Heap.t;
+  rng : Psd_util.Rng.t;
+  mutable alive : int;
+  mutable failures : exn list;
+  mutable trace_sink : (time:int -> string -> unit) option;
+}
+
+type cancel = unit -> unit
+
+type _ Effect.t += Suspend : ((unit -> unit) -> unit) -> unit Effect.t
+
+let create ?(seed = 42) () =
+  {
+    now = 0;
+    events = Psd_util.Heap.create ();
+    rng = Psd_util.Rng.create ~seed;
+    alive = 0;
+    failures = [];
+    trace_sink = None;
+  }
+
+let now t = t.now
+
+let rng t = t.rng
+
+let schedule t dt f =
+  if dt < 0 then invalid_arg "Engine.schedule: negative delay";
+  Psd_util.Heap.push t.events ~key:(t.now + dt) f
+
+let after t dt f =
+  let cancelled = ref false in
+  schedule t dt (fun () -> if not !cancelled then f ());
+  fun () -> cancelled := true
+
+let suspend t register =
+  ignore t;
+  Effect.perform (Suspend register)
+
+let sleep t dt =
+  if dt < 0 then invalid_arg "Engine.sleep: negative delay";
+  suspend t (fun resume -> schedule t dt (fun () -> resume ()))
+
+let spawn t ?name f =
+  let body () =
+    let open Effect.Deep in
+    match_with f ()
+      {
+        retc = (fun () -> t.alive <- t.alive - 1);
+        exnc =
+          (fun e ->
+            t.alive <- t.alive - 1;
+            t.failures <- t.failures @ [ e ];
+            (match t.trace_sink with
+            | Some sink ->
+              sink ~time:t.now
+                (Printf.sprintf "fiber %s died: %s"
+                   (Option.value name ~default:"?")
+                   (Printexc.to_string e))
+            | None -> ()));
+        effc =
+          (fun (type a) (eff : a Effect.t) ->
+            match eff with
+            | Suspend register ->
+              Some
+                (fun (k : (a, unit) continuation) ->
+                  let resumed = ref false in
+                  register (fun () ->
+                      if !resumed then
+                        invalid_arg "Engine: fiber resumed twice";
+                      resumed := true;
+                      schedule t 0 (fun () -> continue k ())))
+            | _ -> None);
+      }
+  in
+  t.alive <- t.alive + 1;
+  schedule t 0 body
+
+let step t =
+  match Psd_util.Heap.pop t.events with
+  | None -> false
+  | Some (time, f) ->
+    t.now <- time;
+    f ();
+    true
+
+let check_failures t =
+  match t.failures with
+  | [] -> ()
+  | e :: _ ->
+    failwith
+      (Printf.sprintf "Engine.run: %d fiber failure(s); first: %s"
+         (List.length t.failures) (Printexc.to_string e))
+
+let run t =
+  while step t do
+    ()
+  done;
+  check_failures t
+
+let run_until t stop =
+  let continue = ref true in
+  while !continue do
+    match Psd_util.Heap.peek_key t.events with
+    | Some key when key <= stop -> ignore (step t)
+    | _ -> continue := false
+  done;
+  if t.now < stop then t.now <- stop;
+  check_failures t
+
+let run_for t dt = run_until t (t.now + dt)
+
+let alive t = t.alive
+
+let failures t = t.failures
+
+let set_trace t sink = t.trace_sink <- sink
+
+let trace t msg =
+  match t.trace_sink with
+  | Some sink -> sink ~time:t.now msg
+  | None -> ()

@@ -1,0 +1,74 @@
+(** Discrete-event simulation engine.
+
+    Simulated concurrency is expressed as {e fibers}: lightweight cooperative
+    threads built on OCaml effect handlers. A fiber runs until it blocks
+    ([sleep], [suspend], or a higher-level primitive such as
+    {!Cond.wait} or {!Cpu.consume}); the engine then dispatches the next
+    pending event in virtual-time order. Virtual time only advances between
+    events, never during OCaml execution, so simulated latencies are exact
+    and runs are deterministic for a given seed.
+
+    All times are integer {e nanoseconds} of virtual time. *)
+
+type t
+
+type cancel = unit -> unit
+(** Cancels a pending timer; idempotent, and a no-op after firing. *)
+
+val create : ?seed:int -> unit -> t
+(** A fresh simulation world at time 0. [seed] (default 42) drives
+    {!rng} and all derived generators. *)
+
+val now : t -> int
+(** Current virtual time in nanoseconds. *)
+
+val rng : t -> Psd_util.Rng.t
+(** The engine's root deterministic random stream. *)
+
+val spawn : t -> ?name:string -> (unit -> unit) -> unit
+(** [spawn t f] creates a fiber executing [f], scheduled at the current
+    virtual time. May be called from inside or outside a fiber. An
+    exception escaping [f] is recorded (see {!failures}) and terminates
+    only that fiber. *)
+
+val sleep : t -> int -> unit
+(** Block the calling fiber for the given number of nanoseconds.
+    Must be called from within a fiber. *)
+
+val suspend : t -> ((unit -> unit) -> unit) -> unit
+(** [suspend t register] blocks the calling fiber and calls
+    [register resume]. Invoking [resume] (exactly once, from any context)
+    schedules the fiber to continue at the then-current virtual time.
+    This is the primitive from which blocking abstractions are built. *)
+
+val schedule : t -> int -> (unit -> unit) -> unit
+(** [schedule t dt f] runs callback [f] (not a fiber; it must not block)
+    [dt] nanoseconds from now. *)
+
+val after : t -> int -> (unit -> unit) -> cancel
+(** Like {!schedule} but cancellable — the shape used for protocol
+    timers (retransmit, delayed ACK, 2MSL...). *)
+
+val run : t -> unit
+(** Dispatch events until none remain.
+    @raise Failure if any fiber raised; the first exception's message is
+    included. *)
+
+val run_until : t -> int -> unit
+(** Dispatch events with timestamps [<=] the given absolute time, then
+    set the clock to that time. *)
+
+val run_for : t -> int -> unit
+(** [run_for t dt] = [run_until t (now t + dt)]. *)
+
+val alive : t -> int
+(** Number of fibers spawned but not yet finished. After {!run} returns,
+    a non-zero value means fibers are blocked forever (deadlock). *)
+
+val failures : t -> exn list
+(** Exceptions raised by fibers, oldest first. *)
+
+val set_trace : t -> (time:int -> string -> unit) option -> unit
+(** Install a trace sink for {!trace} messages (diagnostics). *)
+
+val trace : t -> string -> unit

@@ -1,0 +1,36 @@
+type t = {
+  eng : Engine.t;
+  mutable held : bool;
+  waiters : (unit -> unit) Queue.t;
+}
+
+let create eng = { eng; held = false; waiters = Queue.create () }
+
+let acquire t =
+  if t.held then
+    (* Ownership is handed off directly by release. *)
+    Engine.suspend t.eng (fun resume -> Queue.push resume t.waiters)
+  else t.held <- true
+
+let release t =
+  if not t.held then invalid_arg "Lock.release: not held";
+  match Queue.take_opt t.waiters with
+  | Some resume -> resume ()
+  | None -> t.held <- false
+
+let with_lock t f =
+  acquire t;
+  match f () with
+  | v ->
+    release t;
+    v
+  | exception e ->
+    release t;
+    raise e
+
+let wait t cond =
+  release t;
+  Cond.wait cond;
+  acquire t
+
+let holder_active t = t.held

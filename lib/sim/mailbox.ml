@@ -1,0 +1,25 @@
+type 'a t = { q : 'a Queue.t; nonempty : Cond.t }
+
+let create eng = { q = Queue.create (); nonempty = Cond.create eng }
+
+let send t x =
+  Queue.push x t.q;
+  Cond.signal t.nonempty
+
+let rec recv t =
+  match Queue.take_opt t.q with
+  | Some x -> x
+  | None ->
+    Cond.wait t.nonempty;
+    recv t
+
+let recv_timeout t dt = Cond.until_timeout t.nonempty dt (fun () -> Queue.take_opt t.q)
+
+let try_recv t = Queue.take_opt t.q
+
+let length t = Queue.length t.q
+
+let drain t =
+  let xs = List.of_seq (Queue.to_seq t.q) in
+  Queue.clear t.q;
+  xs

@@ -1,0 +1,15 @@
+(** Virtual-time unit helpers. The simulation's base unit is the
+    nanosecond, stored in an OCaml [int]. *)
+
+val us : int -> int
+(** Microseconds to nanoseconds. *)
+
+val ms : int -> int
+val sec : int -> int
+
+val to_us : int -> float
+val to_ms : int -> float
+val to_sec : int -> float
+
+val pp : Format.formatter -> int -> unit
+(** Human-readable rendering with an adaptive unit. *)

@@ -1,0 +1,48 @@
+type t = {
+  q : ((int * int) * string) Queue.t;
+  max_queued : int;
+  cond : Psd_sim.Cond.t;
+  mutable dropped : int;
+  mutable change_hooks : (unit -> unit) list;
+}
+
+let create eng ?(max_queued = 32) () =
+  {
+    q = Queue.create ();
+    max_queued;
+    cond = Psd_sim.Cond.create eng;
+    dropped = 0;
+    change_hooks = [];
+  }
+
+let changed t =
+  Psd_sim.Cond.broadcast t.cond;
+  List.iter (fun f -> f ()) t.change_hooks
+
+let push t ~src payload =
+  if Queue.length t.q >= t.max_queued then begin
+    t.dropped <- t.dropped + 1;
+    false
+  end
+  else begin
+    Queue.push (src, payload) t.q;
+    changed t;
+    true
+  end
+
+let try_recv t =
+  let r = Queue.take_opt t.q in
+  if r <> None then changed t;
+  r
+
+let recv t = Psd_sim.Cond.until t.cond (fun () -> try_recv t)
+
+let readable t = not (Queue.is_empty t.q)
+
+let length t = Queue.length t.q
+
+let dropped t = t.dropped
+
+let on_change t f = t.change_hooks <- f :: t.change_hooks
+
+let has_waiters t = Psd_sim.Cond.waiters t.cond > 0

@@ -1,0 +1,27 @@
+(** Datagram receive queue: preserves message boundaries and source
+    addresses — the [so_rcv] of a UDP socket. Bounded: datagrams arriving
+    at a full queue are dropped, as BSD does. *)
+
+type t
+
+val create : Psd_sim.Engine.t -> ?max_queued:int -> unit -> t
+(** Default capacity 32 datagrams. *)
+
+val push : t -> src:int * int -> string -> bool
+(** [push t ~src:(addr, port) payload]: [false] when the queue was full
+    and the datagram was dropped. Wakes blocked readers. *)
+
+val recv : t -> (int * int) * string
+(** Block until a datagram is available. *)
+
+val try_recv : t -> ((int * int) * string) option
+
+val readable : t -> bool
+
+val length : t -> int
+
+val dropped : t -> int
+
+val on_change : t -> (unit -> unit) -> unit
+
+val has_waiters : t -> bool

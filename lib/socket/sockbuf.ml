@@ -1,0 +1,81 @@
+open Psd_mbuf
+
+type t = {
+  eng : Psd_sim.Engine.t;
+  hiwat : int;
+  data : Mbuf.t;
+  mutable eof : bool;
+  mutable error : string option;
+  nonempty : Psd_sim.Cond.t;
+  mutable change_hooks : (unit -> unit) list;
+}
+
+let create eng ?(hiwat = 24 * 1024) () =
+  {
+    eng;
+    hiwat;
+    data = Mbuf.empty ();
+    eof = false;
+    error = None;
+    nonempty = Psd_sim.Cond.create eng;
+    change_hooks = [];
+  }
+
+let hiwat t = t.hiwat
+
+let cc t = Mbuf.length t.data
+
+let space t = max 0 (t.hiwat - cc t)
+
+let changed t =
+  Psd_sim.Cond.broadcast t.nonempty;
+  List.iter (fun f -> f ()) t.change_hooks
+
+let append t m =
+  Mbuf.concat t.data m;
+  changed t
+
+let set_eof t =
+  t.eof <- true;
+  changed t
+
+let set_error t msg =
+  t.error <- Some msg;
+  changed t
+
+let take t max_bytes =
+  let n = min max_bytes (Mbuf.length t.data) in
+  Mbuf.split t.data n
+
+let state t =
+  if Mbuf.length t.data > 0 then `Data
+  else
+    match t.error with
+    | Some e -> `Error e
+    | None -> if t.eof then `Eof else `Empty
+
+let try_read t ~max =
+  match state t with
+  | `Data ->
+    let m = take t max in
+    changed t;
+    Ok m
+  | `Error e -> Error (`Error e)
+  | `Eof -> Error `Eof
+  | `Empty -> Error `Empty
+
+let read t ~max =
+  Psd_sim.Cond.until t.nonempty (fun () ->
+      match try_read t ~max with
+      | Ok m -> Some (Ok m)
+      | Error `Empty -> None
+      | Error `Eof -> Some (Error `Eof)
+      | Error (`Error e) -> Some (Error (`Error e)))
+
+let readable t = state t <> `Empty
+
+let on_change t f = t.change_hooks <- f :: t.change_hooks
+
+let eof t = t.eof
+
+let has_waiters t = Psd_sim.Cond.waiters t.nonempty > 0

@@ -1,0 +1,47 @@
+(** TCP segment header encoding (RFC 793; MSS is the only option used). *)
+
+type flags = {
+  fin : bool;
+  syn : bool;
+  rst : bool;
+  psh : bool;
+  ack : bool;
+  urg : bool;
+}
+
+val no_flags : flags
+
+type t = {
+  src_port : int;
+  dst_port : int;
+  seq : Seq.t;
+  ack : Seq.t;
+  flags : flags;
+  window : int;
+  mss : int option;  (** MSS option, legal only on SYN segments *)
+}
+
+val base_size : int
+(** 20 bytes without options. *)
+
+val header_size : t -> int
+(** 20, or 24 when the MSS option is present. *)
+
+val encode :
+  t ->
+  src:Psd_ip.Addr.t ->
+  dst:Psd_ip.Addr.t ->
+  payload:Psd_mbuf.Mbuf.t ->
+  Psd_mbuf.Mbuf.t
+(** Prepend the TCP header (with a correct checksum over the pseudo
+    header, header and payload) onto [payload] and return the chain. *)
+
+val decode :
+  Bytes.t ->
+  src:Psd_ip.Addr.t ->
+  dst:Psd_ip.Addr.t ->
+  (t * Psd_mbuf.Mbuf.t, string) result
+(** Parse a transport payload (header at offset 0) and verify its
+    checksum; returns the header and the data. *)
+
+val pp : Format.formatter -> t -> unit

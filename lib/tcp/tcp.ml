@@ -1,0 +1,1362 @@
+open Psd_mbuf
+open Psd_cost
+
+type state =
+  | Closed
+  | Listen
+  | Syn_sent
+  | Syn_received
+  | Established
+  | Fin_wait_1
+  | Fin_wait_2
+  | Close_wait
+  | Closing
+  | Last_ack
+  | Time_wait
+
+let pp_state fmt s =
+  let name =
+    match s with
+    | Closed -> "CLOSED"
+    | Listen -> "LISTEN"
+    | Syn_sent -> "SYN_SENT"
+    | Syn_received -> "SYN_RCVD"
+    | Established -> "ESTABLISHED"
+    | Fin_wait_1 -> "FIN_WAIT_1"
+    | Fin_wait_2 -> "FIN_WAIT_2"
+    | Close_wait -> "CLOSE_WAIT"
+    | Closing -> "CLOSING"
+    | Last_ack -> "LAST_ACK"
+    | Time_wait -> "TIME_WAIT"
+  in
+  Format.fprintf fmt "%s" name
+
+type error = Refused | Reset | Timed_out
+
+let pp_error fmt e =
+  Format.fprintf fmt "%s"
+    (match e with
+    | Refused -> "connection refused"
+    | Reset -> "connection reset by peer"
+    | Timed_out -> "connection timed out")
+
+type handlers = {
+  deliver : Mbuf.t -> unit;
+  deliver_fin : unit -> unit;
+  on_established : unit -> unit;
+  on_acked : int -> unit;
+  on_error : error -> unit;
+  on_state : state -> unit;
+}
+
+let null_handlers =
+  {
+    deliver = (fun _ -> ());
+    deliver_fin = (fun () -> ());
+    on_established = (fun () -> ());
+    on_acked = (fun _ -> ());
+    on_error = (fun _ -> ());
+    on_state = (fun _ -> ());
+  }
+
+type stats = {
+  mutable segs_out : int;
+  mutable bytes_out : int;
+  mutable segs_in : int;
+  mutable bytes_in : int;
+  mutable rexmt_segs : int;
+  mutable fast_rexmt : int;
+  mutable dup_acks_in : int;
+  mutable ooo_segs : int;
+  mutable acks_delayed : int;
+  mutable rst_out : int;
+  mutable drop_checksum : int;
+  mutable drop_no_pcb : int;
+}
+
+type conn_key = { lport : int; rip : Psd_ip.Addr.t; rport : int }
+
+type pcb = {
+  t : t;
+  mutable key : conn_key;
+  mutable state : state;
+  mutable handlers : handlers;
+  mutable handlers_set : bool;
+  mutable dead : bool;
+  (* send side *)
+  sndq : Mbuf.t;
+  mutable data_base : Seq.t; (* sequence number of sndq head byte *)
+  mutable snd_una : Seq.t;
+  mutable snd_nxt : Seq.t;
+  mutable snd_max : Seq.t;
+  mutable snd_wnd : int;
+  mutable snd_wl1 : Seq.t;
+  mutable snd_wl2 : Seq.t;
+  mutable iss : Seq.t;
+  mutable cwnd : int;
+  mutable ssthresh : int;
+  mutable dup_acks : int;
+  mutable fin_wanted : bool;
+  mutable fin_sent : bool;
+  mutable nodelay : bool;
+  (* retransmission *)
+  mutable srtt : int;
+  mutable rttvar : int;
+  mutable rto : int;
+  mutable nrexmt : int;
+  mutable rtt_timing : (Seq.t * int) option;
+  mutable rexmt_timer : Psd_sim.Engine.cancel option;
+  mutable persist_timer : Psd_sim.Engine.cancel option;
+  mutable delack_timer : Psd_sim.Engine.cancel option;
+  mutable msl_timer : Psd_sim.Engine.cancel option;
+  mutable keep_timer : Psd_sim.Engine.cancel option;
+  mutable keepalive : bool;
+  mutable last_activity : int;
+  mutable keep_probes : int;
+  (* receive side *)
+  mutable irs : Seq.t;
+  mutable rcv_nxt : Seq.t;
+  mutable rcv_buf : int;
+  mutable rcv_buffered : int;
+  mutable rcv_adv : Seq.t;
+  mutable reass : (Seq.t * Mbuf.t) list; (* sorted by seq *)
+  mutable fin_rcvd_seq : Seq.t option;
+  mutable mss : int;
+  mutable ack_now : bool;
+  mutable delack_pending : bool;
+  (* buffered delivery before handlers are installed (pre-accept data) *)
+  undelivered : Mbuf.t;
+  mutable fin_undelivered : bool;
+  mutable parent_listener : listener option;
+}
+
+and listener = {
+  l_t : t;
+  l_port : int;
+  l_backlog : int;
+  mutable l_queue : pcb list;
+  mutable l_ready_cb : unit -> unit;
+  mutable l_closed : bool;
+}
+
+and t = {
+  ctx : Ctx.t;
+  ip : Psd_ip.Ip.t;
+  lock : Psd_sim.Lock.t;
+  default_mss : int;
+  msl_ns : int;
+  rto_min_ns : int;
+  rto_max_ns : int;
+  rto_init_ns : int;
+  delack_ns : int;
+  max_rexmt : int;
+  keep_idle_ns : int;
+  keep_interval_ns : int;
+  keep_max_probes : int;
+  default_rcv_buf : int;
+  conns : (conn_key, pcb) Hashtbl.t;
+  listeners : (int, listener) Hashtbl.t;
+  muted : (conn_key, int) Hashtbl.t; (* key -> expiry; migration quench *)
+  st : stats;
+}
+
+let stats t = t.st
+
+let active_pcbs t = Hashtbl.length t.conns
+
+let state pcb = pcb.state
+
+let sndq_length pcb = Mbuf.length pcb.sndq
+
+let rcv_buffered pcb = pcb.rcv_buffered
+
+let local_port pcb = pcb.key.lport
+
+let remote pcb = (pcb.key.rip, pcb.key.rport)
+
+let set_nodelay pcb v = pcb.nodelay <- v
+
+let srtt_ns pcb = pcb.srtt
+
+let cwnd pcb = pcb.cwnd
+
+(* ----------------------------------------------------------------- *)
+(* helpers                                                            *)
+
+let set_state pcb s =
+  if pcb.state <> s then begin
+    pcb.state <- s;
+    pcb.handlers.on_state s
+  end
+
+let eng t = t.ctx.Ctx.eng
+
+let cancel_timer slot =
+  (match slot with Some c -> c () | None -> ());
+  None
+
+let fin_seq pcb = Seq.add pcb.data_base (Mbuf.length pcb.sndq)
+
+(* Advertised receive window: never shrink an advertisement. *)
+let rcv_window pcb =
+  let space = max 0 (pcb.rcv_buf - pcb.rcv_buffered) in
+  let space = min space 65535 in
+  let already = max 0 (Seq.diff pcb.rcv_adv pcb.rcv_nxt) in
+  max space already
+
+let charge_segment_out t len =
+  let plat = t.ctx.Ctx.plat in
+  Ctx.charge t.ctx Phase.Proto_output
+    (plat.Platform.tcp_fixed + (2 * t.ctx.Ctx.sync_ns)
+    + (plat.Platform.checksum_per_byte * (Segment.base_size + len))
+    + plat.Platform.mbuf_alloc)
+
+let charge_segment_in t len =
+  let plat = t.ctx.Ctx.plat in
+  Ctx.charge t.ctx Phase.Proto_input
+    (plat.Platform.tcp_fixed + (2 * t.ctx.Ctx.sync_ns)
+    + (plat.Platform.checksum_per_byte * (Segment.base_size + len))
+    + plat.Platform.mbuf_op)
+
+(* Transmit one segment. [payload] is consumed (header prepended). *)
+let emit t ~src_port ~dst ~dst_port ~seq ~ack ~flags ~window ~mss_opt payload
+    =
+  let len = Mbuf.length payload in
+  charge_segment_out t len;
+  t.st.segs_out <- t.st.segs_out + 1;
+  let seg =
+    {
+      Segment.src_port;
+      dst_port;
+      seq;
+      ack;
+      flags;
+      window;
+      mss = mss_opt;
+    }
+  in
+  let packet =
+    Segment.encode seg ~src:(Psd_ip.Ip.addr t.ip) ~dst ~payload
+  in
+  match
+    Psd_ip.Ip.output t.ip ~proto:Psd_ip.Header.proto_tcp ~dst packet
+  with
+  | Ok () -> ()
+  | Error _ -> () (* routing failures surface as retransmission timeouts *)
+
+let ack_flags = { Segment.no_flags with Segment.ack = true }
+
+let send_ack t pcb =
+  pcb.ack_now <- false;
+  pcb.delack_pending <- false;
+  let window = rcv_window pcb in
+  pcb.rcv_adv <- Seq.max pcb.rcv_adv (Seq.add pcb.rcv_nxt window);
+  emit t ~src_port:pcb.key.lport ~dst:pcb.key.rip ~dst_port:pcb.key.rport
+    ~seq:pcb.snd_nxt ~ack:pcb.rcv_nxt ~flags:ack_flags ~window ~mss_opt:None
+    (Mbuf.empty ())
+
+(* Reply RST to a segment that has no (usable) connection. *)
+let send_rst_for t (seg : Segment.t) ~data_len ~to_ip =
+  if not seg.Segment.flags.Segment.rst then begin
+    t.st.rst_out <- t.st.rst_out + 1;
+    let flags = { Segment.no_flags with Segment.rst = true; ack = true } in
+    if seg.Segment.flags.Segment.ack then
+      emit t ~src_port:seg.Segment.dst_port ~dst:to_ip
+        ~dst_port:seg.Segment.src_port ~seq:seg.Segment.ack ~ack:0
+        ~flags:{ flags with Segment.ack = false }
+        ~window:0 ~mss_opt:None (Mbuf.empty ())
+    else begin
+      let advance =
+        data_len
+        + (if seg.Segment.flags.Segment.syn then 1 else 0)
+        + if seg.Segment.flags.Segment.fin then 1 else 0
+      in
+      emit t ~src_port:seg.Segment.dst_port ~dst:to_ip
+        ~dst_port:seg.Segment.src_port ~seq:0
+        ~ack:(Seq.add seg.Segment.seq advance)
+        ~flags ~window:0 ~mss_opt:None (Mbuf.empty ())
+    end
+  end
+
+let deliver_data pcb m =
+  if pcb.handlers_set then pcb.handlers.deliver m
+  else Mbuf.concat pcb.undelivered m
+
+let deliver_fin pcb =
+  if pcb.handlers_set then pcb.handlers.deliver_fin ()
+  else pcb.fin_undelivered <- true
+
+let drop_pcb t pcb err =
+  pcb.dead <- true;
+  pcb.rexmt_timer <- cancel_timer pcb.rexmt_timer;
+  pcb.persist_timer <- cancel_timer pcb.persist_timer;
+  pcb.delack_timer <- cancel_timer pcb.delack_timer;
+  pcb.msl_timer <- cancel_timer pcb.msl_timer;
+  pcb.keep_timer <- cancel_timer pcb.keep_timer;
+  Hashtbl.remove t.conns pcb.key;
+  set_state pcb Closed;
+  match err with Some e -> pcb.handlers.on_error e | None -> ()
+
+(* ----------------------------------------------------------------- *)
+(* retransmission timers                                              *)
+
+let update_rtt t pcb measured =
+  pcb.nrexmt <- 0;
+  if pcb.srtt = 0 then begin
+    pcb.srtt <- measured;
+    pcb.rttvar <- measured / 2
+  end
+  else begin
+    let err = measured - pcb.srtt in
+    pcb.srtt <- pcb.srtt + (err / 8);
+    pcb.rttvar <- pcb.rttvar + ((abs err - pcb.rttvar) / 4)
+  end;
+  pcb.rto <-
+    min t.rto_max_ns (max t.rto_min_ns (pcb.srtt + (4 * pcb.rttvar)))
+
+let rec arm_rexmt t pcb =
+  pcb.rexmt_timer <- cancel_timer pcb.rexmt_timer;
+  pcb.rexmt_timer <-
+    Some
+      (Psd_sim.Engine.after (eng t) pcb.rto (fun () ->
+           Psd_sim.Engine.spawn (eng t) ~name:"tcp-rexmt" (fun () ->
+               Psd_sim.Lock.with_lock t.lock (fun () ->
+                   if not pcb.dead then rexmt_fire t pcb))))
+
+and rexmt_fire t pcb =
+  pcb.rexmt_timer <- None;
+  pcb.nrexmt <- pcb.nrexmt + 1;
+  if pcb.nrexmt > t.max_rexmt then begin
+    (match pcb.state with
+    | Syn_sent -> drop_pcb t pcb (Some Refused)
+    | _ -> drop_pcb t pcb (Some Timed_out))
+  end
+  else begin
+    t.st.rexmt_segs <- t.st.rexmt_segs + 1;
+    pcb.rto <- min t.rto_max_ns (pcb.rto * 2);
+    (* Karn: do not time retransmitted sequence numbers. *)
+    pcb.rtt_timing <- None;
+    match pcb.state with
+    | Syn_sent ->
+      let flags = { Segment.no_flags with Segment.syn = true } in
+      emit t ~src_port:pcb.key.lport ~dst:pcb.key.rip ~dst_port:pcb.key.rport
+        ~seq:pcb.iss ~ack:0 ~flags ~window:(rcv_window pcb)
+        ~mss_opt:(Some t.default_mss) (Mbuf.empty ());
+      arm_rexmt t pcb
+    | Syn_received ->
+      let flags = { Segment.no_flags with Segment.syn = true; ack = true } in
+      let window = rcv_window pcb in
+      pcb.rcv_adv <- Seq.max pcb.rcv_adv (Seq.add pcb.rcv_nxt window);
+      emit t ~src_port:pcb.key.lport ~dst:pcb.key.rip ~dst_port:pcb.key.rport
+        ~seq:pcb.iss ~ack:pcb.rcv_nxt ~flags ~window
+        ~mss_opt:(Some t.default_mss) (Mbuf.empty ());
+      arm_rexmt t pcb
+    | _ ->
+      (* congestion response: back to slow start *)
+      let inflight = max pcb.mss (Seq.diff pcb.snd_max pcb.snd_una) in
+      pcb.ssthresh <- max (2 * pcb.mss) (min inflight pcb.snd_wnd / 2);
+      pcb.cwnd <- pcb.mss;
+      pcb.dup_acks <- 0;
+      pcb.snd_nxt <- pcb.snd_una;
+      output t pcb ~force:true
+  end
+
+and arm_persist t pcb =
+  if pcb.persist_timer = None then
+    pcb.persist_timer <-
+      Some
+        (Psd_sim.Engine.after (eng t) pcb.rto (fun () ->
+             Psd_sim.Engine.spawn (eng t) ~name:"tcp-persist" (fun () ->
+                 Psd_sim.Lock.with_lock t.lock (fun () ->
+                     if not pcb.dead then begin
+                       pcb.persist_timer <- None;
+                       pcb.rto <- min t.rto_max_ns (pcb.rto * 2);
+                       output t pcb ~force:true;
+                       if pcb.snd_wnd = 0 && Mbuf.length pcb.sndq > 0 then
+                         arm_persist t pcb
+                     end))))
+
+and arm_delack t pcb =
+  if pcb.delack_timer = None then
+    pcb.delack_timer <-
+      Some
+        (Psd_sim.Engine.after (eng t) t.delack_ns (fun () ->
+             Psd_sim.Engine.spawn (eng t) ~name:"tcp-delack" (fun () ->
+                 Psd_sim.Lock.with_lock t.lock (fun () ->
+                     pcb.delack_timer <- None;
+                     if (not pcb.dead) && pcb.delack_pending then begin
+                       t.st.acks_delayed <- t.st.acks_delayed + 1;
+                       send_ack t pcb
+                     end))))
+
+and arm_keepalive t pcb =
+  pcb.keep_timer <- cancel_timer pcb.keep_timer;
+  pcb.keep_timer <-
+    Some
+      (Psd_sim.Engine.after (eng t) t.keep_interval_ns (fun () ->
+           Psd_sim.Engine.spawn (eng t) ~name:"tcp-keep" (fun () ->
+               Psd_sim.Lock.with_lock t.lock (fun () ->
+                   if (not pcb.dead) && pcb.keepalive
+                      && pcb.state = Established
+                   then begin
+                     let idle =
+                       Psd_sim.Engine.now (eng t) - pcb.last_activity
+                     in
+                     if idle >= t.keep_idle_ns then begin
+                       pcb.keep_probes <- pcb.keep_probes + 1;
+                       if pcb.keep_probes > t.keep_max_probes then
+                         drop_pcb t pcb (Some Timed_out)
+                       else begin
+                         (* garbage-sequence probe: elicits a bare ACK *)
+                         emit t ~src_port:pcb.key.lport ~dst:pcb.key.rip
+                           ~dst_port:pcb.key.rport
+                           ~seq:(Seq.sub pcb.snd_una 1) ~ack:pcb.rcv_nxt
+                           ~flags:ack_flags ~window:(rcv_window pcb)
+                           ~mss_opt:None (Mbuf.empty ());
+                         arm_keepalive t pcb
+                       end
+                     end
+                     else begin
+                       pcb.keep_probes <- 0;
+                       arm_keepalive t pcb
+                     end
+                   end))))
+
+and arm_msl t pcb =
+  pcb.msl_timer <- cancel_timer pcb.msl_timer;
+  pcb.msl_timer <-
+    Some
+      (Psd_sim.Engine.after (eng t) (2 * t.msl_ns) (fun () ->
+           Psd_sim.Engine.spawn (eng t) ~name:"tcp-2msl" (fun () ->
+               Psd_sim.Lock.with_lock t.lock (fun () ->
+                   if not pcb.dead then drop_pcb t pcb None))))
+
+(* ----------------------------------------------------------------- *)
+(* output engine                                                      *)
+
+and output t pcb ~force =
+  match pcb.state with
+  | Closed | Listen | Syn_sent | Syn_received | Time_wait -> ()
+  | Established | Fin_wait_1 | Fin_wait_2 | Close_wait | Closing | Last_ack
+    ->
+    let continue = ref true in
+    while !continue do
+      continue := false;
+      let sndq_len = Mbuf.length pcb.sndq in
+      let off = Seq.diff pcb.snd_nxt pcb.data_base in
+      if off < 0 then () (* snd_nxt points at SYN/FIN space; nothing to do *)
+      else begin
+        let wnd = min pcb.snd_wnd pcb.cwnd in
+        let wnd = if force && wnd = 0 then 1 else wnd in
+        let in_flight = Seq.diff pcb.snd_nxt pcb.snd_una in
+        let usable = max 0 (wnd - in_flight) in
+        let remaining = max 0 (sndq_len - off) in
+        let len = min (min remaining usable) pcb.mss in
+        let all_sent_after = len = remaining in
+        let fin_to_send =
+          (* also true when retransmitting a FIN already sent once:
+             snd_nxt was pulled back to (or before) the FIN's sequence *)
+          pcb.fin_wanted && all_sent_after
+          && ((not pcb.fin_sent) || Seq.leq pcb.snd_nxt (fin_seq pcb))
+        in
+        let idle = Seq.diff pcb.snd_max pcb.snd_una = 0 in
+        let should_send_data =
+          len > 0
+          && (len = pcb.mss
+             || (all_sent_after && (pcb.nodelay || idle))
+             || (pcb.snd_wnd > 0 && len >= pcb.snd_wnd / 2)
+             || force)
+        in
+        if should_send_data || (fin_to_send && usable >= 0) then begin
+          let payload =
+            if len > 0 then Mbuf.copy_range pcb.sndq ~off ~len
+            else Mbuf.empty ()
+          in
+          let flags =
+            {
+              Segment.no_flags with
+              Segment.ack = true;
+              psh = (len > 0 && all_sent_after);
+              fin = fin_to_send;
+            }
+          in
+          let window = rcv_window pcb in
+          pcb.rcv_adv <- Seq.max pcb.rcv_adv (Seq.add pcb.rcv_nxt window);
+          pcb.ack_now <- false;
+          pcb.delack_pending <- false;
+          let seq = pcb.snd_nxt in
+          let is_rexmt = Seq.lt seq pcb.snd_max in
+          if is_rexmt then t.st.rexmt_segs <- t.st.rexmt_segs + 1
+          else t.st.bytes_out <- t.st.bytes_out + len;
+          emit t ~src_port:pcb.key.lport ~dst:pcb.key.rip
+            ~dst_port:pcb.key.rport ~seq ~ack:pcb.rcv_nxt ~flags ~window
+            ~mss_opt:None payload;
+          if fin_to_send then begin
+            pcb.fin_sent <- true;
+            (match pcb.state with
+            | Established -> set_state pcb Fin_wait_1
+            | Close_wait -> set_state pcb Last_ack
+            | _ -> ())
+          end;
+          pcb.snd_nxt <- Seq.add pcb.snd_nxt (len + if fin_to_send then 1 else 0);
+          if Seq.gt pcb.snd_nxt pcb.snd_max then begin
+            (* time this transmission if nothing is being timed *)
+            if pcb.rtt_timing = None && len > 0 && not is_rexmt then
+              pcb.rtt_timing <- Some (seq, Psd_sim.Engine.now (eng t));
+            pcb.snd_max <- pcb.snd_nxt
+          end;
+          if pcb.rexmt_timer = None && (len > 0 || fin_to_send) then
+            arm_rexmt t pcb;
+          (* keep sending while full-size segments fit in the window *)
+          if len = pcb.mss && not force then continue := true
+        end
+        else if remaining > 0 && pcb.snd_wnd = 0 && pcb.rexmt_timer = None
+        then arm_persist t pcb
+      end
+    done;
+    if pcb.ack_now then send_ack t pcb
+
+(* ----------------------------------------------------------------- *)
+(* construction                                                       *)
+
+let make_pcb t ~key ~state ~handlers ~rcv_buf ~mss =
+  {
+    t;
+    key;
+    state;
+    handlers;
+    handlers_set = false;
+    dead = false;
+    sndq = Mbuf.empty ();
+    data_base = 0;
+    snd_una = 0;
+    snd_nxt = 0;
+    snd_max = 0;
+    snd_wnd = 0;
+    snd_wl1 = 0;
+    snd_wl2 = 0;
+    iss = 0;
+    cwnd = mss;
+    ssthresh = 65535;
+    dup_acks = 0;
+    fin_wanted = false;
+    fin_sent = false;
+    nodelay = false;
+    srtt = 0;
+    rttvar = 0;
+    rto = t.rto_init_ns;
+    nrexmt = 0;
+    rtt_timing = None;
+    rexmt_timer = None;
+    persist_timer = None;
+    delack_timer = None;
+    msl_timer = None;
+    keep_timer = None;
+    keepalive = false;
+    last_activity = 0;
+    keep_probes = 0;
+    irs = 0;
+    rcv_nxt = 0;
+    rcv_buf;
+    rcv_buffered = 0;
+    rcv_adv = 0;
+    reass = [];
+    fin_rcvd_seq = None;
+    mss;
+    ack_now = false;
+    delack_pending = false;
+    undelivered = Mbuf.empty ();
+    fin_undelivered = false;
+    parent_listener = None;
+  }
+
+let fresh_iss t =
+  Int32.to_int (Psd_util.Rng.int32 (Psd_sim.Engine.rng (eng t)))
+  land 0xffffffff
+
+(* ----------------------------------------------------------------- *)
+(* input engine                                                       *)
+
+let establish t pcb =
+  ignore t;
+  set_state pcb Established;
+  pcb.handlers.on_established ();
+  match pcb.parent_listener with
+  | Some l when not l.l_closed ->
+    pcb.parent_listener <- None;
+    l.l_queue <- l.l_queue @ [ pcb ];
+    l.l_ready_cb ()
+  | Some _ -> pcb.parent_listener <- None
+  | None -> ()
+
+(* Splice the reassembly queue: deliver everything now contiguous. *)
+let splice t pcb =
+  let rec go () =
+    match pcb.reass with
+    | (seq, m) :: rest when Seq.leq seq pcb.rcv_nxt ->
+      let m_len = Mbuf.length m in
+      let dup = Seq.diff pcb.rcv_nxt seq in
+      if dup >= m_len then begin
+        pcb.reass <- rest;
+        go ()
+      end
+      else begin
+        if dup > 0 then Mbuf.trim_front m dup;
+        pcb.reass <- rest;
+        let len = Mbuf.length m in
+        pcb.rcv_nxt <- Seq.add pcb.rcv_nxt len;
+        pcb.rcv_buffered <- pcb.rcv_buffered + len;
+        t.st.bytes_in <- t.st.bytes_in + len;
+        deliver_data pcb m;
+        go ()
+      end
+    | _ -> ()
+  in
+  go ()
+
+let insert_reass t pcb seq m =
+  if Mbuf.length m > 0 then begin
+    t.st.ooo_segs <- t.st.ooo_segs + 1;
+    let rec ins = function
+      | [] -> [ (seq, m) ]
+      | (s, m') :: rest as l ->
+        if Seq.lt seq s then (seq, m) :: l else (s, m') :: ins rest
+    in
+    pcb.reass <- ins pcb.reass
+  end
+
+let process_fin_if_ready t pcb =
+  match pcb.fin_rcvd_seq with
+  | Some fs when Seq.geq pcb.rcv_nxt fs && pcb.reass = [] ->
+    pcb.fin_rcvd_seq <- None;
+    pcb.rcv_nxt <- Seq.add fs 1;
+    pcb.ack_now <- true;
+    deliver_fin pcb;
+    (match pcb.state with
+    | Established -> set_state pcb Close_wait
+    | Fin_wait_1 ->
+      (* our FIN not yet acked: simultaneous close *)
+      set_state pcb Closing
+    | Fin_wait_2 ->
+      set_state pcb Time_wait;
+      arm_msl t pcb
+    | Time_wait -> arm_msl t pcb
+    | _ -> ())
+  | _ -> ()
+
+let handle_listener t (l : listener) (seg : Segment.t) ~from_ip =
+  if seg.Segment.flags.Segment.rst then ()
+  else if seg.Segment.flags.Segment.ack then
+    send_rst_for t seg ~data_len:0 ~to_ip:from_ip
+  else if seg.Segment.flags.Segment.syn then begin
+    (* half-open children count against the backlog too *)
+    let half_open =
+      Hashtbl.fold
+        (fun _ p acc ->
+          match p.parent_listener with
+          | Some l' when l' == l -> acc + 1
+          | _ -> acc)
+        t.conns 0
+    in
+    if half_open + List.length l.l_queue >= l.l_backlog then ()
+    (* drop: queue full *)
+    else begin
+      let key =
+        { lport = l.l_port; rip = from_ip; rport = seg.Segment.src_port }
+      in
+      let mss =
+        match seg.Segment.mss with
+        | Some m -> min m t.default_mss
+        | None -> min 536 t.default_mss
+      in
+      let pcb =
+        make_pcb t ~key ~state:Syn_received ~handlers:null_handlers
+          ~rcv_buf:t.default_rcv_buf ~mss
+      in
+      pcb.iss <- fresh_iss t;
+      pcb.snd_una <- pcb.iss;
+      pcb.snd_nxt <- Seq.add pcb.iss 1;
+      pcb.snd_max <- pcb.snd_nxt;
+      pcb.data_base <- Seq.add pcb.iss 1;
+      pcb.irs <- seg.Segment.seq;
+      pcb.rcv_nxt <- Seq.add seg.Segment.seq 1;
+      pcb.rcv_adv <- pcb.rcv_nxt;
+      pcb.snd_wnd <- seg.Segment.window;
+      pcb.snd_wl1 <- seg.Segment.seq;
+      pcb.snd_wl2 <- pcb.iss;
+      pcb.parent_listener <- Some l;
+      Hashtbl.replace t.conns key pcb;
+      (* SYN-ACK *)
+      let flags =
+        { Segment.no_flags with Segment.syn = true; ack = true }
+      in
+      let window = rcv_window pcb in
+      pcb.rcv_adv <- Seq.max pcb.rcv_adv (Seq.add pcb.rcv_nxt window);
+      emit t ~src_port:key.lport ~dst:key.rip ~dst_port:key.rport
+        ~seq:pcb.iss ~ack:pcb.rcv_nxt ~flags ~window
+        ~mss_opt:(Some t.default_mss)
+        (Mbuf.empty ());
+      arm_rexmt t pcb
+    end
+  end
+
+let handle_syn_sent t pcb (seg : Segment.t) payload =
+  let f = seg.Segment.flags in
+  let ack_acceptable =
+    f.Segment.ack
+    && Seq.gt seg.Segment.ack pcb.iss
+    && Seq.leq seg.Segment.ack pcb.snd_max
+  in
+  if f.Segment.ack && not ack_acceptable then
+    send_rst_for t seg ~data_len:(Mbuf.length payload) ~to_ip:pcb.key.rip
+  else if f.Segment.rst then begin
+    if ack_acceptable then drop_pcb t pcb (Some Refused)
+  end
+  else if f.Segment.syn then begin
+    pcb.irs <- seg.Segment.seq;
+    pcb.rcv_nxt <- Seq.add seg.Segment.seq 1;
+    pcb.rcv_adv <- pcb.rcv_nxt;
+    (match seg.Segment.mss with
+    | Some m -> pcb.mss <- min m pcb.mss
+    | None -> pcb.mss <- min 536 pcb.mss);
+    pcb.cwnd <- pcb.mss;
+    pcb.snd_wnd <- seg.Segment.window;
+    pcb.snd_wl1 <- seg.Segment.seq;
+    pcb.snd_wl2 <- seg.Segment.ack;
+    if ack_acceptable then begin
+      (* our SYN is acked: connection complete *)
+      pcb.snd_una <- seg.Segment.ack;
+      pcb.rexmt_timer <- cancel_timer pcb.rexmt_timer;
+      pcb.nrexmt <- 0;
+      pcb.ack_now <- true;
+      establish t pcb;
+      send_ack t pcb;
+      output t pcb ~force:false
+    end
+    else begin
+      (* simultaneous open *)
+      set_state pcb Syn_received;
+      let flags =
+        { Segment.no_flags with Segment.syn = true; ack = true }
+      in
+      let window = rcv_window pcb in
+      pcb.rcv_adv <- Seq.max pcb.rcv_adv (Seq.add pcb.rcv_nxt window);
+      emit t ~src_port:pcb.key.lport ~dst:pcb.key.rip ~dst_port:pcb.key.rport
+        ~seq:pcb.iss ~ack:pcb.rcv_nxt ~flags ~window
+        ~mss_opt:(Some t.default_mss)
+        (Mbuf.empty ())
+    end
+  end
+
+(* ACK processing for synchronised states. Returns false if the segment
+   should be dropped. *)
+let process_ack t pcb (seg : Segment.t) =
+  let ack = seg.Segment.ack in
+  if Seq.leq ack pcb.snd_una then begin
+    (* duplicate ack *)
+    if
+      Mbuf.length pcb.sndq > 0
+      && Seq.diff pcb.snd_max pcb.snd_una > 0
+      && seg.Segment.window = pcb.snd_wnd
+    then begin
+      t.st.dup_acks_in <- t.st.dup_acks_in + 1;
+      pcb.dup_acks <- pcb.dup_acks + 1;
+      if pcb.dup_acks = 3 then begin
+        (* fast retransmit + fast recovery *)
+        t.st.fast_rexmt <- t.st.fast_rexmt + 1;
+        let inflight = max pcb.mss (Seq.diff pcb.snd_max pcb.snd_una) in
+        pcb.ssthresh <- max (2 * pcb.mss) (min inflight pcb.snd_wnd / 2);
+        pcb.rexmt_timer <- cancel_timer pcb.rexmt_timer;
+        pcb.rtt_timing <- None;
+        let onxt = pcb.snd_nxt in
+        pcb.snd_nxt <- pcb.snd_una;
+        pcb.cwnd <- pcb.mss;
+        output t pcb ~force:true;
+        pcb.cwnd <- pcb.ssthresh + (3 * pcb.mss);
+        pcb.snd_nxt <- Seq.max onxt pcb.snd_nxt
+      end
+      else if pcb.dup_acks > 3 then begin
+        pcb.cwnd <- pcb.cwnd + pcb.mss;
+        output t pcb ~force:false
+      end
+    end
+    else pcb.dup_acks <- 0;
+    true
+  end
+  else if Seq.gt ack pcb.snd_max then begin
+    pcb.ack_now <- true;
+    false
+  end
+  else begin
+    (* new data acknowledged *)
+    if pcb.dup_acks >= 3 then pcb.cwnd <- pcb.ssthresh;
+    pcb.dup_acks <- 0;
+    (match pcb.rtt_timing with
+    | Some (seq0, t0) when Seq.gt ack seq0 ->
+      update_rtt t pcb (Psd_sim.Engine.now (eng t) - t0);
+      pcb.rtt_timing <- None
+    | _ -> ());
+    (* congestion window growth *)
+    if pcb.cwnd < pcb.ssthresh then pcb.cwnd <- pcb.cwnd + pcb.mss
+    else pcb.cwnd <- pcb.cwnd + max 1 (pcb.mss * pcb.mss / pcb.cwnd);
+    pcb.cwnd <- min pcb.cwnd 65535;
+    let data_acked =
+      min (max 0 (Seq.diff ack pcb.data_base)) (Mbuf.length pcb.sndq)
+    in
+    if data_acked > 0 then begin
+      Mbuf.drop_front pcb.sndq data_acked;
+      pcb.data_base <- Seq.add pcb.data_base data_acked
+    end;
+    let fin_acked =
+      pcb.fin_sent && Seq.geq ack (Seq.add (fin_seq pcb) 1)
+    in
+    pcb.snd_una <- ack;
+    if Seq.lt pcb.snd_nxt pcb.snd_una then pcb.snd_nxt <- pcb.snd_una;
+    pcb.nrexmt <- 0;
+    if Seq.diff pcb.snd_max pcb.snd_una = 0 then
+      pcb.rexmt_timer <- cancel_timer pcb.rexmt_timer
+    else arm_rexmt t pcb;
+    if data_acked > 0 then pcb.handlers.on_acked data_acked;
+    (* state transitions on FIN acknowledgement *)
+    (match pcb.state with
+    | Syn_received -> establish t pcb
+    | Fin_wait_1 when fin_acked -> set_state pcb Fin_wait_2
+    | Closing when fin_acked ->
+      set_state pcb Time_wait;
+      arm_msl t pcb
+    | Last_ack when fin_acked -> drop_pcb t pcb None
+    | _ -> ());
+    not pcb.dead
+  end
+
+let handle_synchronized t pcb (seg : Segment.t) payload =
+  let f = seg.Segment.flags in
+  let seq = ref seg.Segment.seq in
+  let fin = ref f.Segment.fin in
+  (* --- trim to the receive window --------------------------------- *)
+  let wnd = rcv_window pcb in
+  (* left edge *)
+  let todrop = Seq.diff pcb.rcv_nxt !seq in
+  let seg_len = Mbuf.length payload in
+  let dropped_all_dup =
+    if todrop > 0 then begin
+      if todrop >= seg_len then begin
+        (* complete duplicate (possibly a retransmitted FIN) *)
+        if !fin && todrop = seg_len + 1 then (* FIN dup too *) ();
+        pcb.ack_now <- true;
+        if todrop > seg_len || not !fin then begin
+          if seg_len > 0 || not f.Segment.ack then true
+          else false (* pure ACK with old seq: still process the ack *)
+        end
+        else begin
+          (* exactly the data is dup but FIN is new *)
+          Mbuf.trim_front payload seg_len;
+          seq := Seq.add !seq seg_len;
+          false
+        end
+      end
+      else begin
+        Mbuf.trim_front payload todrop;
+        seq := Seq.add !seq todrop;
+        false
+      end
+    end
+    else false
+  in
+  if dropped_all_dup then send_ack t pcb
+  else begin
+    (* right edge *)
+    let seg_len = Mbuf.length payload in
+    let excess = Seq.diff (Seq.add !seq seg_len) (Seq.add pcb.rcv_nxt wnd) in
+    let beyond =
+      if excess > 0 then
+        if excess >= seg_len && seg_len > 0 then begin
+          pcb.ack_now <- true;
+          true
+        end
+        else begin
+          if excess > 0 && seg_len > 0 then begin
+            Mbuf.trim_back payload excess;
+            fin := false
+          end;
+          false
+        end
+      else false
+    in
+    if beyond then send_ack t pcb
+    else if f.Segment.rst then begin
+      match pcb.state with
+      | Syn_received -> drop_pcb t pcb (Some Refused)
+      | Closing | Last_ack | Time_wait -> drop_pcb t pcb None
+      | _ -> drop_pcb t pcb (Some Reset)
+    end
+    else if f.Segment.syn && Seq.geq !seq pcb.rcv_nxt then begin
+      (* SYN in window: fatal *)
+      send_rst_for t seg ~data_len:0 ~to_ip:pcb.key.rip;
+      drop_pcb t pcb (Some Reset)
+    end
+    else if not f.Segment.ack then () (* post-handshake segments need ACK *)
+    else begin
+      let continue_ = process_ack t pcb seg in
+      if continue_ && not pcb.dead then begin
+        (* window update *)
+        if
+          Seq.lt pcb.snd_wl1 !seq
+          || (pcb.snd_wl1 = !seq && Seq.leq pcb.snd_wl2 seg.Segment.ack)
+        then begin
+          let opened = seg.Segment.window > pcb.snd_wnd in
+          pcb.snd_wnd <- seg.Segment.window;
+          pcb.snd_wl1 <- !seq;
+          pcb.snd_wl2 <- seg.Segment.ack;
+          if opened then pcb.persist_timer <- cancel_timer pcb.persist_timer
+        end;
+        (* data *)
+        let seg_len = Mbuf.length payload in
+        let receivable =
+          match pcb.state with
+          | Established | Fin_wait_1 | Fin_wait_2 -> true
+          | _ -> false
+        in
+        if seg_len > 0 && receivable then begin
+          if !seq = pcb.rcv_nxt && pcb.reass = [] then begin
+            (* common case: in-order segment *)
+            pcb.rcv_nxt <- Seq.add pcb.rcv_nxt seg_len;
+            pcb.rcv_buffered <- pcb.rcv_buffered + seg_len;
+            t.st.bytes_in <- t.st.bytes_in + seg_len;
+            deliver_data pcb payload;
+            (* ack every other segment; delay otherwise *)
+            if pcb.delack_pending then pcb.ack_now <- true
+            else begin
+              pcb.delack_pending <- true;
+              arm_delack t pcb
+            end
+          end
+          else begin
+            insert_reass t pcb !seq payload;
+            splice t pcb;
+            (* out-of-order: duplicate ack immediately (fast rexmt aid) *)
+            pcb.ack_now <- true
+          end
+        end
+        else if seg_len > 0 then
+          (* data arriving in a state that cannot accept it *)
+          pcb.ack_now <- true;
+        if !fin then begin
+          let fs = Seq.add !seq seg_len in
+          (match pcb.fin_rcvd_seq with
+          | None -> pcb.fin_rcvd_seq <- Some fs
+          | Some _ -> ());
+          process_fin_if_ready t pcb
+        end
+        else process_fin_if_ready t pcb;
+        if not pcb.dead then begin
+          if pcb.ack_now then send_ack t pcb;
+          output t pcb ~force:false
+        end
+      end
+      else if pcb.ack_now && not pcb.dead then send_ack t pcb
+    end
+  end
+
+let input t ~(hdr : Psd_ip.Header.t) (m : Mbuf.t) =
+  Psd_sim.Lock.with_lock t.lock (fun () ->
+      let flat = Mbuf.to_bytes m in
+      charge_segment_in t (Bytes.length flat);
+      match
+        Segment.decode flat ~src:hdr.Psd_ip.Header.src
+          ~dst:hdr.Psd_ip.Header.dst
+      with
+      | Error _ -> t.st.drop_checksum <- t.st.drop_checksum + 1
+      | Ok (seg, payload) -> (
+        t.st.segs_in <- t.st.segs_in + 1;
+        let key =
+          {
+            lport = seg.Segment.dst_port;
+            rip = hdr.Psd_ip.Header.src;
+            rport = seg.Segment.src_port;
+          }
+        in
+        match Hashtbl.find_opt t.conns key with
+        | Some pcb -> (
+          pcb.last_activity <- Psd_sim.Engine.now (eng t);
+          pcb.keep_probes <- 0;
+          match pcb.state with
+          | Syn_sent -> handle_syn_sent t pcb seg payload
+          | Closed | Listen -> ()
+          | _ -> handle_synchronized t pcb seg payload)
+        | None ->
+          (* a migrating connection's segments must be dropped silently —
+             even when a listener still covers the port, or the stack
+             would answer the peer's in-flight data with a reset *)
+          let muted =
+            match Hashtbl.find_opt t.muted key with
+            | Some expiry when Psd_sim.Engine.now (eng t) < expiry -> true
+            | Some _ ->
+              Hashtbl.remove t.muted key;
+              false
+            | None -> false
+          in
+          if muted then t.st.drop_no_pcb <- t.st.drop_no_pcb + 1
+          else (
+            match Hashtbl.find_opt t.listeners seg.Segment.dst_port with
+            | Some l when not l.l_closed ->
+              handle_listener t l seg ~from_ip:hdr.Psd_ip.Header.src
+            | _ ->
+              t.st.drop_no_pcb <- t.st.drop_no_pcb + 1;
+              send_rst_for t seg ~data_len:(Mbuf.length payload)
+                ~to_ip:hdr.Psd_ip.Header.src)))
+
+(* ----------------------------------------------------------------- *)
+(* user interface                                                     *)
+
+let create ~ctx ~ip ?(mss = 1460) ?(msl_ns = Psd_sim.Time.sec 30)
+    ?(rto_min_ns = Psd_sim.Time.ms 500) ?(rto_init_ns = Psd_sim.Time.ms 1000)
+    ?(delack_ns = Psd_sim.Time.ms 200) ?(max_rexmt = 12)
+    ?(default_rcv_buf = 24 * 1024)
+    ?(keep_idle_ns = Psd_sim.Time.sec (2 * 60 * 60))
+    ?(keep_interval_ns = Psd_sim.Time.sec 75) ?(keep_max_probes = 8) () =
+  let t =
+    {
+      ctx;
+      ip;
+      lock = Psd_sim.Lock.create ctx.Ctx.eng;
+      default_mss = mss;
+      default_rcv_buf;
+      msl_ns;
+      rto_min_ns;
+      rto_max_ns = Psd_sim.Time.sec 64;
+      rto_init_ns;
+      delack_ns;
+      max_rexmt;
+      keep_idle_ns;
+      keep_interval_ns;
+      keep_max_probes;
+      conns = Hashtbl.create 32;
+      listeners = Hashtbl.create 8;
+      muted = Hashtbl.create 8;
+      st =
+        {
+          segs_out = 0;
+          bytes_out = 0;
+          segs_in = 0;
+          bytes_in = 0;
+          rexmt_segs = 0;
+          fast_rexmt = 0;
+          dup_acks_in = 0;
+          ooo_segs = 0;
+          acks_delayed = 0;
+          rst_out = 0;
+          drop_checksum = 0;
+          drop_no_pcb = 0;
+        };
+    }
+  in
+  Psd_ip.Ip.register ip ~proto:Psd_ip.Header.proto_tcp (fun ~hdr m ->
+      input t ~hdr m);
+  t
+
+let connect t ?(handlers = null_handlers) ?(claim_data = true)
+    ?rcv_buf ~src_port ~dst ~dst_port () =
+  let rcv_buf = Option.value rcv_buf ~default:t.default_rcv_buf in
+  Psd_sim.Lock.with_lock t.lock (fun () ->
+      let key = { lport = src_port; rip = dst; rport = dst_port } in
+      if Hashtbl.mem t.conns key then
+        invalid_arg "Tcp.connect: connection exists";
+      let pcb =
+        make_pcb t ~key ~state:Syn_sent ~handlers ~rcv_buf
+          ~mss:t.default_mss
+      in
+      pcb.handlers_set <- claim_data;
+      pcb.iss <- fresh_iss t;
+      pcb.snd_una <- pcb.iss;
+      pcb.snd_nxt <- Seq.add pcb.iss 1;
+      pcb.snd_max <- pcb.snd_nxt;
+      pcb.data_base <- Seq.add pcb.iss 1;
+      Hashtbl.replace t.conns key pcb;
+      let flags = { Segment.no_flags with Segment.syn = true } in
+      emit t ~src_port ~dst ~dst_port ~seq:pcb.iss ~ack:0 ~flags
+        ~window:(rcv_window pcb) ~mss_opt:(Some t.default_mss)
+        (Mbuf.empty ());
+      arm_rexmt t pcb;
+      pcb)
+
+let listen t ~port ?(backlog = 5) () =
+  Psd_sim.Lock.with_lock t.lock (fun () ->
+      if Hashtbl.mem t.listeners port then
+        invalid_arg "Tcp.listen: port in use";
+      let l =
+        {
+          l_t = t;
+          l_port = port;
+          l_backlog = max 1 backlog;
+          l_queue = [];
+          l_ready_cb = (fun () -> ());
+          l_closed = false;
+        }
+      in
+      Hashtbl.replace t.listeners port l;
+      l)
+
+let accept_ready l =
+  match l.l_queue with
+  | [] -> None
+  | pcb :: rest ->
+    l.l_queue <- rest;
+    Some pcb
+
+let on_ready l cb = l.l_ready_cb <- cb
+
+let pending l = List.length l.l_queue
+
+let close_listener t l =
+  Psd_sim.Lock.with_lock t.lock (fun () ->
+      l.l_closed <- true;
+      Hashtbl.remove t.listeners l.l_port;
+      (* connections still queued are aborted *)
+      List.iter
+        (fun pcb ->
+          t.st.rst_out <- t.st.rst_out + 1;
+          let flags = { Segment.no_flags with Segment.rst = true } in
+          emit t ~src_port:pcb.key.lport ~dst:pcb.key.rip
+            ~dst_port:pcb.key.rport ~seq:pcb.snd_nxt ~ack:0 ~flags ~window:0
+            ~mss_opt:None (Mbuf.empty ());
+          drop_pcb t pcb None)
+        l.l_queue;
+      l.l_queue <- [])
+
+(* Completion of a passively-opened connection: queue it on its
+   listener. Called from process_ack's Syn_received -> Established
+   transition via the pcb handlers; instead we hook establish. *)
+
+let send pcb m =
+  let t = pcb.t in
+  Psd_sim.Lock.with_lock t.lock (fun () ->
+      if pcb.fin_wanted then invalid_arg "Tcp.send: after shutdown";
+      (match pcb.state with
+      | Established | Close_wait | Syn_sent | Syn_received -> ()
+      | _ -> invalid_arg "Tcp.send: connection not open");
+      Mbuf.concat pcb.sndq m;
+      output t pcb ~force:false)
+
+let user_consumed pcb n =
+  let t = pcb.t in
+  Psd_sim.Lock.with_lock t.lock (fun () ->
+      pcb.rcv_buffered <- max 0 (pcb.rcv_buffered - n);
+      (* window-update ACK when the window opens significantly *)
+      let new_wnd = rcv_window pcb in
+      let advertised = max 0 (Seq.diff pcb.rcv_adv pcb.rcv_nxt) in
+      if
+        (not pcb.dead)
+        && pcb.state <> Closed
+        && (new_wnd - advertised >= 2 * pcb.mss
+           || (advertised = 0 && new_wnd > 0))
+      then send_ack t pcb)
+
+let shutdown_send pcb =
+  let t = pcb.t in
+  Psd_sim.Lock.with_lock t.lock (fun () ->
+      if not pcb.fin_wanted then begin
+        pcb.fin_wanted <- true;
+        match pcb.state with
+        | Syn_sent ->
+          (* nothing sent yet; tear down silently *)
+          drop_pcb t pcb None
+        | Established | Close_wait | Syn_received ->
+          output t pcb ~force:false
+        | _ -> ()
+      end)
+
+let abort pcb =
+  let t = pcb.t in
+  Psd_sim.Lock.with_lock t.lock (fun () ->
+      if not pcb.dead then begin
+        (match pcb.state with
+        | Syn_received | Established | Fin_wait_1 | Fin_wait_2 | Close_wait
+          ->
+          t.st.rst_out <- t.st.rst_out + 1;
+          let flags =
+            { Segment.no_flags with Segment.rst = true; ack = true }
+          in
+          emit t ~src_port:pcb.key.lport ~dst:pcb.key.rip
+            ~dst_port:pcb.key.rport ~seq:pcb.snd_nxt ~ack:pcb.rcv_nxt ~flags
+            ~window:0 ~mss_opt:None (Mbuf.empty ())
+        | _ -> ());
+        drop_pcb t pcb None
+      end)
+
+let set_handlers ?(claim_data = true) pcb h =
+  let t = pcb.t in
+  Psd_sim.Lock.with_lock t.lock (fun () ->
+      pcb.handlers <- h;
+      if not claim_data then pcb.handlers_set <- false
+      else begin
+      pcb.handlers_set <- true;
+      if Mbuf.length pcb.undelivered > 0 then begin
+        let pending = Mbuf.split pcb.undelivered (Mbuf.length pcb.undelivered) in
+        h.deliver pending
+      end;
+      if pcb.fin_undelivered then begin
+        pcb.fin_undelivered <- false;
+        h.deliver_fin ()
+      end
+      end)
+
+(* ----------------------------------------------------------------- *)
+(* session migration                                                  *)
+
+type snapshot = {
+  s_key : conn_key;
+  s_state : state;
+  s_data_base : Seq.t;
+  s_snd_una : Seq.t;
+  s_snd_nxt : Seq.t;
+  s_snd_max : Seq.t;
+  s_snd_wnd : int;
+  s_snd_wl1 : Seq.t;
+  s_snd_wl2 : Seq.t;
+  s_iss : Seq.t;
+  s_cwnd : int;
+  s_ssthresh : int;
+  s_fin_wanted : bool;
+  s_fin_sent : bool;
+  s_nodelay : bool;
+  s_srtt : int;
+  s_rttvar : int;
+  s_rto : int;
+  s_irs : Seq.t;
+  s_rcv_nxt : Seq.t;
+  s_rcv_buf : int;
+  s_rcv_buffered : int;
+  s_rcv_adv : Seq.t;
+  s_reass : (Seq.t * string) list;
+  s_fin_rcvd_seq : Seq.t option;
+  s_mss : int;
+  s_sndq : string;
+  s_undelivered : string;
+  s_fin_undelivered : bool;
+  s_delack_pending : bool;
+}
+
+let export pcb =
+  let t = pcb.t in
+  Psd_sim.Lock.with_lock t.lock (fun () ->
+      if pcb.dead then invalid_arg "Tcp.export: dead pcb";
+      let snap =
+        {
+          s_key = pcb.key;
+          s_state = pcb.state;
+          s_data_base = pcb.data_base;
+          s_snd_una = pcb.snd_una;
+          s_snd_nxt = pcb.snd_nxt;
+          s_snd_max = pcb.snd_max;
+          s_snd_wnd = pcb.snd_wnd;
+          s_snd_wl1 = pcb.snd_wl1;
+          s_snd_wl2 = pcb.snd_wl2;
+          s_iss = pcb.iss;
+          s_cwnd = pcb.cwnd;
+          s_ssthresh = pcb.ssthresh;
+          s_fin_wanted = pcb.fin_wanted;
+          s_fin_sent = pcb.fin_sent;
+          s_nodelay = pcb.nodelay;
+          s_srtt = pcb.srtt;
+          s_rttvar = pcb.rttvar;
+          s_rto = pcb.rto;
+          s_irs = pcb.irs;
+          s_rcv_nxt = pcb.rcv_nxt;
+          s_rcv_buf = pcb.rcv_buf;
+          s_rcv_buffered = pcb.rcv_buffered;
+          s_rcv_adv = pcb.rcv_adv;
+          s_reass =
+            List.map (fun (s, m) -> (s, Mbuf.to_string m)) pcb.reass;
+          s_fin_rcvd_seq = pcb.fin_rcvd_seq;
+          s_mss = pcb.mss;
+          s_sndq = Mbuf.to_string pcb.sndq;
+          s_undelivered = Mbuf.to_string pcb.undelivered;
+          s_fin_undelivered = pcb.fin_undelivered;
+          s_delack_pending = pcb.delack_pending;
+        }
+      in
+      (* Detach without emitting anything: the session is in transit. *)
+      pcb.dead <- true;
+      pcb.rexmt_timer <- cancel_timer pcb.rexmt_timer;
+      pcb.persist_timer <- cancel_timer pcb.persist_timer;
+      pcb.delack_timer <- cancel_timer pcb.delack_timer;
+      pcb.msl_timer <- cancel_timer pcb.msl_timer;
+      pcb.keep_timer <- cancel_timer pcb.keep_timer;
+      Hashtbl.remove t.conns pcb.key;
+      snap)
+
+let import t ~handlers snap =
+  Psd_sim.Lock.with_lock t.lock (fun () ->
+      if Hashtbl.mem t.conns snap.s_key then
+        invalid_arg "Tcp.import: connection exists";
+      let pcb =
+        make_pcb t ~key:snap.s_key ~state:snap.s_state ~handlers
+          ~rcv_buf:snap.s_rcv_buf ~mss:snap.s_mss
+      in
+      pcb.handlers_set <- true;
+      pcb.data_base <- snap.s_data_base;
+      pcb.snd_una <- snap.s_snd_una;
+      pcb.snd_nxt <- snap.s_snd_nxt;
+      pcb.snd_max <- snap.s_snd_max;
+      pcb.snd_wnd <- snap.s_snd_wnd;
+      pcb.snd_wl1 <- snap.s_snd_wl1;
+      pcb.snd_wl2 <- snap.s_snd_wl2;
+      pcb.iss <- snap.s_iss;
+      pcb.cwnd <- snap.s_cwnd;
+      pcb.ssthresh <- snap.s_ssthresh;
+      pcb.fin_wanted <- snap.s_fin_wanted;
+      pcb.fin_sent <- snap.s_fin_sent;
+      pcb.nodelay <- snap.s_nodelay;
+      pcb.srtt <- snap.s_srtt;
+      pcb.rttvar <- snap.s_rttvar;
+      pcb.rto <- snap.s_rto;
+      pcb.irs <- snap.s_irs;
+      pcb.rcv_nxt <- snap.s_rcv_nxt;
+      pcb.rcv_buffered <- snap.s_rcv_buffered;
+      pcb.rcv_adv <- snap.s_rcv_adv;
+      pcb.reass <-
+        List.map (fun (s, data) -> (s, Mbuf.of_string data)) snap.s_reass;
+      pcb.fin_rcvd_seq <- snap.s_fin_rcvd_seq;
+      pcb.delack_pending <- snap.s_delack_pending;
+      Mbuf.concat pcb.sndq (Mbuf.of_string snap.s_sndq);
+      Hashtbl.replace t.conns pcb.key pcb;
+      (* Re-deliver data that was buffered but not yet consumed. *)
+      if String.length snap.s_undelivered > 0 then
+        handlers.deliver (Mbuf.of_string snap.s_undelivered);
+      if snap.s_fin_undelivered then handlers.deliver_fin ();
+      (* restart machinery *)
+      if Seq.diff pcb.snd_max pcb.snd_una > 0 then arm_rexmt t pcb;
+      if pcb.delack_pending then arm_delack t pcb;
+      if pcb.state = Time_wait then arm_msl t pcb;
+      pcb)
+
+let snapshot_size snap =
+  (* fixed TCB fields ~ 96 bytes in BSD; plus queued data *)
+  96
+  + String.length snap.s_sndq
+  + String.length snap.s_undelivered
+  + List.fold_left (fun acc (_, d) -> acc + String.length d) 0 snap.s_reass
+
+let snapshot_remote snap = (snap.s_key.rip, snap.s_key.rport)
+
+let snapshot_local_port snap = snap.s_key.lport
+
+let set_keepalive pcb v =
+  let t = pcb.t in
+  Psd_sim.Lock.with_lock t.lock (fun () ->
+      pcb.keepalive <- v;
+      pcb.last_activity <- Psd_sim.Engine.now (eng t);
+      if v then arm_keepalive t pcb
+      else pcb.keep_timer <- cancel_timer pcb.keep_timer)
+
+let can_send pcb =
+  (not pcb.dead) && (not pcb.fin_wanted)
+  &&
+  match pcb.state with
+  | Established | Close_wait | Syn_sent | Syn_received -> true
+  | _ -> false
+
+let mute t ~local_port ~remote:(rip, rport) ~duration_ns =
+  let key = { lport = local_port; rip; rport } in
+  Hashtbl.replace t.muted key (Psd_sim.Engine.now (eng t) + duration_ns)

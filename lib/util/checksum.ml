@@ -1,0 +1,30 @@
+type acc = int
+
+let empty = 0
+
+let add_u16 acc w = acc + (w land 0xffff)
+
+let add_bytes acc b ~off ~len =
+  if off < 0 || len < 0 || off + len > Bytes.length b then
+    invalid_arg "Checksum.add_bytes";
+  let acc = ref acc in
+  let i = ref off in
+  let stop = off + len in
+  while !i + 1 < stop do
+    acc := !acc + (Char.code (Bytes.get b !i) lsl 8)
+           + Char.code (Bytes.get b (!i + 1));
+    i := !i + 2
+  done;
+  if !i < stop then acc := !acc + (Char.code (Bytes.get b !i) lsl 8);
+  !acc
+
+let finish acc =
+  let acc = ref acc in
+  while !acc lsr 16 <> 0 do
+    acc := (!acc land 0xffff) + (!acc lsr 16)
+  done;
+  lnot !acc land 0xffff
+
+let of_bytes b ~off ~len = finish (add_bytes empty b ~off ~len)
+
+let valid b ~off ~len = of_bytes b ~off ~len = 0

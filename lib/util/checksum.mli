@@ -1,0 +1,30 @@
+(** One's-complement Internet checksum (RFC 1071).
+
+    Used by the IP, TCP and UDP layers. The incremental interface lets a
+    caller checksum a pseudo-header followed by a payload without
+    materialising them contiguously. *)
+
+type acc
+(** Partial checksum state. *)
+
+val empty : acc
+(** The checksum of zero bytes. *)
+
+val add_bytes : acc -> Bytes.t -> off:int -> len:int -> acc
+(** [add_bytes acc b ~off ~len] folds [len] bytes of [b] starting at [off]
+    into [acc]. Successive calls must supply an even number of bytes except
+    for the final call (odd trailing bytes are padded per RFC 1071).
+    @raise Invalid_argument if the range is out of bounds. *)
+
+val add_u16 : acc -> int -> acc
+(** Fold one 16-bit big-endian word into the accumulator. *)
+
+val finish : acc -> int
+(** Final one's-complement fold; the 16-bit checksum value. *)
+
+val of_bytes : Bytes.t -> off:int -> len:int -> int
+(** One-shot checksum of a byte range. *)
+
+val valid : Bytes.t -> off:int -> len:int -> bool
+(** [valid b ~off ~len] is [true] when the range (which includes a stored
+    checksum field) sums to [0xffff], i.e. verifies correctly. *)

@@ -1,0 +1,75 @@
+type 'a entry = { key : int; seq : int; value : 'a }
+
+type 'a t = {
+  mutable a : 'a entry array;
+  mutable n : int;
+  mutable next_seq : int;
+}
+
+let create () = { a = [||]; n = 0; next_seq = 0 }
+
+let less x y = x.key < y.key || (x.key = y.key && x.seq < y.seq)
+
+let grow h =
+  let cap = max 16 (2 * Array.length h.a) in
+  let a = Array.make cap h.a.(0) in
+  Array.blit h.a 0 a 0 h.n;
+  h.a <- a
+
+let push h ~key value =
+  let e = { key; seq = h.next_seq; value } in
+  h.next_seq <- h.next_seq + 1;
+  if h.n = Array.length h.a then
+    if h.n = 0 then h.a <- Array.make 16 e else grow h;
+  (* sift up *)
+  let i = ref h.n in
+  h.n <- h.n + 1;
+  h.a.(!i) <- e;
+  let continue = ref true in
+  while !continue && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    if less h.a.(!i) h.a.(parent) then begin
+      let tmp = h.a.(parent) in
+      h.a.(parent) <- h.a.(!i);
+      h.a.(!i) <- tmp;
+      i := parent
+    end
+    else continue := false
+  done
+
+let pop h =
+  if h.n = 0 then None
+  else begin
+    let top = h.a.(0) in
+    h.n <- h.n - 1;
+    if h.n > 0 then begin
+      h.a.(0) <- h.a.(h.n);
+      (* sift down *)
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < h.n && less h.a.(l) h.a.(!smallest) then smallest := l;
+        if r < h.n && less h.a.(r) h.a.(!smallest) then smallest := r;
+        if !smallest <> !i then begin
+          let tmp = h.a.(!smallest) in
+          h.a.(!smallest) <- h.a.(!i);
+          h.a.(!i) <- tmp;
+          i := !smallest
+        end
+        else continue := false
+      done
+    end;
+    Some (top.key, top.value)
+  end
+
+let peek_key h = if h.n = 0 then None else Some h.a.(0).key
+
+let size h = h.n
+
+let is_empty h = h.n = 0
+
+let clear h =
+  h.n <- 0;
+  h.a <- [||]

@@ -1,0 +1,22 @@
+(** Imperative binary min-heap keyed by [int].
+
+    Backbone of the simulator's event queue. Ties are broken by insertion
+    order so that events scheduled for the same instant fire FIFO, which
+    keeps simulations deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val push : 'a t -> key:int -> 'a -> unit
+
+val pop : 'a t -> (int * 'a) option
+(** Remove and return the minimum-keyed element, FIFO among equal keys. *)
+
+val peek_key : 'a t -> int option
+
+val size : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val clear : 'a t -> unit

@@ -1,0 +1,31 @@
+(** Ablation studies for the design choices DESIGN.md calls out.
+
+    Each prints a small table and returns the measurements so tests can
+    assert the causal direction. *)
+
+val delivery : ?mb:int -> ?rounds:int -> unit -> (string * float * float) list
+(** Packet-delivery variant at fixed workload: for IPC / SHM / SHM-IPF,
+    (label, ttcp KB/s, 1-byte UDP RTT ms). Isolates wakeup batching
+    (IPC vs SHM) from copy elimination (SHM vs SHM-IPF). *)
+
+val ack_strategy : ?mb:int -> unit -> (string * float) list
+(** Throughput with delayed ACKs (ack every other segment) versus
+    ack-immediately — the receiver-processing sensitivity the paper's
+    throughput discussion leans on. *)
+
+val sync_weight : ?rounds:int -> unit -> (string * float) list
+(** The library placement run with its normal lightweight locks versus
+    with the server's simulated-priority-level costs: shows that the
+    Table 4 synchronisation gap is causal, not incidental to placement. *)
+
+val bufsize_sweep :
+  ?mb:int -> ?sizes_kb:int list -> Psd_cost.Config.t -> (int * float) list
+(** Throughput versus receive-buffer size — the sweep the paper ran to
+    pick each configuration's best buffer (Table 2's buffer column). *)
+
+val migration_cost : ?conns:int -> ?bytes_per_conn:int -> unit ->
+  (string * float) list
+(** Cost of session migration amortised against connection lifetime:
+    mean per-connection wall time for connect/send/close cycles in the
+    Library placement (two migrations per connection) versus the Server
+    placement (none). *)

@@ -1,0 +1,49 @@
+(** Experiment drivers that regenerate the paper's tables and figure.
+
+    Each function prints the measured table with the paper's values
+    alongside, and returns the measured data for programmatic checks
+    (tests, EXPERIMENTS.md generation). *)
+
+type cell = { ours : float; paper : float option }
+
+type latency_row = {
+  label : string;
+  tcp_ms : (int * cell option) list;  (** size -> cell; None = NA *)
+  udp_ms : (int * cell option) list;
+  throughput : cell option;
+  rcv_buf : int;
+}
+
+val table2 :
+  ?machine:Paper.machine ->
+  ?mb:int ->
+  ?rounds:int ->
+  unit ->
+  latency_row list
+(** TCP throughput and TCP/UDP round-trip latency for every configuration
+    of Table 2 on the chosen machine (default DECstation; default 16 MB
+    transfers, 200 round trips per latency cell). *)
+
+val table3 : ?mb:int -> ?rounds:int -> unit -> latency_row list
+(** The NEWAPI comparison (DECstation only, like the paper). *)
+
+type breakdown_row = {
+  phase : string;
+  us : (string * int * int option) list;
+      (** (implementation, measured us, paper us) per column *)
+}
+
+val table4 : ?rounds:int -> unit -> breakdown_row list list
+(** Per-layer latency breakdown for Library (SHM-IPF), Kernel (Mach 2.5)
+    and Server (UX), TCP and UDP, at 1 byte and the maximum unfragmented
+    size — the paper's Table 4 structure. Returns one table per
+    (proto, size) pair. *)
+
+val table1 : unit -> unit
+(** Print the proxy/server call decomposition (paper Table 1). *)
+
+val figure1 : unit -> unit
+(** Print the component/placement map of each configuration (paper
+    Figure 1). *)
+
+val print_rows : header:string -> latency_row list -> unit

@@ -1,0 +1,111 @@
+open Psd_core
+
+type result = {
+  config : Psd_cost.Config.t;
+  bytes : int;
+  elapsed_ns : int;
+  kb_per_sec : float;
+  rcv_buf : int;
+  segs_out : int;
+  rexmt : int;
+  wire_utilization : float;
+}
+
+let run ?plat ?(machine = Paper.Dec) ?(mb = 16) ?rcv_buf ?delack_ns ?(seed = 7) config =
+  let plat =
+    Option.value plat
+      ~default:
+        (match machine with
+        | Paper.Dec -> Psd_cost.Platform.decstation
+        | Paper.Gateway -> Psd_cost.Platform.gateway486)
+  in
+  let rcv_buf =
+    Option.value rcv_buf ~default:(Paper.best_rcv_buf machine config)
+  in
+  let eng = Psd_sim.Engine.create ~seed () in
+  let segment = Psd_link.Segment.create eng () in
+  let sys_a =
+    System.create ~eng ~segment ~config ~plat ~rcv_buf ?delack_ns
+      ~addr:"10.0.0.1" ~name:"sender" ()
+  in
+  let sys_b =
+    System.create ~eng ~segment ~config ~plat ~rcv_buf ?delack_ns
+      ~addr:"10.0.0.2" ~name:"receiver" ()
+  in
+  let total = mb * 1024 * 1024 in
+  let received = ref 0 in
+  let t_start = ref 0 and t_end = ref 0 in
+  let wire_busy_start = ref 0 in
+  (* receiver: accept one connection, drain it *)
+  let rapp = System.app sys_b ~name:"ttcp-r" in
+  Psd_sim.Engine.spawn eng ~name:"ttcp-r" (fun () ->
+      let s = Sockets.stream rapp in
+      (match Sockets.bind s ~port:5001 () with
+      | Ok _ -> ()
+      | Error e -> failwith e);
+      (match Sockets.listen s () with Ok () -> () | Error e -> failwith e);
+      match Sockets.accept s with
+      | Error e -> failwith e
+      | Ok c ->
+        let rec drain () =
+          match Sockets.recv c ~max:65536 with
+          | Ok "" -> t_end := Psd_sim.Engine.now eng
+          | Ok d ->
+            received := !received + String.length d;
+            drain ()
+          | Error e -> failwith ("ttcp receiver: " ^ e)
+        in
+        drain ());
+  (* sender: connect and pump [total] bytes in 8KB writes (like ttcp) *)
+  let sapp = System.app sys_a ~name:"ttcp-s" in
+  Psd_sim.Engine.spawn eng ~name:"ttcp-s" (fun () ->
+      let s = Sockets.stream sapp in
+      (match Sockets.connect s (System.addr sys_b) 5001 with
+      | Ok () -> ()
+      | Error e -> failwith ("ttcp connect: " ^ e));
+      t_start := Psd_sim.Engine.now eng;
+      wire_busy_start := Psd_link.Segment.busy_ns segment;
+      let block = String.make 8192 'T' in
+      let rec pump sent =
+        if sent < total then begin
+          let n = min (String.length block) (total - sent) in
+          let chunk = if n = String.length block then block else String.sub block 0 n in
+          match Sockets.send s chunk with
+          | Ok _ -> pump (sent + n)
+          | Error e -> failwith ("ttcp send: " ^ e)
+        end
+      in
+      pump 0;
+      Sockets.close s);
+  Psd_sim.Engine.run_for eng (Psd_sim.Time.sec (60 * (mb + 4)));
+  if !received < total then
+    failwith
+      (Printf.sprintf "ttcp[%s]: only %d of %d bytes arrived"
+         config.Psd_cost.Config.label !received total);
+  let elapsed = !t_end - !t_start in
+  let stats = System.stacks_tcp_stats sys_a in
+  let segs_out =
+    List.fold_left (fun acc st -> acc + st.Psd_tcp.Tcp.segs_out) 0 stats
+  in
+  let rexmt =
+    List.fold_left (fun acc st -> acc + st.Psd_tcp.Tcp.rexmt_segs) 0 stats
+  in
+  {
+    config;
+    bytes = total;
+    elapsed_ns = elapsed;
+    kb_per_sec =
+      float_of_int total /. 1024. /. (float_of_int elapsed /. 1e9);
+    rcv_buf;
+    segs_out;
+    rexmt;
+    wire_utilization =
+      float_of_int (Psd_link.Segment.busy_ns segment - !wire_busy_start)
+      /. float_of_int elapsed;
+  }
+
+let pp fmt r =
+  Format.fprintf fmt "%-36s %8.0f KB/s  (buf %3dKB, %5d segs, %d rexmt, wire %.0f%%)"
+    r.config.Psd_cost.Config.label r.kb_per_sec (r.rcv_buf / 1024) r.segs_out
+    r.rexmt
+    (100. *. r.wire_utilization)

@@ -1,0 +1,28 @@
+(** The paper's throughput microbenchmark: memory-to-memory TCP transfer
+    of a fixed volume between two hosts (16 MB in the paper). *)
+
+type result = {
+  config : Psd_cost.Config.t;
+  bytes : int;
+  elapsed_ns : int;
+  kb_per_sec : float;
+  rcv_buf : int;
+  segs_out : int;  (** sender data segments *)
+  rexmt : int;
+  wire_utilization : float;  (** fraction of elapsed time the wire was busy *)
+}
+
+val run :
+  ?plat:Psd_cost.Platform.t ->
+  ?machine:Paper.machine ->
+  ?mb:int ->
+  ?rcv_buf:int ->
+  ?delack_ns:int ->
+  ?seed:int ->
+  Psd_cost.Config.t ->
+  result
+(** Build a fresh two-host simulation in the given configuration and
+    transfer [mb] megabytes (default 16). [rcv_buf] defaults to the
+    paper's per-configuration best (Table 2). *)
+
+val pp : Format.formatter -> result -> unit

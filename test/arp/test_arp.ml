@@ -1,0 +1,198 @@
+open Psd_arp
+open Psd_link
+
+let addr = Psd_ip.Addr.of_string
+
+let ( => ) name b = Alcotest.(check bool) name true b
+
+let test_packet_roundtrip () =
+  let p =
+    {
+      Packet.op = Packet.Request;
+      sender_mac = Macaddr.of_host_id 1;
+      sender_ip = addr "10.0.0.1";
+      target_mac = Macaddr.of_string "\x00\x00\x00\x00\x00\x00";
+      target_ip = addr "10.0.0.2";
+    }
+  in
+  let b = Packet.encode p in
+  Alcotest.(check int) "size" Packet.size (Bytes.length b);
+  match Packet.decode b ~off:0 ~len:(Bytes.length b) with
+  | Ok p' ->
+    "op" => (p'.Packet.op = Packet.Request);
+    "sender ip" => Psd_ip.Addr.equal p'.Packet.sender_ip (addr "10.0.0.1");
+    "sender mac" => Macaddr.equal p'.Packet.sender_mac (Macaddr.of_host_id 1)
+  | Error e -> Alcotest.fail e
+
+let test_packet_rejects () =
+  let b = Bytes.make 10 '\x00' in
+  (match Packet.decode b ~off:0 ~len:10 with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "short accepted");
+  let p =
+    Packet.encode
+      {
+        Packet.op = Packet.Reply;
+        sender_mac = Macaddr.of_host_id 1;
+        sender_ip = addr "10.0.0.1";
+        target_mac = Macaddr.of_host_id 2;
+        target_ip = addr "10.0.0.2";
+      }
+  in
+  Psd_util.Codec.set_u16 p 6 9 (* bad op *);
+  match Packet.decode p ~off:0 ~len:(Bytes.length p) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bad op accepted"
+
+let test_cache_basic () =
+  let eng = Psd_sim.Engine.create () in
+  let c = Cache.create eng () in
+  Alcotest.(check bool) "miss" true (Cache.lookup c (addr "10.0.0.9") = None);
+  Cache.insert c (addr "10.0.0.9") (Macaddr.of_host_id 9);
+  (match Cache.lookup c (addr "10.0.0.9") with
+  | Some mac -> "hit" => Macaddr.equal mac (Macaddr.of_host_id 9)
+  | None -> Alcotest.fail "expected hit");
+  Cache.invalidate c (addr "10.0.0.9");
+  "gone" => (Cache.lookup c (addr "10.0.0.9") = None)
+
+let test_cache_expiry () =
+  let eng = Psd_sim.Engine.create () in
+  let c = Cache.create eng ~ttl_ns:(Psd_sim.Time.ms 100) () in
+  Cache.insert c (addr "10.0.0.9") (Macaddr.of_host_id 9);
+  Psd_sim.Engine.run_until eng (Psd_sim.Time.ms 50);
+  "still valid" => (Cache.lookup c (addr "10.0.0.9") <> None);
+  Psd_sim.Engine.run_until eng (Psd_sim.Time.ms 150);
+  "expired" => (Cache.lookup c (addr "10.0.0.9") = None)
+
+let test_cache_notification () =
+  (* The paper's metastate-invalidation mechanism: subscribers (application
+     caches) hear about every change. *)
+  let eng = Psd_sim.Engine.create () in
+  let c = Cache.create eng () in
+  let events = ref [] in
+  Cache.subscribe c (fun ip -> events := ip :: !events);
+  Cache.insert c (addr "10.0.0.9") (Macaddr.of_host_id 9);
+  Cache.invalidate c (addr "10.0.0.9");
+  Alcotest.(check int) "two events" 2 (List.length !events)
+
+let test_cache_flush () =
+  let eng = Psd_sim.Engine.create () in
+  let c = Cache.create eng () in
+  Cache.insert c (addr "10.0.0.1") (Macaddr.of_host_id 1);
+  Cache.insert c (addr "10.0.0.2") (Macaddr.of_host_id 2);
+  Alcotest.(check int) "two" 2 (Cache.size c);
+  Cache.flush c;
+  Alcotest.(check int) "zero" 0 (Cache.size c)
+
+(* Two resolvers wired over a lossless broadcast medium. *)
+let wire_pair () =
+  let eng = Psd_sim.Engine.create () in
+  let make ip id peer_input =
+    let cache = Cache.create eng () in
+    let resolver = ref None in
+    let send ~dst p =
+      ignore dst;
+      Psd_sim.Engine.schedule eng 10_000 (fun () ->
+          match !peer_input with Some f -> f p | None -> ())
+    in
+    let r =
+      Resolver.create ~eng ~cache ~my_ip:(addr ip)
+        ~my_mac:(Macaddr.of_host_id id) ~send
+        ~retry_interval_ns:(Psd_sim.Time.ms 50) ()
+    in
+    resolver := Some r;
+    (r, cache)
+  in
+  let input_b = ref None and input_a = ref None in
+  let ra, ca = make "10.0.0.1" 1 input_b in
+  let rb, cb = make "10.0.0.2" 2 input_a in
+  input_a := Some (fun p -> Resolver.input ra p);
+  input_b := Some (fun p -> Resolver.input rb p);
+  (eng, ra, ca, rb, cb)
+
+let test_resolve_query_reply () =
+  let eng, ra, ca, _rb, _cb = wire_pair () in
+  let result = ref None in
+  Resolver.resolve ra (addr "10.0.0.2") (fun r -> result := r);
+  Psd_sim.Engine.run eng;
+  (match !result with
+  | Some mac -> "resolved" => Macaddr.equal mac (Macaddr.of_host_id 2)
+  | None -> Alcotest.fail "resolution failed");
+  "cached" => (Cache.lookup ca (addr "10.0.0.2") <> None);
+  Alcotest.(check int) "no pending" 0 (Resolver.pending ra)
+
+let test_resolve_cache_hit_no_traffic () =
+  let eng, ra, ca, _rb, _cb = wire_pair () in
+  Cache.insert ca (addr "10.0.0.2") (Macaddr.of_host_id 2);
+  let immediate = ref false in
+  Resolver.resolve ra (addr "10.0.0.2") (fun r ->
+      immediate := r <> None);
+  "cache hit is synchronous" => !immediate;
+  Psd_sim.Engine.run eng
+
+let test_resolve_timeout () =
+  let eng = Psd_sim.Engine.create () in
+  let cache = Cache.create eng () in
+  let queries = ref 0 in
+  let r =
+    Resolver.create ~eng ~cache ~my_ip:(addr "10.0.0.1")
+      ~my_mac:(Macaddr.of_host_id 1)
+      ~send:(fun ~dst:_ _ -> incr queries)
+      ~retries:3
+      ~retry_interval_ns:(Psd_sim.Time.ms 10) ()
+  in
+  let result = ref (Some (Macaddr.of_host_id 9)) in
+  Resolver.resolve r (addr "10.0.0.99") (fun res -> result := res);
+  Psd_sim.Engine.run eng;
+  "timed out with None" => (!result = None);
+  Alcotest.(check int) "1 + 3 retries" 4 !queries;
+  Alcotest.(check int) "no pending" 0 (Resolver.pending r)
+
+let test_concurrent_resolutions_share_query () =
+  let eng, ra, _ca, _rb, _cb = wire_pair () in
+  let hits = ref 0 in
+  for _ = 1 to 5 do
+    Resolver.resolve ra (addr "10.0.0.2") (fun r ->
+        if r <> None then incr hits)
+  done;
+  Alcotest.(check int) "single pending entry" 1 (Resolver.pending ra);
+  Psd_sim.Engine.run eng;
+  Alcotest.(check int) "all continuations fired" 5 !hits
+
+let test_request_triggers_reply_and_learning () =
+  let eng, ra, ca, rb, _cb = wire_pair () in
+  ignore rb;
+  (* b resolves a; a should end up knowing b as well (it replied to it) *)
+  let done_ = ref false in
+  Resolver.resolve ra (addr "10.0.0.2") (fun _ -> done_ := true);
+  Psd_sim.Engine.run eng;
+  "resolved" => !done_;
+  "a learned b" => (Cache.lookup ca (addr "10.0.0.2") <> None)
+
+let () =
+  Alcotest.run "psd_arp"
+    [
+      ( "packet",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_packet_roundtrip;
+          Alcotest.test_case "rejects" `Quick test_packet_rejects;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "basic" `Quick test_cache_basic;
+          Alcotest.test_case "expiry" `Quick test_cache_expiry;
+          Alcotest.test_case "notification" `Quick test_cache_notification;
+          Alcotest.test_case "flush" `Quick test_cache_flush;
+        ] );
+      ( "resolver",
+        [
+          Alcotest.test_case "query/reply" `Quick test_resolve_query_reply;
+          Alcotest.test_case "cache hit" `Quick
+            test_resolve_cache_hit_no_traffic;
+          Alcotest.test_case "timeout" `Quick test_resolve_timeout;
+          Alcotest.test_case "shared query" `Quick
+            test_concurrent_resolutions_share_query;
+          Alcotest.test_case "learning" `Quick
+            test_request_triggers_reply_and_learning;
+        ] );
+    ]

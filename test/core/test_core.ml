@@ -1,0 +1,671 @@
+open Psd_core
+module Cfg = Psd_cost.Config
+
+let ( => ) name b = Alcotest.(check bool) name true b
+
+let all_configs =
+  [
+    Cfg.mach25_kernel;
+    Cfg.ux_server;
+    Cfg.library_ipc;
+    Cfg.library_shm;
+    Cfg.library_shm_ipf;
+    Cfg.library_newapi_shm_ipf;
+  ]
+
+type pair = {
+  eng : Psd_sim.Engine.t;
+  seg : Psd_link.Segment.t;
+  sys_a : System.t;
+  sys_b : System.t;
+}
+
+let make_pair ?(config = Cfg.library_shm_ipf) ?(seed = 3) () =
+  let eng = Psd_sim.Engine.create ~seed () in
+  let seg = Psd_link.Segment.create eng () in
+  let sys_a =
+    System.create ~eng ~segment:seg ~config ~addr:"10.0.0.1" ~name:"alpha" ()
+  in
+  let sys_b =
+    System.create ~eng ~segment:seg ~config ~addr:"10.0.0.2" ~name:"beta" ()
+  in
+  { eng; seg; sys_a; sys_b }
+
+let ok name = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "%s: %s" name e
+
+(* run an echo server on sys_b accepting [n] connections *)
+let spawn_echo_server p ?(port = 7) ?(n = 1) () =
+  let app = System.app p.sys_b ~name:"echo-server" in
+  Psd_sim.Engine.spawn p.eng ~name:"echo-server" (fun () ->
+      let s = Sockets.stream app in
+      let (_ : int) = ok "bind" (Sockets.bind s ~port ()) in
+      ok "listen" (Sockets.listen s ());
+      for _ = 1 to n do
+        let c = ok "accept" (Sockets.accept s) in
+        Psd_sim.Engine.spawn p.eng ~name:"echo-conn" (fun () ->
+            let rec loop () =
+              match Sockets.recv c ~max:65536 with
+              | Ok "" -> Sockets.close c
+              | Ok data ->
+                let (_ : int) = ok "echo send" (Sockets.send c data) in
+                loop ()
+              | Error _ -> Sockets.close c
+            in
+            loop ())
+      done);
+  app
+
+let dst_b = Psd_ip.Addr.of_string "10.0.0.2"
+
+(* --- every configuration carries data end to end ---------------------- *)
+
+let test_tcp_echo_all_configs () =
+  List.iter
+    (fun config ->
+      let p = make_pair ~config () in
+      let (_ : Sockets.app) = spawn_echo_server p () in
+      let done_ = ref false in
+      let client = System.app p.sys_a ~name:"client" in
+      Psd_sim.Engine.spawn p.eng ~name:"client" (fun () ->
+          let s = Sockets.stream client in
+          ok "connect" (Sockets.connect s dst_b 7);
+          let msg = "hello through " ^ config.Cfg.label in
+          let (_ : int) = ok "send" (Sockets.send s msg) in
+          let rec read_all acc =
+            if String.length acc >= String.length msg then acc
+            else
+              match Sockets.recv s ~max:4096 with
+              | Ok "" -> acc
+              | Ok d -> read_all (acc ^ d)
+              | Error e -> Alcotest.failf "recv: %s" e
+          in
+          let echoed = read_all "" in
+          Alcotest.(check string) ("echo " ^ config.Cfg.label) msg echoed;
+          Sockets.close s;
+          done_ := true);
+      Psd_sim.Engine.run_for p.eng (Psd_sim.Time.sec 20);
+      if not !done_ then Alcotest.failf "%s: did not finish" config.Cfg.label)
+    all_configs
+
+let test_udp_roundtrip_all_configs () =
+  List.iter
+    (fun config ->
+      let p = make_pair ~config () in
+      let server = System.app p.sys_b ~name:"udp-server" in
+      Psd_sim.Engine.spawn p.eng ~name:"udp-server" (fun () ->
+          let s = Sockets.dgram server in
+          let (_ : int) = ok "bind" (Sockets.bind s ~port:9 ()) in
+          match Sockets.recvfrom s ~max:65536 with
+          | Ok (data, Some (ip, pt)) ->
+            let (_ : int) =
+              ok "reply" (Sockets.send s ~dst:(ip, pt) ("re:" ^ data))
+            in
+            ()
+          | Ok (_, None) -> Alcotest.fail "no source address"
+          | Error e -> Alcotest.failf "server recv: %s" e);
+      let got = ref "" in
+      let client = System.app p.sys_a ~name:"udp-client" in
+      Psd_sim.Engine.spawn p.eng ~name:"udp-client" (fun () ->
+          let s = Sockets.dgram client in
+          let (_ : int) = ok "bind" (Sockets.bind s ()) in
+          let (_ : int) = ok "send" (Sockets.send s ~dst:(dst_b, 9) "ping") in
+          match Sockets.recv s ~max:4096 with
+          | Ok d -> got := d
+          | Error e -> Alcotest.failf "client recv: %s" e);
+      Psd_sim.Engine.run_for p.eng (Psd_sim.Time.sec 20);
+      Alcotest.(check string) ("udp " ^ config.Cfg.label) "re:ping" !got)
+    all_configs
+
+(* --- migration observables -------------------------------------------- *)
+
+let test_library_sessions_migrate () =
+  let p = make_pair ~config:Cfg.library_shm () in
+  let (_ : Sockets.app) = spawn_echo_server p () in
+  let loc = ref Sockets.Loc_none in
+  let client = System.app p.sys_a ~name:"client" in
+  Psd_sim.Engine.spawn p.eng (fun () ->
+      let s = Sockets.stream client in
+      ok "connect" (Sockets.connect s dst_b 7);
+      loc := Sockets.location s;
+      let (_ : int) = ok "send" (Sockets.send s "x") in
+      ignore (Sockets.recv s ~max:10);
+      Sockets.close s);
+  Psd_sim.Engine.run_for p.eng (Psd_sim.Time.sec 10);
+  "client session was library-resident" => (!loc = Sockets.Loc_library);
+  (match System.server p.sys_a with
+  | Some srv ->
+    (* connect migrated out; close migrated back *)
+    "migrations happened" => (Os_server.migrations srv >= 2)
+  | None -> Alcotest.fail "no server");
+  match System.server p.sys_b with
+  | Some srv ->
+    "server-side migrations (accept out, close back)"
+    => (Os_server.migrations srv >= 2)
+  | None -> Alcotest.fail "no server"
+
+let test_server_sessions_stay () =
+  let p = make_pair ~config:Cfg.ux_server () in
+  let (_ : Sockets.app) = spawn_echo_server p () in
+  let loc = ref Sockets.Loc_none in
+  let client = System.app p.sys_a ~name:"client" in
+  Psd_sim.Engine.spawn p.eng (fun () ->
+      let s = Sockets.stream client in
+      ok "connect" (Sockets.connect s dst_b 7);
+      loc := Sockets.location s;
+      Sockets.close s);
+  Psd_sim.Engine.run_for p.eng (Psd_sim.Time.sec 10);
+  "server placement keeps sessions" => (!loc = Sockets.Loc_server);
+  match System.server p.sys_a with
+  | Some srv -> Alcotest.(check int) "no migrations" 0 (Os_server.migrations srv)
+  | None -> Alcotest.fail "no server"
+
+let test_data_before_accept_survives_migration () =
+  (* Client connects and immediately sends; the server app accepts only
+     later. The data accumulated in the listening stack must arrive via
+     the migration snapshot. *)
+  let p = make_pair ~config:Cfg.library_shm_ipf () in
+  let server_app = System.app p.sys_b ~name:"slow-server" in
+  let got = ref "" in
+  Psd_sim.Engine.spawn p.eng (fun () ->
+      let s = Sockets.stream server_app in
+      let (_ : int) = ok "bind" (Sockets.bind s ~port:7 ()) in
+      ok "listen" (Sockets.listen s ());
+      (* deliberately late accept *)
+      Psd_sim.Engine.sleep p.eng (Psd_sim.Time.ms 300);
+      let c = ok "accept" (Sockets.accept s) in
+      match Sockets.recv c ~max:4096 with
+      | Ok d -> got := d
+      | Error e -> Alcotest.failf "recv: %s" e);
+  let client = System.app p.sys_a ~name:"eager-client" in
+  Psd_sim.Engine.spawn p.eng (fun () ->
+      let s = Sockets.stream client in
+      ok "connect" (Sockets.connect s dst_b 7);
+      let (_ : int) = ok "send" (Sockets.send s "early-bird") in
+      ());
+  Psd_sim.Engine.run_for p.eng (Psd_sim.Time.sec 10);
+  Alcotest.(check string) "pre-accept data" "early-bird" !got
+
+(* --- fork -------------------------------------------------------------- *)
+
+let test_fork_returns_sessions () =
+  let p = make_pair ~config:Cfg.library_shm () in
+  let (_ : Sockets.app) = spawn_echo_server p () in
+  let before_fork = ref Sockets.Loc_none in
+  let after_fork = ref Sockets.Loc_none in
+  let echoed = ref "" in
+  let client = System.app p.sys_a ~name:"parent" in
+  Psd_sim.Engine.spawn p.eng (fun () ->
+      let s = Sockets.stream client in
+      ok "connect" (Sockets.connect s dst_b 7);
+      before_fork := Sockets.location s;
+      let (_ : Sockets.app) = Sockets.fork client ~name:"child" in
+      after_fork := Sockets.location s;
+      (* data operations are now routed through the server *)
+      let (_ : int) = ok "send after fork" (Sockets.send s "post-fork") in
+      (match Sockets.recv s ~max:4096 with
+      | Ok d -> echoed := d
+      | Error e -> Alcotest.failf "recv: %s" e);
+      Sockets.close s);
+  Psd_sim.Engine.run_for p.eng (Psd_sim.Time.sec 10);
+  "was in library" => (!before_fork = Sockets.Loc_library);
+  "returned to server" => (!after_fork = Sockets.Loc_server);
+  Alcotest.(check string) "data still flows" "post-fork" !echoed
+
+(* --- select ------------------------------------------------------------- *)
+
+let test_select_timeout () =
+  let p = make_pair ~config:Cfg.library_shm () in
+  let client = System.app p.sys_a ~name:"selector" in
+  let result = ref [ 1 ] in
+  Psd_sim.Engine.spawn p.eng (fun () ->
+      let s = Sockets.dgram client in
+      let (_ : int) = ok "bind" (Sockets.bind s ()) in
+      let ready = Sockets.select ~timeout_ns:(Psd_sim.Time.ms 50) [ s ] in
+      result := List.map (fun _ -> 0) ready);
+  Psd_sim.Engine.run_for p.eng (Psd_sim.Time.sec 5);
+  Alcotest.(check (list int)) "timeout -> empty" [] !result
+
+let test_select_wakes_on_local_data () =
+  (* Library placement: data arrives in the application's own stack; the
+     proxy_status notification must wake the server-side select. *)
+  let p = make_pair ~config:Cfg.library_shm () in
+  let server_app = System.app p.sys_b ~name:"udp-peer" in
+  Psd_sim.Engine.spawn p.eng (fun () ->
+      let s = Sockets.dgram server_app in
+      let (_ : int) = ok "bind" (Sockets.bind s ~port:9 ()) in
+      Psd_sim.Engine.sleep p.eng (Psd_sim.Time.ms 100);
+      let (_ : int) =
+        ok "send"
+          (Sockets.send s ~dst:(Psd_ip.Addr.of_string "10.0.0.1", 5000) "wake")
+      in
+      ());
+  let woke = ref false in
+  let client = System.app p.sys_a ~name:"selector" in
+  Psd_sim.Engine.spawn p.eng (fun () ->
+      let s = Sockets.dgram client in
+      let (_ : int) = ok "bind" (Sockets.bind s ~port:5000 ()) in
+      let ready = Sockets.select [ s ] in
+      woke := ready <> [];
+      match Sockets.recv s ~max:100 with
+      | Ok "wake" -> ()
+      | _ -> Alcotest.fail "wrong datagram");
+  Psd_sim.Engine.run_for p.eng (Psd_sim.Time.sec 5);
+  "select woke on datagram" => !woke
+
+(* --- exceptional conditions --------------------------------------------- *)
+
+let test_task_exit_aborts_connections () =
+  let p = make_pair ~config:Cfg.library_shm () in
+  let server_sessions_after = ref (-1) in
+  let (_ : Sockets.app) = spawn_echo_server p () in
+  let client = System.app p.sys_a ~name:"dying-client" in
+  Psd_sim.Engine.spawn p.eng (fun () ->
+      let s = Sockets.stream client in
+      ok "connect" (Sockets.connect s dst_b 7);
+      Psd_sim.Engine.sleep p.eng (Psd_sim.Time.ms 50);
+      (* process dies without closing *)
+      Sockets.exit client;
+      Psd_sim.Engine.sleep p.eng (Psd_sim.Time.sec 1);
+      match System.server p.sys_a with
+      | Some srv -> server_sessions_after := Os_server.sessions_active srv
+      | None -> ());
+  Psd_sim.Engine.run_for p.eng (Psd_sim.Time.sec 10);
+  Alcotest.(check int) "naming state cleaned" 0 !server_sessions_after
+
+let test_connect_refused () =
+  let p = make_pair ~config:Cfg.library_shm () in
+  let result = ref (Ok ()) in
+  let client = System.app p.sys_a ~name:"client" in
+  Psd_sim.Engine.spawn p.eng (fun () ->
+      let s = Sockets.stream client in
+      result := Sockets.connect s dst_b 4444);
+  Psd_sim.Engine.run_for p.eng (Psd_sim.Time.sec 5);
+  (match !result with
+  | Error e -> Alcotest.(check string) "refused" "connection refused" e
+  | Ok () -> Alcotest.fail "connect succeeded to closed port")
+
+let test_port_conflict_across_apps () =
+  (* Two applications on one host: the server's port namespace must make
+     the second bind fail even though the stacks are separate. *)
+  let p = make_pair ~config:Cfg.library_shm () in
+  let app1 = System.app p.sys_b ~name:"app1" in
+  let app2 = System.app p.sys_b ~name:"app2" in
+  let second = ref (Ok 0) in
+  Psd_sim.Engine.spawn p.eng (fun () ->
+      let s1 = Sockets.dgram app1 in
+      let (_ : int) = ok "first bind" (Sockets.bind s1 ~port:111 ()) in
+      let s2 = Sockets.dgram app2 in
+      second := Sockets.bind s2 ~port:111 ());
+  Psd_sim.Engine.run_for p.eng (Psd_sim.Time.sec 5);
+  (match !second with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "conflicting bind accepted")
+
+let test_backpressure_large_transfer () =
+  (* 200 KB through the full system exercises window flow control,
+     send-buffer blocking, and ordered delivery. *)
+  let p = make_pair ~config:Cfg.library_shm_ipf () in
+  let payload = String.init 200_000 (fun i -> Char.chr (i * 11 mod 256)) in
+  let received = Buffer.create 1024 in
+  let server_app = System.app p.sys_b ~name:"sink-server" in
+  Psd_sim.Engine.spawn p.eng (fun () ->
+      let s = Sockets.stream server_app in
+      let (_ : int) = ok "bind" (Sockets.bind s ~port:7 ()) in
+      ok "listen" (Sockets.listen s ());
+      let c = ok "accept" (Sockets.accept s) in
+      let rec loop () =
+        match Sockets.recv c ~max:32768 with
+        | Ok "" -> ()
+        | Ok d ->
+          Buffer.add_string received d;
+          loop ()
+        | Error e -> Alcotest.failf "recv: %s" e
+      in
+      loop ());
+  let client = System.app p.sys_a ~name:"pump" in
+  Psd_sim.Engine.spawn p.eng (fun () ->
+      let s = Sockets.stream client in
+      ok "connect" (Sockets.connect s dst_b 7);
+      let (_ : int) = ok "send" (Sockets.send s payload) in
+      Sockets.close s);
+  Psd_sim.Engine.run_for p.eng (Psd_sim.Time.sec 60);
+  Alcotest.(check int) "all bytes" (String.length payload)
+    (Buffer.length received);
+  "content intact" => String.equal payload (Buffer.contents received)
+
+let test_arp_metastate_cached () =
+  let p = make_pair ~config:Cfg.library_shm () in
+  let server_app = System.app p.sys_b ~name:"udp-sink" in
+  Psd_sim.Engine.spawn p.eng (fun () ->
+      let s = Sockets.dgram server_app in
+      let (_ : int) = ok "bind" (Sockets.bind s ~port:9 ()) in
+      for _ = 1 to 3 do
+        ignore (Sockets.recv s ~max:100)
+      done);
+  let client = System.app p.sys_a ~name:"udp-src" in
+  let frames_after_first = ref 0 in
+  Psd_sim.Engine.spawn p.eng (fun () ->
+      let s = Sockets.dgram client in
+      let (_ : int) = ok "bind" (Sockets.bind s ()) in
+      let (_ : int) = ok "send1" (Sockets.send s ~dst:(dst_b, 9) "one") in
+      Psd_sim.Engine.sleep p.eng (Psd_sim.Time.ms 100);
+      frames_after_first := Psd_link.Segment.frames_sent p.seg;
+      let (_ : int) = ok "send2" (Sockets.send s ~dst:(dst_b, 9) "two") in
+      let (_ : int) = ok "send3" (Sockets.send s ~dst:(dst_b, 9) "three") in
+      ());
+  Psd_sim.Engine.run_for p.eng (Psd_sim.Time.sec 5);
+  let total = Psd_link.Segment.frames_sent p.seg in
+  (* first send cost ARP query+reply+datagram = 3 frames; the next two
+     sends must be exactly one frame each (cache hits, no server RPC
+     visible on the wire) *)
+  Alcotest.(check int) "first send: arp+data" 3 !frames_after_first;
+  Alcotest.(check int) "cached sends: data only" 5 total
+
+let test_udp_unreachable_soft_error_kernel () =
+  (* connected UDP to a dead port: the kernel's ICMP turns the remote
+     port-unreachable into a soft error on the next send *)
+  let p = make_pair ~config:Cfg.mach25_kernel () in
+  let result = ref (Ok 0) in
+  let client = System.app p.sys_a ~name:"udp-client" in
+  Psd_sim.Engine.spawn p.eng (fun () ->
+      let s = Sockets.dgram client in
+      ignore (ok "bind" (Sockets.bind s ()));
+      ok "connect" (Sockets.connect s dst_b 4242);
+      ignore (ok "first send leaves" (Sockets.send s "into the void"));
+      Psd_sim.Engine.sleep p.eng (Psd_sim.Time.ms 100);
+      result := Sockets.send s "second try");
+  Psd_sim.Engine.run_for p.eng (Psd_sim.Time.sec 5);
+  (match !result with
+  | Error e -> Alcotest.(check string) "refused" "connection refused" e
+  | Ok _ -> Alcotest.fail "soft error not delivered")
+
+let test_udp_unreachable_soft_error_library () =
+  (* same, in the decomposed architecture: the ICMP arrives at the OS
+     server (exceptional packet) and is forwarded into the application's
+     migrated session *)
+  let p = make_pair ~config:Cfg.library_shm_ipf () in
+  let result = ref (Ok 0) in
+  let client = System.app p.sys_a ~name:"udp-client" in
+  Psd_sim.Engine.spawn p.eng (fun () ->
+      let s = Sockets.dgram client in
+      ignore (ok "bind" (Sockets.bind s ()));
+      ok "connect" (Sockets.connect s dst_b 4242);
+      ignore (ok "first send leaves" (Sockets.send s "into the void"));
+      Psd_sim.Engine.sleep p.eng (Psd_sim.Time.ms 100);
+      result := Sockets.send s "second try");
+  Psd_sim.Engine.run_for p.eng (Psd_sim.Time.sec 5);
+  (match !result with
+  | Error e -> Alcotest.(check string) "refused" "connection refused" e
+  | Ok _ -> Alcotest.fail "soft error not forwarded")
+
+let test_ping_via_kernel_stacks () =
+  let p = make_pair ~config:Cfg.mach25_kernel () in
+  let replied = ref false in
+  (match System.kernel_stack p.sys_a with
+  | Some stack -> (
+    match Netstack.icmp stack with
+    | Some icmp ->
+      Psd_ip.Icmp.on_reply icmp (fun ~src:_ ~id:_ ~seq:_ ~payload:_ ->
+          replied := true);
+      Psd_sim.Engine.spawn p.eng (fun () ->
+          Psd_ip.Icmp.ping icmp ~dst:dst_b ())
+    | None -> Alcotest.fail "kernel stack has no icmp")
+  | None -> Alcotest.fail "no kernel stack");
+  Psd_sim.Engine.run_for p.eng (Psd_sim.Time.sec 5);
+  "echo reply received" => !replied
+
+let test_two_apps_concurrent_on_one_host () =
+  (* Two applications on one host, each with its own protocol library and
+     packet filters, stream concurrently to the same remote server: the
+     kernel demultiplexer must keep the flows apart. *)
+  let p = make_pair ~config:Cfg.library_shm_ipf () in
+  let (_ : Sockets.app) = spawn_echo_server p ~n:2 () in
+  let done_count = ref 0 in
+  for i = 1 to 2 do
+    let app = System.app p.sys_a ~name:(Printf.sprintf "worker%d" i) in
+    Psd_sim.Engine.spawn p.eng (fun () ->
+        let s = Sockets.stream app in
+        ok "connect" (Sockets.connect s dst_b 7);
+        let payload =
+          String.init 50_000 (fun j -> Char.chr ((j * i * 7) mod 256))
+        in
+        let (_ : int) = ok "send" (Sockets.send s payload) in
+        let rec read_all acc =
+          if acc >= String.length payload then acc
+          else
+            match Sockets.recv s ~max:65536 with
+            | Ok "" -> acc
+            | Ok d -> read_all (acc + String.length d)
+            | Error e -> Alcotest.failf "recv: %s" e
+        in
+        let n = read_all 0 in
+        Alcotest.(check int)
+          (Printf.sprintf "worker%d echoed all" i)
+          (String.length payload) n;
+        Sockets.close s;
+        incr done_count)
+  done;
+  Psd_sim.Engine.run_for p.eng (Psd_sim.Time.sec 120);
+  Alcotest.(check int) "both finished" 2 !done_count
+
+let test_migration_storm_no_leaks () =
+  (* Many short-lived connections: every one migrates out on accept/connect
+     and back on close. Afterwards the servers' naming state must be
+     exactly the listener session — nothing leaked. *)
+  let p = make_pair ~config:Cfg.library_shm () in
+  let conns = 12 in
+  let (_ : Sockets.app) = spawn_echo_server p ~n:conns () in
+  let finished = ref 0 in
+  let client = System.app p.sys_a ~name:"storm" in
+  Psd_sim.Engine.spawn p.eng (fun () ->
+      for i = 1 to conns do
+        let s = Sockets.stream client in
+        ok "connect" (Sockets.connect s dst_b 7);
+        let msg = Printf.sprintf "conn-%d" i in
+        let (_ : int) = ok "send" (Sockets.send s msg) in
+        (match Sockets.recv s ~max:100 with
+        | Ok d when d = msg -> incr finished
+        | Ok d -> Alcotest.failf "wrong echo %S" d
+        | Error e -> Alcotest.failf "recv: %s" e);
+        Sockets.close s
+      done);
+  (* run past 2MSL so TIME_WAIT states are reaped *)
+  Psd_sim.Engine.run_for p.eng (Psd_sim.Time.sec 200);
+  Alcotest.(check int) "all conversations completed" conns !finished;
+  (match System.server p.sys_a with
+  | Some srv ->
+    Alcotest.(check int) "client host: no leaked sessions" 0
+      (Os_server.sessions_active srv);
+    "many migrations" => (Os_server.migrations srv >= 2 * conns)
+  | None -> Alcotest.fail "no server");
+  match System.server p.sys_b with
+  | Some srv ->
+    Alcotest.(check int) "server host: only the listener remains" 1
+      (Os_server.sessions_active srv)
+  | None -> Alcotest.fail "no server"
+
+(* --- BSD conformity extras ---------------------------------------------- *)
+
+let test_half_close () =
+  (* shutdown(SHUT_WR): our FIN goes out, but we can still receive the
+     peer's response afterwards — the classic request/response close. *)
+  let p = make_pair ~config:Cfg.library_shm () in
+  let server_app = System.app p.sys_b ~name:"responder" in
+  Psd_sim.Engine.spawn p.eng (fun () ->
+      let l = Sockets.stream server_app in
+      ignore (ok "bind" (Sockets.bind l ~port:7 ()));
+      ok "listen" (Sockets.listen l ());
+      let c = ok "accept" (Sockets.accept l) in
+      (* read until EOF, then answer *)
+      let rec drain acc =
+        match Sockets.recv c ~max:4096 with
+        | Ok "" -> acc
+        | Ok d -> drain (acc ^ d)
+        | Error e -> Alcotest.failf "server recv: %s" e
+      in
+      let request = drain "" in
+      ignore (ok "respond" (Sockets.send c ("answer:" ^ request)));
+      Sockets.close c);
+  let got = ref "" in
+  let client = System.app p.sys_a ~name:"asker" in
+  Psd_sim.Engine.spawn p.eng (fun () ->
+      let s = Sockets.stream client in
+      ok "connect" (Sockets.connect s dst_b 7);
+      ignore (ok "send" (Sockets.send s "question"));
+      ok "shutdown" (Sockets.shutdown s);
+      (match Sockets.recv s ~max:4096 with
+      | Ok d -> got := d
+      | Error e -> Alcotest.failf "client recv after shutdown: %s" e);
+      Sockets.close s);
+  Psd_sim.Engine.run_for p.eng (Psd_sim.Time.sec 10);
+  Alcotest.(check string) "response after half-close" "answer:question" !got
+
+let test_nonblocking_recv_and_accept () =
+  let p = make_pair ~config:Cfg.library_shm () in
+  let results = ref [] in
+  let app = System.app p.sys_a ~name:"nb" in
+  Psd_sim.Engine.spawn p.eng (fun () ->
+      let s = Sockets.dgram app in
+      ignore (ok "bind" (Sockets.bind s ()));
+      Sockets.set_nonblocking s true;
+      (match Sockets.recv s ~max:100 with
+      | Error e -> results := ("recv", e) :: !results
+      | Ok _ -> Alcotest.fail "recv should not succeed");
+      let l = Sockets.stream app in
+      ignore (ok "bind l" (Sockets.bind l ~port:99 ()));
+      ok "listen" (Sockets.listen l ());
+      Sockets.set_nonblocking l true;
+      match Sockets.accept l with
+      | Error e -> results := ("accept", e) :: !results
+      | Ok _ -> Alcotest.fail "accept should not succeed");
+  Psd_sim.Engine.run_for p.eng (Psd_sim.Time.sec 5);
+  Alcotest.(check int) "two ewouldblocks" 2 (List.length !results);
+  List.iter
+    (fun (_, e) ->
+      Alcotest.(check string) "ewouldblock" "operation would block" e)
+    !results
+
+let test_nonblocking_send_partial () =
+  (* a non-blocking sender against a stalled receiver eventually gets a
+     partial write, then EWOULDBLOCK — never a hang *)
+  let p = make_pair ~config:Cfg.library_shm () in
+  let server_app = System.app p.sys_b ~name:"stall" in
+  Psd_sim.Engine.spawn p.eng (fun () ->
+      let l = Sockets.stream server_app in
+      ignore (ok "bind" (Sockets.bind l ~port:7 ()));
+      ok "listen" (Sockets.listen l ());
+      let _c = ok "accept" (Sockets.accept l) in
+      (* never reads *)
+      Psd_sim.Engine.sleep p.eng (Psd_sim.Time.sec 30));
+  let saw_partial = ref false and saw_block = ref false in
+  let client = System.app p.sys_a ~name:"nb-sender" in
+  Psd_sim.Engine.spawn p.eng (fun () ->
+      let s = Sockets.stream client in
+      ok "connect" (Sockets.connect s dst_b 7);
+      Sockets.set_nonblocking s true;
+      let big = String.make 200_000 'z' in
+      let rec loop budget =
+        if budget > 0 && not !saw_block then begin
+          (match Sockets.send s big with
+          | Ok n when n < String.length big -> saw_partial := true
+          | Ok _ -> ()
+          | Error "operation would block" -> saw_block := true
+          | Error e -> Alcotest.failf "send: %s" e);
+          Psd_sim.Engine.sleep p.eng (Psd_sim.Time.ms 10);
+          loop (budget - 1)
+        end
+      in
+      loop 50);
+  Psd_sim.Engine.run_for p.eng (Psd_sim.Time.sec 20);
+  "partial write happened" => !saw_partial;
+  "then would-block" => !saw_block
+
+(* --- port allocator ------------------------------------------------------ *)
+
+let test_portalloc_invariants () =
+  let pa = Portalloc.create () in
+  (match Portalloc.reserve pa 80 with Ok () -> () | Error _ -> Alcotest.fail "reserve");
+  (match Portalloc.reserve pa 80 with
+  | Error `In_use -> ()
+  | Ok () -> Alcotest.fail "double reserve");
+  let e1 = Portalloc.alloc_ephemeral pa in
+  let e2 = Portalloc.alloc_ephemeral pa in
+  "ephemeral distinct" => (e1 <> e2);
+  "ephemeral range" => (e1 >= 1024 && e2 >= 1024);
+  Alcotest.(check int) "count" 3 (Portalloc.count pa);
+  Portalloc.release pa 80;
+  (match Portalloc.reserve pa 80 with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "reserve after release");
+  (* an ephemeral allocation never collides with anything reserved *)
+  let seen = Hashtbl.create 64 in
+  Hashtbl.replace seen 80 ();
+  Hashtbl.replace seen e1 ();
+  Hashtbl.replace seen e2 ();
+  for _ = 1 to 200 do
+    let p = Portalloc.alloc_ephemeral pa in
+    if Hashtbl.mem seen p then Alcotest.failf "port %d allocated twice" p;
+    Hashtbl.replace seen p ()
+  done
+
+let () =
+  Alcotest.run "psd_core"
+    [
+      ( "end-to-end",
+        [
+          Alcotest.test_case "tcp echo, all configs" `Quick
+            test_tcp_echo_all_configs;
+          Alcotest.test_case "udp roundtrip, all configs" `Quick
+            test_udp_roundtrip_all_configs;
+          Alcotest.test_case "200KB transfer" `Quick
+            test_backpressure_large_transfer;
+          Alcotest.test_case "two apps, one host" `Quick
+            test_two_apps_concurrent_on_one_host;
+        ] );
+      ( "migration",
+        [
+          Alcotest.test_case "library sessions migrate" `Quick
+            test_library_sessions_migrate;
+          Alcotest.test_case "server sessions stay" `Quick
+            test_server_sessions_stay;
+          Alcotest.test_case "pre-accept data" `Quick
+            test_data_before_accept_survives_migration;
+          Alcotest.test_case "fork returns sessions" `Quick
+            test_fork_returns_sessions;
+          Alcotest.test_case "migration storm, no leaks" `Quick
+            test_migration_storm_no_leaks;
+        ] );
+      ( "select",
+        [
+          Alcotest.test_case "timeout" `Quick test_select_timeout;
+          Alcotest.test_case "wakes on local data" `Quick
+            test_select_wakes_on_local_data;
+        ] );
+      ( "exceptional",
+        [
+          Alcotest.test_case "task exit cleanup" `Quick
+            test_task_exit_aborts_connections;
+          Alcotest.test_case "connect refused" `Quick test_connect_refused;
+          Alcotest.test_case "port conflict" `Quick
+            test_port_conflict_across_apps;
+          Alcotest.test_case "arp metastate" `Quick test_arp_metastate_cached;
+          Alcotest.test_case "icmp soft error (kernel)" `Quick
+            test_udp_unreachable_soft_error_kernel;
+          Alcotest.test_case "icmp soft error (library)" `Quick
+            test_udp_unreachable_soft_error_library;
+          Alcotest.test_case "ping" `Quick test_ping_via_kernel_stacks;
+        ] );
+      ( "portalloc",
+        [ Alcotest.test_case "invariants" `Quick test_portalloc_invariants ]
+      );
+      ( "bsd-conformity",
+        [
+          Alcotest.test_case "half close" `Quick test_half_close;
+          Alcotest.test_case "nonblocking recv/accept" `Quick
+            test_nonblocking_recv_and_accept;
+          Alcotest.test_case "nonblocking partial send" `Quick
+            test_nonblocking_send_partial;
+        ] );
+    ]

@@ -1,0 +1,338 @@
+(* Tests for the Section 3.4 extensions: the wire tap, session-level
+   encryption with application-confined keys, and outgoing-packet
+   limiting. *)
+
+open Psd_core
+module Cfg = Psd_cost.Config
+
+let ( => ) name b = Alcotest.(check bool) name true b
+
+let ok name = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "%s: %s" name e
+
+type world = {
+  eng : Psd_sim.Engine.t;
+  seg : Psd_link.Segment.t;
+  sys_a : System.t;
+  sys_b : System.t;
+  tap : Snoop.t;
+}
+
+let make ?(config = Cfg.library_shm_ipf) () =
+  let eng = Psd_sim.Engine.create ~seed:13 () in
+  let seg = Psd_link.Segment.create eng () in
+  let sys_a =
+    System.create ~eng ~segment:seg ~config ~addr:"10.0.0.1" ~name:"a" ()
+  in
+  let sys_b =
+    System.create ~eng ~segment:seg ~config ~addr:"10.0.0.2" ~name:"b" ()
+  in
+  let tap = Snoop.attach eng seg in
+  { eng; seg; sys_a; sys_b; tap }
+
+let dst_b = Psd_ip.Addr.of_string "10.0.0.2"
+
+(* run a one-connection server that applies [serve] to the accepted conn *)
+let with_server w serve =
+  let app = System.app w.sys_b ~name:"server" in
+  Psd_sim.Engine.spawn w.eng ~name:"server" (fun () ->
+      let l = Sockets.stream app in
+      ignore (ok "bind" (Sockets.bind l ~port:443 ()));
+      ok "listen" (Sockets.listen l ());
+      let c = ok "accept" (Sockets.accept l) in
+      serve c)
+
+(* --- Snoop --------------------------------------------------------------- *)
+
+let test_snoop_sees_and_decodes () =
+  let w = make () in
+  with_server w (fun c ->
+      match Sockets.recv c ~max:100 with
+      | Ok _ -> Sockets.close c
+      | Error _ -> ());
+  let app = System.app w.sys_a ~name:"client" in
+  Psd_sim.Engine.spawn w.eng (fun () ->
+      let s = Sockets.stream app in
+      ok "connect" (Sockets.connect s dst_b 443);
+      ignore (ok "send" (Sockets.send s "plainly-visible-secret"));
+      Sockets.close s);
+  Psd_sim.Engine.run_for w.eng (Psd_sim.Time.sec 10);
+  "frames captured" => (Snoop.count w.tap > 5);
+  let contains hay needle =
+    let hl = String.length hay and nl = String.length needle in
+    let rec at i =
+      i + nl <= hl && (String.sub hay i nl = needle || at (i + 1))
+    in
+    at 0
+  in
+  let trace = Format.asprintf "%a" Snoop.pp_trace w.tap in
+  "decodes arp" => contains trace "arp who-has";
+  "decodes tcp syn" => contains trace "tcp [S]";
+  "plaintext readable on the wire"
+  => Snoop.payload_seen w.tap "plainly-visible-secret";
+  (* the trace mentions the tcp ports involved *)
+  let lines = List.map (fun r -> r.Snoop.line) (Snoop.records w.tap) in
+  "tcp lines decoded"
+  => List.exists
+       (fun l ->
+         String.length l > 10
+         && String.sub l 0 2 = "10"
+         &&
+         try
+           ignore (String.index l 'S');
+           true
+         with Not_found -> false)
+       lines
+
+(* --- Secure -------------------------------------------------------------- *)
+
+let test_secure_roundtrip_hides_plaintext () =
+  let w = make () in
+  let served = ref "" in
+  with_server w (fun c ->
+      let ch = ok "server handshake" (Secure.server c ~psk:"hunter2") in
+      (match Secure.recv ch with
+      | Ok msg ->
+        served := msg;
+        ignore (ok "reply" (Secure.send ch ("ack:" ^ msg)))
+      | Error e -> Alcotest.failf "secure recv: %s" e);
+      Secure.close ch);
+  let echoed = ref "" in
+  let app = System.app w.sys_a ~name:"client" in
+  Psd_sim.Engine.spawn w.eng (fun () ->
+      let s = Sockets.stream app in
+      ok "connect" (Sockets.connect s dst_b 443);
+      let ch = ok "client handshake" (Secure.client s ~psk:"hunter2") in
+      ignore (ok "send" (Secure.send ch "attack-at-dawn"));
+      (match Secure.recv ch with
+      | Ok r -> echoed := r
+      | Error e -> Alcotest.failf "client recv: %s" e);
+      Secure.close ch);
+  Psd_sim.Engine.run_for w.eng (Psd_sim.Time.sec 10);
+  Alcotest.(check string) "server decrypted" "attack-at-dawn" !served;
+  Alcotest.(check string) "client decrypted reply" "ack:attack-at-dawn"
+    !echoed;
+  "eavesdropper cannot read the message"
+  => not (Snoop.payload_seen w.tap "attack-at-dawn");
+  "nor the reply" => not (Snoop.payload_seen w.tap "ack:attack-at-dawn")
+
+let test_secure_wrong_key_detected () =
+  let w = make () in
+  let server_result = ref (Ok "") in
+  with_server w (fun c ->
+      let ch = ok "server handshake" (Secure.server c ~psk:"correct") in
+      server_result := Secure.recv ch);
+  let app = System.app w.sys_a ~name:"client" in
+  Psd_sim.Engine.spawn w.eng (fun () ->
+      let s = Sockets.stream app in
+      ok "connect" (Sockets.connect s dst_b 443);
+      let ch = ok "client handshake" (Secure.client s ~psk:"WRONG") in
+      ignore (Secure.send ch "sensitive"));
+  Psd_sim.Engine.run_for w.eng (Psd_sim.Time.sec 10);
+  (match !server_result with
+  | Error _ -> ()
+  | Ok data -> Alcotest.failf "accepted garbage %S" data)
+
+(* --- egress limiting ------------------------------------------------------ *)
+
+let test_egress_blocks_unauthorized_frames () =
+  let eng = Psd_sim.Engine.create () in
+  let seg = Psd_link.Segment.create eng () in
+  let host =
+    Psd_mach.Host.create ~eng ~plat:Psd_cost.Platform.decstation ~name:"h"
+  in
+  let dev = Psd_mach.Netdev.create host seg ~mac:(Psd_link.Macaddr.of_host_id 1) in
+  let peer = Psd_link.Segment.attach seg ~mac:(Psd_link.Macaddr.of_host_id 2) in
+  let received = ref 0 in
+  Psd_link.Segment.set_rx peer (fun _ -> incr received);
+  (* only UDP from 10.0.0.1:777 may leave; note the egress filter matches
+     the packet the way an ingress filter at the PEER would *)
+  let allow =
+    Psd_bpf.Filter.session
+      {
+        Psd_bpf.Filter.proto = Psd_bpf.Filter.Udp;
+        local_ip = Psd_ip.Addr.to_int (Psd_ip.Addr.of_string "10.0.0.2");
+        local_port = 9;
+        remote_ip = Some (Psd_ip.Addr.to_int (Psd_ip.Addr.of_string "10.0.0.1"));
+        remote_port = Some 777;
+      }
+  in
+  let (_ : Psd_mach.Netdev.filter_id) =
+    Psd_mach.Netdev.attach_egress dev ~prog:allow ()
+  in
+  let frame ~src_port =
+    let b = Bytes.make 60 '\x00' in
+    Psd_link.Frame.set_header b ~off:0 ~dst:(Psd_link.Segment.mac peer)
+      ~src:(Psd_mach.Netdev.mac dev) ~ethertype:Psd_link.Frame.ethertype_ip;
+    Psd_util.Codec.set_u8 b 14 0x45;
+    Psd_util.Codec.set_u8 b (14 + 9) 17;
+    Psd_util.Codec.set_u32i b (14 + 12) 0x0a000001;
+    Psd_util.Codec.set_u32i b (14 + 16) 0x0a000002;
+    Psd_util.Codec.set_u16 b (14 + 20) src_port;
+    Psd_util.Codec.set_u16 b (14 + 22) 9;
+    b
+  in
+  let kctx = Psd_mach.Host.kernel_ctx host in
+  Psd_sim.Engine.spawn eng (fun () ->
+      Psd_mach.Netdev.transmit dev ~ctx:kctx ~from_user:false
+        (frame ~src_port:777);
+      (* a spoofed frame from a different port must not leave the host *)
+      Psd_mach.Netdev.transmit dev ~ctx:kctx ~from_user:false
+        (frame ~src_port:666));
+  Psd_sim.Engine.run eng;
+  Alcotest.(check int) "authorized frame delivered" 1 !received;
+  Alcotest.(check int) "spoofed frame blocked" 1
+    (Psd_mach.Netdev.tx_blocked dev)
+
+(* --- routing between segments --------------------------------------------- *)
+
+let make_routed_topology config =
+  (* A on segment 1, B on segment 2, router R between them. *)
+  let eng = Psd_sim.Engine.create ~seed:17 () in
+  let seg1 = Psd_link.Segment.create eng () in
+  let seg2 = Psd_link.Segment.create eng () in
+  let sys_a =
+    System.create ~eng ~segment:seg1 ~config ~addr:"10.0.1.1" ~name:"a" ()
+  in
+  let sys_b =
+    System.create ~eng ~segment:seg2 ~config ~addr:"10.0.2.1" ~name:"b" ()
+  in
+  let router =
+    Router.create ~eng ~name:"r"
+      ~ifaces:[ (seg1, "10.0.1.254"); (seg2, "10.0.2.254") ]
+      ()
+  in
+  System.add_route sys_a ~net:"10.0.2.0" ~mask:"255.255.255.0"
+    ~gateway:"10.0.1.254";
+  System.add_route sys_b ~net:"10.0.1.0" ~mask:"255.255.255.0"
+    ~gateway:"10.0.2.254";
+  (eng, seg1, seg2, sys_a, sys_b, router)
+
+let test_tcp_across_router () =
+  let eng, seg1, seg2, sys_a, sys_b, router =
+    make_routed_topology Cfg.library_shm_ipf
+  in
+  let payload = String.init 30_000 (fun i -> Char.chr (i mod 251)) in
+  let received = Buffer.create 1024 in
+  let srv = System.app sys_b ~name:"srv" in
+  Psd_sim.Engine.spawn eng (fun () ->
+      let l = Sockets.stream srv in
+      ignore (ok "bind" (Sockets.bind l ~port:7 ()));
+      ok "listen" (Sockets.listen l ());
+      let c = ok "accept" (Sockets.accept l) in
+      let rec drain () =
+        match Sockets.recv c ~max:65536 with
+        | Ok "" -> ()
+        | Ok d ->
+          Buffer.add_string received d;
+          drain ()
+        | Error e -> Alcotest.failf "recv: %s" e
+      in
+      drain ());
+  let cli = System.app sys_a ~name:"cli" in
+  Psd_sim.Engine.spawn eng (fun () ->
+      let s = Sockets.stream cli in
+      ok "connect across router" (Sockets.connect s (System.addr sys_b) 7);
+      let (_ : int) = ok "send" (Sockets.send s payload) in
+      Sockets.close s);
+  Psd_sim.Engine.run_for eng (Psd_sim.Time.sec 60);
+  "full stream across two segments"
+  => String.equal (Buffer.contents received) payload;
+  "router forwarded traffic" => (Router.forwarded router > 30);
+  (* traffic crossed both wires *)
+  "segment 1 carried frames" => (Psd_link.Segment.frames_sent seg1 > 20);
+  "segment 2 carried frames" => (Psd_link.Segment.frames_sent seg2 > 20)
+
+let test_udp_across_router_and_isolation () =
+  let eng, seg1, _seg2, sys_a, sys_b, router =
+    make_routed_topology Cfg.mach25_kernel
+  in
+  let tap1 = Snoop.attach eng seg1 in
+  let got = ref "" in
+  let srv = System.app sys_b ~name:"udp-srv" in
+  Psd_sim.Engine.spawn eng (fun () ->
+      let s = Sockets.dgram srv in
+      ignore (ok "bind" (Sockets.bind s ~port:9 ()));
+      match Sockets.recvfrom s ~max:1000 with
+      | Ok (d, Some src) ->
+        got := d;
+        ignore (ok "reply" (Sockets.send s ~dst:src ("pong:" ^ d)))
+      | _ -> Alcotest.fail "no datagram");
+  let answered = ref "" in
+  let cli = System.app sys_a ~name:"udp-cli" in
+  Psd_sim.Engine.spawn eng (fun () ->
+      let s = Sockets.dgram cli in
+      ignore (ok "bind" (Sockets.bind s ()));
+      let (_ : int) =
+        ok "send" (Sockets.send s ~dst:(System.addr sys_b, 9) "ping")
+      in
+      match Sockets.recv s ~max:1000 with
+      | Ok d -> answered := d
+      | Error e -> Alcotest.failf "recv: %s" e);
+  Psd_sim.Engine.run_for eng (Psd_sim.Time.sec 20);
+  Alcotest.(check string) "request crossed" "ping" !got;
+  Alcotest.(check string) "reply crossed back" "pong:ping" !answered;
+  "router forwarded both ways" => (Router.forwarded router >= 2);
+  (* L2 isolation: host B's MAC never appears on segment 1 *)
+  let b_mac =
+    Format.asprintf "%a" Psd_link.Macaddr.pp
+      (Psd_mach.Netdev.mac (System.netdev sys_b))
+  in
+  let seg1_lines =
+    String.concat "\n"
+      (List.map (fun r -> r.Snoop.line) (Snoop.records tap1))
+  in
+  ignore seg1_lines;
+  "b's frames never on segment 1"
+  => List.for_all
+       (fun r ->
+         let src =
+           Format.asprintf "%a" Psd_link.Macaddr.pp
+             (Psd_link.Frame.src r.Snoop.frame)
+         in
+         src <> b_mac)
+       (Snoop.records tap1)
+
+let test_router_drops_expired_ttl () =
+  let eng, _seg1, _seg2, sys_a, sys_b, router =
+    make_routed_topology Cfg.mach25_kernel
+  in
+  (* hand-craft a TTL-1 datagram through the kernel stack's IP layer *)
+  (match System.kernel_stack sys_a with
+  | Some stack ->
+    Psd_sim.Engine.spawn eng (fun () ->
+        ignore
+          (Psd_ip.Ip.output (Netstack.ip stack) ~ttl:1 ~proto:200
+             ~dst:(System.addr sys_b)
+             (Psd_mbuf.Mbuf.of_string "dying")))
+  | None -> Alcotest.fail "no kernel stack");
+  Psd_sim.Engine.run_for eng (Psd_sim.Time.sec 10);
+  Alcotest.(check int) "dropped at the router" 1 (Router.dropped_ttl router);
+  Alcotest.(check int) "not forwarded" 0 (Router.forwarded router)
+
+let () =
+  Alcotest.run "extensions"
+    [
+      ( "snoop",
+        [ Alcotest.test_case "decode" `Quick test_snoop_sees_and_decodes ] );
+      ( "secure",
+        [
+          Alcotest.test_case "roundtrip+privacy" `Quick
+            test_secure_roundtrip_hides_plaintext;
+          Alcotest.test_case "wrong key" `Quick test_secure_wrong_key_detected;
+        ] );
+      ( "egress",
+        [
+          Alcotest.test_case "packet limiting" `Quick
+            test_egress_blocks_unauthorized_frames;
+        ] );
+      ( "router",
+        [
+          Alcotest.test_case "tcp across segments" `Quick
+            test_tcp_across_router;
+          Alcotest.test_case "udp + L2 isolation" `Quick
+            test_udp_across_router_and_isolation;
+          Alcotest.test_case "ttl expiry" `Quick test_router_drops_expired_ttl;
+        ] );
+    ]

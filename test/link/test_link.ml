@@ -1,0 +1,179 @@
+open Psd_link
+open Psd_sim
+
+let mk_frame ~dst ~src ~len =
+  let b = Bytes.make (max len Frame.header_size) '\x00' in
+  Frame.set_header b ~off:0 ~dst ~src ~ethertype:Frame.ethertype_ip;
+  b
+
+let test_macaddr_roundtrip () =
+  let m = Macaddr.of_host_id 5 in
+  let b = Bytes.create 10 in
+  Macaddr.write m b 2;
+  Alcotest.(check bool) "roundtrip" true (Macaddr.equal m (Macaddr.read b 2))
+
+let test_macaddr_broadcast () =
+  Alcotest.(check bool) "bcast" true (Macaddr.is_broadcast Macaddr.broadcast);
+  Alcotest.(check bool) "unicast" false
+    (Macaddr.is_broadcast (Macaddr.of_host_id 1))
+
+let test_macaddr_pp () =
+  let s = Format.asprintf "%a" Macaddr.pp (Macaddr.of_host_id 1) in
+  Alcotest.(check string) "pp" "02:00:00:00:00:01" s
+
+let test_frame_header () =
+  let dst = Macaddr.of_host_id 1 and src = Macaddr.of_host_id 2 in
+  let b = mk_frame ~dst ~src ~len:64 in
+  Alcotest.(check bool) "dst" true (Macaddr.equal dst (Frame.dst b));
+  Alcotest.(check bool) "src" true (Macaddr.equal src (Frame.src b));
+  Alcotest.(check int) "ethertype" 0x0800 (Frame.ethertype b)
+
+let two_nics () =
+  let eng = Engine.create () in
+  let seg = Segment.create eng () in
+  let a = Segment.attach seg ~mac:(Macaddr.of_host_id 1) in
+  let b = Segment.attach seg ~mac:(Macaddr.of_host_id 2) in
+  (eng, seg, a, b)
+
+let test_unicast_delivery () =
+  let eng, _seg, a, b = two_nics () in
+  let got = ref [] in
+  Segment.set_rx b (fun frame -> got := frame :: !got);
+  let self = ref 0 in
+  Segment.set_rx a (fun _ -> incr self);
+  Segment.transmit a
+    (mk_frame ~dst:(Segment.mac b) ~src:(Segment.mac a) ~len:100);
+  Engine.run eng;
+  Alcotest.(check int) "b got one" 1 (List.length !got);
+  Alcotest.(check int) "a does not hear itself" 0 !self
+
+let test_wrong_dst_filtered () =
+  let eng, seg, a, b = two_nics () in
+  let c = Segment.attach seg ~mac:(Macaddr.of_host_id 3) in
+  let got_b = ref 0 and got_c = ref 0 in
+  Segment.set_rx b (fun _ -> incr got_b);
+  Segment.set_rx c (fun _ -> incr got_c);
+  Segment.transmit a
+    (mk_frame ~dst:(Segment.mac c) ~src:(Segment.mac a) ~len:80);
+  Engine.run eng;
+  Alcotest.(check int) "b filtered" 0 !got_b;
+  Alcotest.(check int) "c got it" 1 !got_c
+
+let test_broadcast_delivery () =
+  let eng, seg, a, b = two_nics () in
+  let c = Segment.attach seg ~mac:(Macaddr.of_host_id 3) in
+  let got_b = ref 0 and got_c = ref 0 in
+  Segment.set_rx b (fun _ -> incr got_b);
+  Segment.set_rx c (fun _ -> incr got_c);
+  Segment.transmit a
+    (mk_frame ~dst:Macaddr.broadcast ~src:(Segment.mac a) ~len:80);
+  Engine.run eng;
+  Alcotest.(check int) "b" 1 !got_b;
+  Alcotest.(check int) "c" 1 !got_c
+
+let test_promiscuous () =
+  let eng, _seg, a, b = two_nics () in
+  Segment.set_promiscuous b true;
+  let got = ref 0 in
+  Segment.set_rx b (fun _ -> incr got);
+  Segment.transmit a
+    (mk_frame ~dst:(Macaddr.of_host_id 9) ~src:(Segment.mac a) ~len:80);
+  Engine.run eng;
+  Alcotest.(check int) "promisc hears all" 1 !got
+
+let test_serialization_at_wire_rate () =
+  (* A 1514-byte frame at 10 Mb/s: (1514+8)*8 bits = 1217.6 us + 9.6 ifg. *)
+  let eng, seg, a, b = two_nics () in
+  let at = ref 0 in
+  Segment.set_rx b (fun _ -> at := Engine.now eng);
+  Segment.transmit a
+    (mk_frame ~dst:(Segment.mac b) ~src:(Segment.mac a) ~len:1514);
+  Engine.run eng;
+  let expected = Segment.frame_time seg 1514 - 9_600 in
+  Alcotest.(check int) "arrival at last bit" expected !at
+
+let test_fifo_back_to_back () =
+  (* Two frames queued at once: second arrives one frame-time later. *)
+  let eng, seg, a, b = two_nics () in
+  let times = ref [] in
+  Segment.set_rx b (fun _ -> times := Engine.now eng :: !times);
+  let f = mk_frame ~dst:(Segment.mac b) ~src:(Segment.mac a) ~len:1514 in
+  Segment.transmit a f;
+  Segment.transmit a (Bytes.copy f);
+  Engine.run eng;
+  match List.rev !times with
+  | [ t1; t2 ] ->
+    Alcotest.(check int) "spacing is frame time"
+      (Segment.frame_time seg 1514) (t2 - t1)
+  | _ -> Alcotest.fail "expected two arrivals"
+
+let test_min_frame_padding () =
+  let eng, _seg, a, b = two_nics () in
+  let size = ref 0 in
+  Segment.set_rx b (fun frame -> size := Bytes.length frame);
+  Segment.transmit a
+    (mk_frame ~dst:(Segment.mac b) ~src:(Segment.mac a) ~len:20);
+  Engine.run eng;
+  Alcotest.(check int) "padded" Frame.min_frame !size
+
+let test_giant_frame_rejected () =
+  let _eng, _seg, a, b = two_nics () in
+  Alcotest.check_raises "giant"
+    (Invalid_argument "Segment.transmit: giant frame") (fun () ->
+      Segment.transmit a
+        (mk_frame ~dst:(Segment.mac b) ~src:(Segment.mac a) ~len:1600))
+
+let test_stats () =
+  let eng, seg, a, b = two_nics () in
+  Segment.set_rx b (fun _ -> ());
+  Segment.transmit a
+    (mk_frame ~dst:(Segment.mac b) ~src:(Segment.mac a) ~len:100);
+  Segment.transmit a
+    (mk_frame ~dst:(Segment.mac b) ~src:(Segment.mac a) ~len:200);
+  Engine.run eng;
+  Alcotest.(check int) "frames" 2 (Segment.frames_sent seg);
+  Alcotest.(check int) "bytes" 300 (Segment.bytes_sent seg);
+  Alcotest.(check bool) "busy" true (Segment.busy_ns seg > 0)
+
+let test_throughput_bound () =
+  (* Saturating the wire with max frames cannot exceed ~10 Mb/s. *)
+  let eng, seg, a, b = two_nics () in
+  let received = ref 0 in
+  Segment.set_rx b (fun frame -> received := !received + Bytes.length frame);
+  let f = mk_frame ~dst:(Segment.mac b) ~src:(Segment.mac a) ~len:1514 in
+  for _ = 1 to 100 do
+    Segment.transmit a (Bytes.copy f)
+  done;
+  Engine.run eng;
+  let elapsed_s = Time.to_sec (Engine.now eng) in
+  let rate_bps = float_of_int (!received * 8) /. elapsed_s in
+  Alcotest.(check bool) "under 10Mb/s" true (rate_bps < 10_000_000.);
+  Alcotest.(check bool) "over 9.5Mb/s" true (rate_bps > 9_500_000.);
+  ignore seg
+
+let () =
+  Alcotest.run "psd_link"
+    [
+      ( "macaddr",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_macaddr_roundtrip;
+          Alcotest.test_case "broadcast" `Quick test_macaddr_broadcast;
+          Alcotest.test_case "pp" `Quick test_macaddr_pp;
+        ] );
+      ("frame", [ Alcotest.test_case "header" `Quick test_frame_header ]);
+      ( "segment",
+        [
+          Alcotest.test_case "unicast" `Quick test_unicast_delivery;
+          Alcotest.test_case "dst filter" `Quick test_wrong_dst_filtered;
+          Alcotest.test_case "broadcast" `Quick test_broadcast_delivery;
+          Alcotest.test_case "promiscuous" `Quick test_promiscuous;
+          Alcotest.test_case "wire rate" `Quick
+            test_serialization_at_wire_rate;
+          Alcotest.test_case "fifo" `Quick test_fifo_back_to_back;
+          Alcotest.test_case "padding" `Quick test_min_frame_padding;
+          Alcotest.test_case "giant rejected" `Quick
+            test_giant_frame_rejected;
+          Alcotest.test_case "stats" `Quick test_stats;
+          Alcotest.test_case "throughput bound" `Quick test_throughput_bound;
+        ] );
+    ]

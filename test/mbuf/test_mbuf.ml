@@ -1,0 +1,188 @@
+open Psd_mbuf
+
+let check_str = Alcotest.(check string)
+let check_int = Alcotest.(check int)
+
+let test_of_string_roundtrip () =
+  let m = Mbuf.of_string "hello world" in
+  check_int "length" 11 (Mbuf.length m);
+  check_str "payload" "hello world" (Mbuf.to_string m)
+
+let test_empty () =
+  let m = Mbuf.empty () in
+  check_int "length" 0 (Mbuf.length m);
+  Alcotest.(check bool) "is_empty" true (Mbuf.is_empty m);
+  check_str "flat" "" (Mbuf.to_string m)
+
+let test_chunking () =
+  let payload = String.make (Mbuf.cluster_size * 2 + 100) 'x' in
+  let m = Mbuf.of_string payload in
+  check_int "length" (String.length payload) (Mbuf.length m);
+  check_int "segments" 3 (Mbuf.seg_count m);
+  check_str "roundtrip" payload (Mbuf.to_string m)
+
+let test_prepend_in_headroom () =
+  let m = Mbuf.of_string "payload" in
+  let before = Mbuf.seg_count m in
+  let buf, off = Mbuf.prepend m 4 in
+  Bytes.blit_string "HDR:" 0 buf off 4;
+  check_int "no new segment" before (Mbuf.seg_count m);
+  check_str "prefixed" "HDR:payload" (Mbuf.to_string m)
+
+let test_prepend_overflow_headroom () =
+  let m = Mbuf.of_string ~headroom:2 "xy" in
+  let buf, off = Mbuf.prepend m 10 in
+  Bytes.blit_string "0123456789" 0 buf off 10;
+  check_str "new seg" "0123456789xy" (Mbuf.to_string m);
+  check_int "segments" 2 (Mbuf.seg_count m)
+
+let test_prepend_empty_payload () =
+  (* A pure-ACK TCP segment: headers prepended onto an empty chain. *)
+  let m = Mbuf.of_string "" in
+  let buf, off = Mbuf.prepend m 20 in
+  Bytes.fill buf off 20 'h';
+  check_int "len" 20 (Mbuf.length m)
+
+let test_trim_front () =
+  let m = Mbuf.of_string "ETHIPhello" in
+  Mbuf.trim_front m 5;
+  check_str "stripped" "hello" (Mbuf.to_string m)
+
+let test_trim_front_across_segments () =
+  let payload =
+    String.make Mbuf.cluster_size 'a' ^ String.make 10 'b'
+  in
+  let m = Mbuf.of_string payload in
+  Mbuf.trim_front m (Mbuf.cluster_size + 4);
+  check_str "tail" "bbbbbb" (Mbuf.to_string m)
+
+let test_trim_back () =
+  let m = Mbuf.of_string "hello world" in
+  Mbuf.trim_back m 6;
+  check_str "front kept" "hello" (Mbuf.to_string m)
+
+let test_trim_back_across_segments () =
+  let payload = String.make Mbuf.cluster_size 'a' ^ "tail" in
+  let m = Mbuf.of_string payload in
+  Mbuf.trim_back m 8;
+  check_int "len" (Mbuf.cluster_size - 4) (Mbuf.length m)
+
+let test_trim_bounds () =
+  let m = Mbuf.of_string "abc" in
+  Alcotest.check_raises "too much" (Invalid_argument "Mbuf.trim_front")
+    (fun () -> Mbuf.trim_front m 4)
+
+let test_concat () =
+  let a = Mbuf.of_string "foo" and b = Mbuf.of_string "bar" in
+  Mbuf.concat a b;
+  check_str "joined" "foobar" (Mbuf.to_string a);
+  Alcotest.(check bool) "b emptied" true (Mbuf.is_empty b)
+
+let test_copy_range () =
+  let m = Mbuf.of_string "0123456789" in
+  let c = Mbuf.copy_range m ~off:3 ~len:4 in
+  check_str "copy" "3456" (Mbuf.to_string c);
+  check_str "original intact" "0123456789" (Mbuf.to_string m)
+
+let test_copy_range_across_segments () =
+  let payload = String.init (Mbuf.cluster_size + 50) (fun i -> Char.chr (i mod 26 + 65)) in
+  let m = Mbuf.of_string payload in
+  let off = Mbuf.cluster_size - 10 and len = 30 in
+  let c = Mbuf.copy_range m ~off ~len in
+  check_str "cross-seg copy" (String.sub payload off len) (Mbuf.to_string c)
+
+let test_copy_range_bounds () =
+  let m = Mbuf.of_string "abc" in
+  Alcotest.check_raises "oob" (Invalid_argument "Mbuf.copy_range") (fun () ->
+      ignore (Mbuf.copy_range m ~off:1 ~len:3))
+
+let test_split () =
+  let m = Mbuf.of_string "headtail!" in
+  let head = Mbuf.split m 4 in
+  check_str "head" "head" (Mbuf.to_string head);
+  check_str "tail" "tail!" (Mbuf.to_string m)
+
+let test_get_u8 () =
+  let m = Mbuf.of_string "AZ" in
+  check_int "first" 65 (Mbuf.get_u8 m 0);
+  check_int "second" 90 (Mbuf.get_u8 m 1)
+
+let test_fold_ranges_checksum_consistency () =
+  let payload = String.init 5000 (fun i -> Char.chr (i * 7 mod 256)) in
+  let m = Mbuf.of_string payload in
+  let count =
+    Mbuf.fold_ranges m ~init:0 ~f:(fun acc _ ~off:_ ~len -> acc + len)
+  in
+  check_int "ranges cover payload" (String.length payload) count
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"mbuf: of_string/to_string roundtrip" ~count:200
+    QCheck.(string_of_size Gen.(0 -- 5000))
+    (fun s -> Mbuf.to_string (Mbuf.of_string s) = s)
+
+let prop_trim_then_length =
+  QCheck.Test.make ~name:"mbuf: trim_front reduces length" ~count:200
+    QCheck.(pair (string_of_size Gen.(1 -- 4000)) small_nat)
+    (fun (s, n) ->
+      let n = n mod (String.length s + 1) in
+      let m = Mbuf.of_string s in
+      Mbuf.trim_front m n;
+      Mbuf.to_string m = String.sub s n (String.length s - n))
+
+let prop_copy_range_matches_sub =
+  QCheck.Test.make ~name:"mbuf: copy_range = String.sub" ~count:200
+    QCheck.(triple (string_of_size Gen.(1 -- 4000)) small_nat small_nat)
+    (fun (s, a, b) ->
+      let len_s = String.length s in
+      let off = a mod len_s in
+      let len = b mod (len_s - off + 1) in
+      let m = Mbuf.of_string s in
+      Mbuf.to_string (Mbuf.copy_range m ~off ~len) = String.sub s off len)
+
+let prop_split_partition =
+  QCheck.Test.make ~name:"mbuf: split partitions payload" ~count:200
+    QCheck.(pair (string_of_size Gen.(0 -- 3000)) small_nat)
+    (fun (s, n) ->
+      let n = n mod (String.length s + 1) in
+      let m = Mbuf.of_string s in
+      let head = Mbuf.split m n in
+      Mbuf.to_string head ^ Mbuf.to_string m = s)
+
+let () =
+  Alcotest.run "psd_mbuf"
+    [
+      ( "mbuf",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_of_string_roundtrip;
+          Alcotest.test_case "empty" `Quick test_empty;
+          Alcotest.test_case "chunking" `Quick test_chunking;
+          Alcotest.test_case "prepend headroom" `Quick
+            test_prepend_in_headroom;
+          Alcotest.test_case "prepend overflow" `Quick
+            test_prepend_overflow_headroom;
+          Alcotest.test_case "prepend empty" `Quick test_prepend_empty_payload;
+          Alcotest.test_case "trim front" `Quick test_trim_front;
+          Alcotest.test_case "trim front cross-seg" `Quick
+            test_trim_front_across_segments;
+          Alcotest.test_case "trim back" `Quick test_trim_back;
+          Alcotest.test_case "trim back cross-seg" `Quick
+            test_trim_back_across_segments;
+          Alcotest.test_case "trim bounds" `Quick test_trim_bounds;
+          Alcotest.test_case "concat" `Quick test_concat;
+          Alcotest.test_case "copy_range" `Quick test_copy_range;
+          Alcotest.test_case "copy_range cross-seg" `Quick
+            test_copy_range_across_segments;
+          Alcotest.test_case "copy_range bounds" `Quick test_copy_range_bounds;
+          Alcotest.test_case "split" `Quick test_split;
+          Alcotest.test_case "get_u8" `Quick test_get_u8;
+          Alcotest.test_case "fold_ranges" `Quick
+            test_fold_ranges_checksum_consistency;
+        ]
+        @ List.map QCheck_alcotest.to_alcotest
+            [
+              prop_roundtrip;
+              prop_trim_then_length;
+              prop_copy_range_matches_sub;
+              prop_split_partition;
+            ] );
+    ]

@@ -1,0 +1,313 @@
+open Psd_sim
+
+(* --- Engine --------------------------------------------------------- *)
+
+let test_clock_starts_at_zero () =
+  let eng = Engine.create () in
+  Alcotest.(check int) "t0" 0 (Engine.now eng)
+
+let test_sleep_advances_clock () =
+  let eng = Engine.create () in
+  let seen = ref (-1) in
+  Engine.spawn eng (fun () ->
+      Engine.sleep eng (Time.us 5);
+      seen := Engine.now eng);
+  Engine.run eng;
+  Alcotest.(check int) "5us" (Time.us 5) !seen;
+  Alcotest.(check int) "no fibers left" 0 (Engine.alive eng)
+
+let test_schedule_ordering () =
+  let eng = Engine.create () in
+  let log = ref [] in
+  Engine.schedule eng 30 (fun () -> log := "c" :: !log);
+  Engine.schedule eng 10 (fun () -> log := "a" :: !log);
+  Engine.schedule eng 20 (fun () -> log := "b" :: !log);
+  Engine.run eng;
+  Alcotest.(check (list string)) "order" [ "a"; "b"; "c" ] (List.rev !log)
+
+let test_same_time_fifo () =
+  let eng = Engine.create () in
+  let log = ref [] in
+  for i = 1 to 5 do
+    Engine.schedule eng 100 (fun () -> log := i :: !log)
+  done;
+  Engine.run eng;
+  Alcotest.(check (list int)) "fifo" [ 1; 2; 3; 4; 5 ] (List.rev !log)
+
+let test_after_cancel () =
+  let eng = Engine.create () in
+  let fired = ref false in
+  let cancel = Engine.after eng 50 (fun () -> fired := true) in
+  Engine.schedule eng 10 (fun () -> cancel ());
+  Engine.run eng;
+  Alcotest.(check bool) "not fired" false !fired
+
+let test_run_until () =
+  let eng = Engine.create () in
+  let count = ref 0 in
+  for i = 1 to 10 do
+    Engine.schedule eng (i * 100) (fun () -> incr count)
+  done;
+  Engine.run_until eng 500;
+  Alcotest.(check int) "half fired" 5 !count;
+  Alcotest.(check int) "clock at stop" 500 (Engine.now eng);
+  Engine.run eng;
+  Alcotest.(check int) "all fired" 10 !count
+
+let test_fiber_failure_reported () =
+  let eng = Engine.create () in
+  Engine.spawn eng (fun () -> failwith "boom");
+  (try
+     Engine.run eng;
+     Alcotest.fail "expected failure"
+   with Failure _ -> ());
+  Alcotest.(check int) "recorded" 1 (List.length (Engine.failures eng))
+
+let test_spawn_nested () =
+  let eng = Engine.create () in
+  let log = ref [] in
+  Engine.spawn eng (fun () ->
+      log := "outer" :: !log;
+      Engine.spawn eng (fun () -> log := "inner" :: !log);
+      Engine.sleep eng 10;
+      log := "outer2" :: !log);
+  Engine.run eng;
+  Alcotest.(check (list string))
+    "interleave" [ "outer"; "inner"; "outer2" ] (List.rev !log)
+
+let test_deadlock_detectable () =
+  let eng = Engine.create () in
+  let c = Cond.create eng in
+  Engine.spawn eng (fun () -> Cond.wait c);
+  Engine.run eng;
+  Alcotest.(check int) "blocked fiber alive" 1 (Engine.alive eng)
+
+(* --- Cond ----------------------------------------------------------- *)
+
+let test_cond_signal_wakes_one () =
+  let eng = Engine.create () in
+  let c = Cond.create eng in
+  let woke = ref 0 in
+  for _ = 1 to 3 do
+    Engine.spawn eng (fun () ->
+        Cond.wait c;
+        incr woke)
+  done;
+  Engine.schedule eng 10 (fun () -> Cond.signal c);
+  Engine.run eng;
+  Alcotest.(check int) "one woke" 1 !woke;
+  Alcotest.(check int) "two blocked" 2 (Engine.alive eng)
+
+let test_cond_broadcast_wakes_all () =
+  let eng = Engine.create () in
+  let c = Cond.create eng in
+  let woke = ref 0 in
+  for _ = 1 to 3 do
+    Engine.spawn eng (fun () ->
+        Cond.wait c;
+        incr woke)
+  done;
+  Engine.schedule eng 10 (fun () -> Cond.broadcast c);
+  Engine.run eng;
+  Alcotest.(check int) "all woke" 3 !woke
+
+let test_cond_timeout () =
+  let eng = Engine.create () in
+  let c = Cond.create eng in
+  let result = ref `Ok in
+  Engine.spawn eng (fun () -> result := Cond.wait_timeout c (Time.us 100));
+  Engine.run eng;
+  Alcotest.(check bool) "timed out" true (!result = `Timeout);
+  Alcotest.(check int) "clock advanced" (Time.us 100) (Engine.now eng);
+  Alcotest.(check int) "waiter removed" 0 (Cond.waiters c)
+
+let test_cond_signal_beats_timeout () =
+  let eng = Engine.create () in
+  let c = Cond.create eng in
+  let result = ref `Timeout in
+  Engine.spawn eng (fun () -> result := Cond.wait_timeout c (Time.us 100));
+  Engine.schedule eng (Time.us 10) (fun () -> Cond.signal c);
+  Engine.run eng;
+  Alcotest.(check bool) "ok" true (!result = `Ok)
+
+let test_cond_until () =
+  let eng = Engine.create () in
+  let c = Cond.create eng in
+  let box = ref None in
+  let got = ref 0 in
+  Engine.spawn eng (fun () -> got := Cond.until c (fun () -> !box));
+  Engine.schedule eng 10 (fun () ->
+      (* spurious signal with no value: fiber must keep waiting *)
+      Cond.signal c);
+  Engine.schedule eng 20 (fun () ->
+      box := Some 42;
+      Cond.signal c);
+  Engine.run eng;
+  Alcotest.(check int) "value" 42 !got
+
+(* --- Cpu ------------------------------------------------------------ *)
+
+let test_cpu_serializes () =
+  let eng = Engine.create () in
+  let cpu = Cpu.create eng in
+  let done_at = Array.make 2 0 in
+  for i = 0 to 1 do
+    Engine.spawn eng (fun () ->
+        Cpu.consume cpu ~prio:Cpu.User (Time.us 10);
+        done_at.(i) <- Engine.now eng)
+  done;
+  Engine.run eng;
+  Alcotest.(check int) "first" (Time.us 10) done_at.(0);
+  Alcotest.(check int) "second serialized" (Time.us 20) done_at.(1);
+  Alcotest.(check int) "busy time" (Time.us 20) (Cpu.busy_time cpu)
+
+let test_cpu_priority () =
+  let eng = Engine.create () in
+  let cpu = Cpu.create eng in
+  let order = ref [] in
+  (* Occupy the CPU, then queue a user and an interrupt waiter. *)
+  Engine.spawn eng (fun () ->
+      Cpu.consume cpu ~prio:Cpu.User (Time.us 10);
+      order := "owner" :: !order);
+  Engine.schedule eng 1 (fun () ->
+      Engine.spawn eng (fun () ->
+          Cpu.consume cpu ~prio:Cpu.User (Time.us 10);
+          order := "user" :: !order));
+  Engine.schedule eng 2 (fun () ->
+      Engine.spawn eng (fun () ->
+          Cpu.consume cpu ~prio:Cpu.Interrupt (Time.us 1);
+          order := "intr" :: !order));
+  Engine.run eng;
+  Alcotest.(check (list string))
+    "interrupt preferred" [ "owner"; "intr"; "user" ] (List.rev !order)
+
+let test_cpu_zero_cost_no_acquire () =
+  let eng = Engine.create () in
+  let cpu = Cpu.create eng in
+  Engine.spawn eng (fun () ->
+      Cpu.consume cpu ~prio:Cpu.User 0;
+      Alcotest.(check int) "no time" 0 (Engine.now eng));
+  Engine.run eng
+
+(* --- Mailbox -------------------------------------------------------- *)
+
+let test_mailbox_fifo () =
+  let eng = Engine.create () in
+  let mb = Mailbox.create eng in
+  let got = ref [] in
+  Engine.spawn eng (fun () ->
+      for _ = 1 to 3 do
+        got := Mailbox.recv mb :: !got
+      done);
+  Engine.schedule eng 10 (fun () ->
+      Mailbox.send mb 1;
+      Mailbox.send mb 2;
+      Mailbox.send mb 3);
+  Engine.run eng;
+  Alcotest.(check (list int)) "fifo" [ 1; 2; 3 ] (List.rev !got)
+
+let test_mailbox_blocks_until_send () =
+  let eng = Engine.create () in
+  let mb = Mailbox.create eng in
+  let at = ref 0 in
+  Engine.spawn eng (fun () ->
+      ignore (Mailbox.recv mb);
+      at := Engine.now eng);
+  Engine.schedule eng (Time.us 50) (fun () -> Mailbox.send mb ());
+  Engine.run eng;
+  Alcotest.(check int) "woke at send" (Time.us 50) !at
+
+let test_mailbox_recv_timeout () =
+  let eng = Engine.create () in
+  let mb : int Mailbox.t = Mailbox.create eng in
+  let r = ref (Some 0) in
+  Engine.spawn eng (fun () -> r := Mailbox.recv_timeout mb (Time.us 10));
+  Engine.run eng;
+  Alcotest.(check (option int)) "timeout none" None !r
+
+let test_mailbox_drain () =
+  let eng = Engine.create () in
+  let mb = Mailbox.create eng in
+  Mailbox.send mb "x";
+  Mailbox.send mb "y";
+  Alcotest.(check (list string)) "drain" [ "x"; "y" ] (Mailbox.drain mb);
+  Alcotest.(check int) "empty" 0 (Mailbox.length mb)
+
+(* --- determinism ---------------------------------------------------- *)
+
+let run_simulation seed =
+  let eng = Engine.create ~seed () in
+  let cpu = Cpu.create eng in
+  let log = Buffer.create 64 in
+  for i = 1 to 5 do
+    Engine.spawn eng (fun () ->
+        let r = Engine.rng eng in
+        Engine.sleep eng (Psd_util.Rng.int r 1000);
+        Cpu.consume cpu ~prio:Cpu.User (Psd_util.Rng.int r 1000 + 1);
+        Buffer.add_string log (Printf.sprintf "%d@%d;" i (Engine.now eng)))
+  done;
+  Engine.run eng;
+  Buffer.contents log
+
+let test_determinism () =
+  Alcotest.(check string)
+    "same seed same trace" (run_simulation 11) (run_simulation 11);
+  Alcotest.(check bool)
+    "different seed different trace" true
+    (run_simulation 11 <> run_simulation 12)
+
+let prop_sleep_sums =
+  QCheck.Test.make ~name:"engine: sequential sleeps sum" ~count:100
+    QCheck.(list_of_size Gen.(1 -- 10) (int_bound 10_000))
+    (fun sleeps ->
+      let eng = Engine.create () in
+      let finished = ref 0 in
+      Engine.spawn eng (fun () ->
+          List.iter (Engine.sleep eng) sleeps;
+          finished := Engine.now eng);
+      Engine.run eng;
+      !finished = List.fold_left ( + ) 0 sleeps)
+
+let () =
+  Alcotest.run "psd_sim"
+    [
+      ( "engine",
+        [
+          Alcotest.test_case "clock zero" `Quick test_clock_starts_at_zero;
+          Alcotest.test_case "sleep advances" `Quick test_sleep_advances_clock;
+          Alcotest.test_case "schedule order" `Quick test_schedule_ordering;
+          Alcotest.test_case "same-time fifo" `Quick test_same_time_fifo;
+          Alcotest.test_case "after cancel" `Quick test_after_cancel;
+          Alcotest.test_case "run_until" `Quick test_run_until;
+          Alcotest.test_case "fiber failure" `Quick test_fiber_failure_reported;
+          Alcotest.test_case "nested spawn" `Quick test_spawn_nested;
+          Alcotest.test_case "deadlock detectable" `Quick
+            test_deadlock_detectable;
+          QCheck_alcotest.to_alcotest prop_sleep_sums;
+        ] );
+      ( "cond",
+        [
+          Alcotest.test_case "signal wakes one" `Quick
+            test_cond_signal_wakes_one;
+          Alcotest.test_case "broadcast wakes all" `Quick
+            test_cond_broadcast_wakes_all;
+          Alcotest.test_case "timeout" `Quick test_cond_timeout;
+          Alcotest.test_case "signal beats timeout" `Quick
+            test_cond_signal_beats_timeout;
+          Alcotest.test_case "until" `Quick test_cond_until;
+        ] );
+      ( "cpu",
+        [
+          Alcotest.test_case "serializes" `Quick test_cpu_serializes;
+          Alcotest.test_case "priority" `Quick test_cpu_priority;
+          Alcotest.test_case "zero cost" `Quick test_cpu_zero_cost_no_acquire;
+        ] );
+      ( "mailbox",
+        [
+          Alcotest.test_case "fifo" `Quick test_mailbox_fifo;
+          Alcotest.test_case "blocks" `Quick test_mailbox_blocks_until_send;
+          Alcotest.test_case "recv timeout" `Quick test_mailbox_recv_timeout;
+          Alcotest.test_case "drain" `Quick test_mailbox_drain;
+        ] );
+      ("determinism", [ Alcotest.test_case "replay" `Quick test_determinism ]);
+    ]

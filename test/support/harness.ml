@@ -1,0 +1,129 @@
+(* Two protocol stacks wired back to back with a controllable lossy pipe:
+   the unit-test substrate for TCP and UDP, below the mach/link layers. *)
+
+open Psd_ip
+
+type host = {
+  ctx : Psd_cost.Ctx.t;
+  ip : Ip.t;
+  tcp : Psd_tcp.Tcp.t;
+  udp : Psd_udp.Udp.t;
+  addr : Addr.t;
+}
+
+type net = {
+  eng : Psd_sim.Engine.t;
+  a : host;
+  b : host;
+  (* return true to drop the packet (applied to every transmitted IP
+     packet, both directions) *)
+  mutable tap : Bytes.t -> bool;
+  mutable delay_ns : int;
+}
+
+let make_host ?keep_idle_ns ?keep_interval_ns ?keep_max_probes eng name
+    addr_s =
+  ignore name;
+  let cpu = Psd_sim.Cpu.create eng in
+  let plat = Psd_cost.Platform.decstation in
+  let ctx =
+    Psd_cost.Ctx.create ~eng ~cpu ~plat ~role:Psd_cost.Ctx.Library_stack
+  in
+  let routes = Route.create () in
+  Route.add routes
+    {
+      Route.net = Addr.of_string "10.0.0.0";
+      mask = Addr.of_string "255.255.255.0";
+      hop = Route.Direct;
+      iface = 0;
+    };
+  let addr = Addr.of_string addr_s in
+  let ip = Ip.create ~ctx ~addr ~routes () in
+  let tcp =
+    Psd_tcp.Tcp.create ~ctx ~ip ~msl_ns:(Psd_sim.Time.ms 50)
+      ~rto_min_ns:(Psd_sim.Time.ms 20) ~rto_init_ns:(Psd_sim.Time.ms 40)
+      ~delack_ns:(Psd_sim.Time.ms 5) ?keep_idle_ns ?keep_interval_ns
+      ?keep_max_probes ()
+  in
+  let udp = Psd_udp.Udp.create ~ctx ~ip () in
+  { ctx; ip; tcp; udp; addr }
+
+let create ?(seed = 1) ?keep_idle_ns ?keep_interval_ns ?keep_max_probes () =
+  let eng = Psd_sim.Engine.create ~seed () in
+  let a =
+    make_host ?keep_idle_ns ?keep_interval_ns ?keep_max_probes eng "a"
+      "10.0.0.1"
+  in
+  let b =
+    make_host ?keep_idle_ns ?keep_interval_ns ?keep_max_probes eng "b"
+      "10.0.0.2"
+  in
+  let net = { eng; a; b; tap = (fun _ -> false); delay_ns = 50_000 } in
+  let connect src dst =
+    Ip.set_transmit src.ip (fun ~next_hop:_ ~iface:_ m ->
+        let packet = Psd_mbuf.Mbuf.to_bytes m in
+        if not (net.tap packet) then
+          Psd_sim.Engine.schedule eng net.delay_ns (fun () ->
+              Psd_sim.Engine.spawn eng ~name:"deliver" (fun () ->
+                  Ip.input dst.ip packet ~off:0 ~len:(Bytes.length packet))))
+  in
+  connect a b;
+  connect b a;
+  net
+
+(* Drop the [n]th packet (1-based) that satisfies [pred], once. *)
+let drop_nth net ?(pred = fun _ -> true) n =
+  let count = ref 0 in
+  net.tap <-
+    (fun pkt ->
+      if pred pkt then begin
+        incr count;
+        !count = n
+      end
+      else false)
+
+(* Predicate: TCP packet with a payload of at least [n] bytes. *)
+let tcp_data_at_least n pkt =
+  Bytes.length pkt >= 40
+  && Psd_util.Codec.get_u8 pkt 9 = 6
+  &&
+  let total = Psd_util.Codec.get_u16 pkt 2 in
+  let hlen = 20 + (Psd_util.Codec.get_u8 pkt 32 lsr 4 * 4) in
+  total - hlen >= n
+
+let run net = Psd_sim.Engine.run net.eng
+
+let run_for net ns = Psd_sim.Engine.run_for net.eng ns
+
+(* A simple collector for the receive side of a TCP connection. *)
+type sink = {
+  buf : Buffer.t;
+  mutable eof : bool;
+  mutable established : bool;
+  mutable errors : Psd_tcp.Tcp.error list;
+  mutable acked : int;
+  mutable states : Psd_tcp.Tcp.state list;
+}
+
+let make_sink () =
+  {
+    buf = Buffer.create 256;
+    eof = false;
+    established = false;
+    errors = [];
+    acked = 0;
+    states = [];
+  }
+
+let sink_handlers sink =
+  {
+    Psd_tcp.Tcp.deliver =
+      (fun m -> Buffer.add_string sink.buf (Psd_mbuf.Mbuf.to_string m));
+    deliver_fin = (fun () -> sink.eof <- true);
+    on_established = (fun () -> sink.established <- true);
+    on_acked = (fun n -> sink.acked <- sink.acked + n);
+    on_error = (fun e -> sink.errors <- e :: sink.errors);
+    on_state = (fun s -> sink.states <- s :: sink.states);
+  }
+
+let contents sink = Buffer.contents sink.buf

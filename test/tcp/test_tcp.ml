@@ -1,0 +1,1026 @@
+open Psd_tcp
+open Psd_mbuf
+open Psd_test_support.Harness
+
+let ( => ) name b = Alcotest.(check bool) name true b
+
+(* --- Seq -------------------------------------------------------------- *)
+
+let test_seq_wraparound () =
+  let near_top = 0xffff_fff0 in
+  let wrapped = Seq.add near_top 0x20 in
+  "wraps" => (wrapped = 0x10);
+  "lt across wrap" => Seq.lt near_top wrapped;
+  "gt across wrap" => Seq.gt wrapped near_top;
+  Alcotest.(check int) "diff" 0x20 (Seq.diff wrapped near_top);
+  Alcotest.(check int) "negative diff" (-0x20) (Seq.diff near_top wrapped)
+
+let prop_seq_ordering =
+  QCheck.Test.make ~name:"seq: add then diff roundtrips" ~count:500
+    QCheck.(pair (int_bound 0xfffffff) (int_bound 60000))
+    (fun (base, n) ->
+      let s = Seq.add base n in
+      Seq.diff s base = n && Seq.geq s base && (n = 0 || Seq.gt s base))
+
+let test_seq_in_window () =
+  "start" => Seq.in_window 100 ~base:100 ~size:10;
+  "end excl" => not (Seq.in_window 110 ~base:100 ~size:10);
+  "wrap" => Seq.in_window 3 ~base:0xffff_fffa ~size:20
+
+(* --- Segment codec ----------------------------------------------------- *)
+
+let test_segment_roundtrip () =
+  let src = Psd_ip.Addr.of_string "10.0.0.1"
+  and dst = Psd_ip.Addr.of_string "10.0.0.2" in
+  let seg =
+    {
+      Segment.src_port = 1234;
+      dst_port = 80;
+      seq = 0xdeadbeef;
+      ack = 0x01020304;
+      flags = { Segment.no_flags with Segment.ack = true; psh = true };
+      window = 8192;
+      mss = None;
+    }
+  in
+  let packet = Segment.encode seg ~src ~dst ~payload:(Mbuf.of_string "data!") in
+  match Segment.decode (Mbuf.to_bytes packet) ~src ~dst with
+  | Error e -> Alcotest.fail e
+  | Ok (seg', payload) ->
+    Alcotest.(check int) "sport" 1234 seg'.Segment.src_port;
+    Alcotest.(check int) "seq" 0xdeadbeef seg'.Segment.seq;
+    Alcotest.(check int) "ack" 0x01020304 seg'.Segment.ack;
+    "psh" => seg'.Segment.flags.Segment.psh;
+    Alcotest.(check string) "payload" "data!" (Mbuf.to_string payload)
+
+let test_segment_mss_option () =
+  let src = Psd_ip.Addr.of_string "10.0.0.1"
+  and dst = Psd_ip.Addr.of_string "10.0.0.2" in
+  let seg =
+    {
+      Segment.src_port = 1;
+      dst_port = 2;
+      seq = 0;
+      ack = 0;
+      flags = { Segment.no_flags with Segment.syn = true };
+      window = 1000;
+      mss = Some 1460;
+    }
+  in
+  let packet = Segment.encode seg ~src ~dst ~payload:(Mbuf.empty ()) in
+  match Segment.decode (Mbuf.to_bytes packet) ~src ~dst with
+  | Ok (seg', _) -> Alcotest.(check (option int)) "mss" (Some 1460) seg'.Segment.mss
+  | Error e -> Alcotest.fail e
+
+let test_segment_checksum_detects () =
+  let src = Psd_ip.Addr.of_string "10.0.0.1"
+  and dst = Psd_ip.Addr.of_string "10.0.0.2" in
+  let seg =
+    {
+      Segment.src_port = 1;
+      dst_port = 2;
+      seq = 7;
+      ack = 0;
+      flags = Segment.no_flags;
+      window = 0;
+      mss = None;
+    }
+  in
+  let packet =
+    Mbuf.to_bytes (Segment.encode seg ~src ~dst ~payload:(Mbuf.of_string "xy"))
+  in
+  Bytes.set packet 21 'z';
+  match Segment.decode packet ~src ~dst with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "corruption accepted"
+
+(* --- connection establishment ------------------------------------------ *)
+
+(* Server that accepts everything on [port], records into a sink, and —
+   like a real socket layer — consumes received data so the window
+   reopens. *)
+let autoserver net ?(rcv_assign = fun _ -> ()) port =
+  let sink = make_sink () in
+  let listener = Tcp.listen net.b.tcp ~port () in
+  Tcp.on_ready listener (fun () ->
+      Psd_sim.Engine.spawn net.eng ~name:"accept" (fun () ->
+          match Tcp.accept_ready listener with
+          | Some pcb ->
+            let h = sink_handlers sink in
+            Tcp.set_handlers pcb
+              {
+                h with
+                Tcp.deliver =
+                  (fun m ->
+                    let n = Mbuf.length m in
+                    Buffer.add_string sink.buf (Mbuf.to_string m);
+                    (* upcalls run under the stack lock: consume later *)
+                    Psd_sim.Engine.spawn net.eng ~name:"consume" (fun () ->
+                        Tcp.user_consumed pcb n));
+              };
+            rcv_assign pcb
+          | None -> ()));
+  (sink, listener)
+
+let test_handshake () =
+  let net = create () in
+  let server_pcb = ref None in
+  let _server_sink, _l =
+    autoserver net ~rcv_assign:(fun p -> server_pcb := Some p) 80
+  in
+  let client_sink = make_sink () in
+  let pcb = ref None in
+  Psd_sim.Engine.spawn net.eng (fun () ->
+      pcb :=
+        Some
+          (Tcp.connect net.a.tcp ~handlers:(sink_handlers client_sink)
+             ~src_port:5000 ~dst:net.b.addr ~dst_port:80 ()));
+  run_for net (Psd_sim.Time.ms 20);
+  "client established" => client_sink.established;
+  "server accepted+established"
+  => (match !server_pcb with
+     | Some p -> Tcp.state p = Tcp.Established
+     | None -> false);
+  (match !pcb with
+  | Some p -> Alcotest.(check string) "state" "ESTABLISHED"
+                (Format.asprintf "%a" Tcp.pp_state (Tcp.state p))
+  | None -> Alcotest.fail "no pcb");
+  (* exactly one connection on each side *)
+  Alcotest.(check int) "a pcbs" 1 (Tcp.active_pcbs net.a.tcp);
+  Alcotest.(check int) "b pcbs" 1 (Tcp.active_pcbs net.b.tcp)
+
+let test_connect_refused () =
+  let net = create () in
+  let sink = make_sink () in
+  Psd_sim.Engine.spawn net.eng (fun () ->
+      ignore
+        (Tcp.connect net.a.tcp ~handlers:(sink_handlers sink) ~src_port:5000
+           ~dst:net.b.addr ~dst_port:81 ()));
+  run_for net (Psd_sim.Time.ms 20);
+  "refused" => (sink.errors = [ Tcp.Refused ]);
+  Alcotest.(check int) "rst sent" 1 (Tcp.stats net.b.tcp).Tcp.rst_out
+
+let test_handshake_with_syn_loss () =
+  let net = create () in
+  (* drop the first packet on the wire: the SYN *)
+  drop_nth net 1;
+  let server_pcb = ref None in
+  let _, _ = autoserver net ~rcv_assign:(fun p -> server_pcb := Some p) 80 in
+  let client_sink = make_sink () in
+  Psd_sim.Engine.spawn net.eng (fun () ->
+      ignore
+        (Tcp.connect net.a.tcp ~handlers:(sink_handlers client_sink)
+           ~src_port:5000 ~dst:net.b.addr ~dst_port:80 ()));
+  run_for net (Psd_sim.Time.ms 500);
+  "established despite SYN loss" => client_sink.established;
+  "server side up"
+  => (match !server_pcb with
+     | Some p -> Tcp.state p = Tcp.Established
+     | None -> false)
+
+let test_simultaneous_open () =
+  let net = create () in
+  let sa = make_sink () and sb = make_sink () in
+  Psd_sim.Engine.spawn net.eng (fun () ->
+      ignore
+        (Tcp.connect net.a.tcp ~handlers:(sink_handlers sa) ~src_port:5000
+           ~dst:net.b.addr ~dst_port:6000 ()));
+  Psd_sim.Engine.spawn net.eng (fun () ->
+      ignore
+        (Tcp.connect net.b.tcp ~handlers:(sink_handlers sb) ~src_port:6000
+           ~dst:net.a.addr ~dst_port:5000 ()));
+  run_for net (Psd_sim.Time.sec 2);
+  "a established" => sa.established;
+  "b established" => sb.established
+
+let test_backlog_limit () =
+  let net = create () in
+  let listener = Tcp.listen net.b.tcp ~port:80 ~backlog:2 () in
+  for i = 0 to 4 do
+    Psd_sim.Engine.spawn net.eng (fun () ->
+        ignore
+          (Tcp.connect net.a.tcp ~src_port:(6000 + i) ~dst:net.b.addr
+             ~dst_port:80 ()))
+  done;
+  run_for net (Psd_sim.Time.ms 10);
+  "backlog respected" => (Tcp.pending listener <= 2)
+
+(* --- data transfer ------------------------------------------------------ *)
+
+let oneway_transfer ?(nodelay = true) ?seed ?chunks payload =
+  let net = create ?seed () in
+  let server_sink, _ = autoserver net 80 in
+  let client_sink = make_sink () in
+  Psd_sim.Engine.spawn net.eng (fun () ->
+      let pcb =
+        Tcp.connect net.a.tcp ~handlers:(sink_handlers client_sink)
+          ~src_port:5000 ~dst:net.b.addr ~dst_port:80 ()
+      in
+      Tcp.set_nodelay pcb nodelay;
+      (* wait for establishment *)
+      let cond = Psd_sim.Cond.create net.eng in
+      let h = sink_handlers client_sink in
+      Tcp.set_handlers pcb
+        {
+          h with
+          Tcp.on_established =
+            (fun () ->
+              client_sink.established <- true;
+              Psd_sim.Cond.broadcast cond);
+          on_acked =
+            (fun n ->
+              client_sink.acked <- client_sink.acked + n;
+              Psd_sim.Cond.broadcast cond);
+        };
+      if not client_sink.established then Psd_sim.Cond.wait cond;
+      (match chunks with
+      | None -> Tcp.send pcb (Mbuf.of_string payload)
+      | Some sizes ->
+        let off = ref 0 in
+        List.iter
+          (fun sz ->
+            let sz = min sz (String.length payload - !off) in
+            if sz > 0 then begin
+              Tcp.send pcb (Mbuf.of_string (String.sub payload !off sz));
+              off := !off + sz
+            end)
+          sizes;
+        if !off < String.length payload then
+          Tcp.send pcb
+            (Mbuf.of_string
+               (String.sub payload !off (String.length payload - !off))));
+      (* wait until all acked *)
+      while client_sink.acked < String.length payload do
+        Psd_sim.Cond.wait cond
+      done;
+      Tcp.shutdown_send pcb);
+  run_for net (Psd_sim.Time.sec 30);
+  (net, server_sink, client_sink)
+
+let test_small_transfer () =
+  let _, server, _ = oneway_transfer "hello, world" in
+  Alcotest.(check string) "payload" "hello, world" (contents server);
+  "eof delivered" => server.eof
+
+let test_empty_close () =
+  let _, server, _ = oneway_transfer "" in
+  Alcotest.(check string) "payload" "" (contents server);
+  "eof" => server.eof
+
+let test_large_transfer () =
+  let payload = String.init 200_000 (fun i -> Char.chr (i * 31 mod 256)) in
+  let net, server, _ = oneway_transfer payload in
+  Alcotest.(check int) "length" (String.length payload)
+    (String.length (contents server));
+  "content" => String.equal payload (contents server);
+  (* Sliding window must bound in-flight data: many segments. *)
+  "many segments" => ((Tcp.stats net.a.tcp).Tcp.segs_out > 100)
+
+let test_mss_respected () =
+  let payload = String.make 10_000 'x' in
+  let net, server, _ = oneway_transfer payload in
+  ignore server;
+  let st = Tcp.stats net.a.tcp in
+  (* 10000 bytes / 1460 mss -> at least 7 data segments *)
+  "segmented" => (st.Tcp.segs_out >= 7)
+
+let test_echo_bidirectional () =
+  let net = create () in
+  let server_pcb = ref None in
+  let server_sink = make_sink () in
+  let listener = Tcp.listen net.b.tcp ~port:7 () in
+  (* echo server: send back whatever arrives *)
+  Tcp.on_ready listener (fun () ->
+      Psd_sim.Engine.spawn net.eng ~name:"echo" (fun () ->
+          match Tcp.accept_ready listener with
+          | Some pcb ->
+            server_pcb := Some pcb;
+            let h = sink_handlers server_sink in
+            Tcp.set_handlers pcb
+              {
+                h with
+                Tcp.deliver =
+                  (fun m ->
+                    Buffer.add_string server_sink.buf (Mbuf.to_string m);
+                    Psd_sim.Engine.spawn net.eng (fun () ->
+                        Tcp.send pcb
+                          (Mbuf.of_string (Mbuf.to_string m))));
+              }
+          | None -> ()));
+  let client_sink = make_sink () in
+  Psd_sim.Engine.spawn net.eng (fun () ->
+      let pcb =
+        Tcp.connect net.a.tcp ~handlers:(sink_handlers client_sink)
+          ~src_port:5000 ~dst:net.b.addr ~dst_port:7 ()
+      in
+      Tcp.set_nodelay pcb true;
+      Psd_sim.Engine.sleep net.eng (Psd_sim.Time.ms 10);
+      Tcp.send pcb (Mbuf.of_string "ping-1;");
+      Psd_sim.Engine.sleep net.eng (Psd_sim.Time.ms 10);
+      Tcp.send pcb (Mbuf.of_string "ping-2;"));
+  run_for net (Psd_sim.Time.sec 2);
+  Alcotest.(check string) "server saw" "ping-1;ping-2;" (contents server_sink);
+  Alcotest.(check string) "client got echo" "ping-1;ping-2;"
+    (contents client_sink)
+
+let test_data_loss_retransmit () =
+  let net = create () in
+  let server_sink, _ = autoserver net 80 in
+  (* drop the first TCP segment carrying >= 100 bytes of data *)
+  drop_nth net ~pred:(tcp_data_at_least 100) 1;
+  let payload = String.init 5_000 (fun i -> Char.chr (i mod 251)) in
+  let client_sink = make_sink () in
+  Psd_sim.Engine.spawn net.eng (fun () ->
+      let pcb =
+        Tcp.connect net.a.tcp ~handlers:(sink_handlers client_sink)
+          ~src_port:5000 ~dst:net.b.addr ~dst_port:80 ()
+      in
+      Psd_sim.Engine.sleep net.eng (Psd_sim.Time.ms 10);
+      Tcp.send pcb (Mbuf.of_string payload));
+  run_for net (Psd_sim.Time.sec 5);
+  "delivered despite loss" => String.equal payload (contents server_sink);
+  "retransmitted" => ((Tcp.stats net.a.tcp).Tcp.rexmt_segs >= 1)
+
+let test_fast_retransmit () =
+  let net = create () in
+  let server_sink, _ = autoserver net 80 in
+  (* Lose a full-size segment once the congestion window has opened; the
+     following segments generate duplicate ACKs that trigger fast
+     retransmit before the RTO. *)
+  drop_nth net ~pred:(tcp_data_at_least 1000) 8;
+  let payload = String.init 60_000 (fun i -> Char.chr (i * 7 mod 256)) in
+  let client_sink = make_sink () in
+  Psd_sim.Engine.spawn net.eng (fun () ->
+      let pcb =
+        Tcp.connect net.a.tcp ~handlers:(sink_handlers client_sink)
+          ~src_port:5000 ~dst:net.b.addr ~dst_port:80 ()
+      in
+      Psd_sim.Engine.sleep net.eng (Psd_sim.Time.ms 10);
+      Tcp.send pcb (Mbuf.of_string payload));
+  run_for net (Psd_sim.Time.sec 10);
+  "delivered" => String.equal payload (contents server_sink);
+  let st = Tcp.stats net.a.tcp in
+  "dup acks seen" => (st.Tcp.dup_acks_in >= 3);
+  "fast retransmit fired" => (st.Tcp.fast_rexmt >= 1);
+  "receiver reassembled ooo" => ((Tcp.stats net.b.tcp).Tcp.ooo_segs >= 1)
+
+let test_flow_control_zero_window () =
+  let net = create () in
+  (* Server with a tiny receive buffer that consumes nothing at first. *)
+  let server_pcb = ref None in
+  let received = Buffer.create 64 in
+  let listener = Tcp.listen net.b.tcp ~port:80 () in
+  Tcp.on_ready listener (fun () ->
+      Psd_sim.Engine.spawn net.eng (fun () ->
+          match Tcp.accept_ready listener with
+          | Some pcb ->
+            server_pcb := Some pcb;
+            Tcp.set_handlers pcb
+              {
+                Tcp.null_handlers with
+                Tcp.deliver =
+                  (fun m -> Buffer.add_string received (Mbuf.to_string m));
+              }
+          | None -> ()));
+  let payload = String.make 100_000 'q' in
+  let client_sink = make_sink () in
+  let stalled_sndq = ref 0 in
+  Psd_sim.Engine.spawn net.eng (fun () ->
+      let pcb =
+        Tcp.connect net.a.tcp ~handlers:(sink_handlers client_sink)
+          ~src_port:5000 ~dst:net.b.addr ~dst_port:80 ()
+      in
+      Psd_sim.Engine.sleep net.eng (Psd_sim.Time.ms 10);
+      Tcp.send pcb (Mbuf.of_string payload);
+      (* give it time to stall against the closed window *)
+      Psd_sim.Engine.sleep net.eng (Psd_sim.Time.sec 2);
+      stalled_sndq := Tcp.sndq_length pcb;
+      (* now drain the receiver as data arrives *)
+      match !server_pcb with
+      | Some spcb ->
+        let rec drain () =
+          let n = Tcp.rcv_buffered spcb in
+          if n > 0 then Tcp.user_consumed spcb n;
+          if Buffer.length received < String.length payload then begin
+            Psd_sim.Engine.sleep net.eng (Psd_sim.Time.ms 20);
+            drain ()
+          end
+        in
+        drain ()
+      | None -> Alcotest.fail "no server pcb");
+  run_for net (Psd_sim.Time.sec 120);
+  (* sender must have been throttled by the 24KB receive buffer *)
+  "sender stalled" => (!stalled_sndq > String.length payload - 30_000);
+  "eventually delivered" => (Buffer.length received = String.length payload)
+
+let test_nagle_coalesces () =
+  let count_segments nodelay =
+    let payload = String.make 400 'n' in
+    let chunks = List.init 40 (fun _ -> 10) in
+    let net, server, _ = oneway_transfer ~nodelay ~chunks payload in
+    "delivered" => String.equal payload (contents server);
+    (Tcp.stats net.a.tcp).Tcp.segs_out
+  in
+  let with_nagle = count_segments false in
+  let without_nagle = count_segments true in
+  "nagle sends fewer segments" => (with_nagle < without_nagle)
+
+let test_delayed_ack () =
+  let payload = String.make 1000 'd' in
+  (* single small write: the lone segment's ACK must come from the
+     delayed-ack timer *)
+  let net, server, _ = oneway_transfer payload in
+  "delivered" => String.equal payload (contents server);
+  "some acks delayed" => ((Tcp.stats net.b.tcp).Tcp.acks_delayed >= 1)
+
+(* --- teardown ----------------------------------------------------------- *)
+
+let test_graceful_close () =
+  let net = create () in
+  let server_pcb = ref None in
+  let server_sink, _ =
+    autoserver net ~rcv_assign:(fun p -> server_pcb := Some p) 80
+  in
+  let client_sink = make_sink () in
+  let client_pcb = ref None in
+  Psd_sim.Engine.spawn net.eng (fun () ->
+      let pcb =
+        Tcp.connect net.a.tcp ~handlers:(sink_handlers client_sink)
+          ~src_port:5000 ~dst:net.b.addr ~dst_port:80 ()
+      in
+      client_pcb := Some pcb;
+      Psd_sim.Engine.sleep net.eng (Psd_sim.Time.ms 10);
+      Tcp.send pcb (Mbuf.of_string "bye");
+      Tcp.shutdown_send pcb;
+      (* server sees EOF, closes its side too *)
+      Psd_sim.Engine.sleep net.eng (Psd_sim.Time.ms 50);
+      match !server_pcb with
+      | Some spcb -> Tcp.shutdown_send spcb
+      | None -> Alcotest.fail "no server pcb");
+  run_for net (Psd_sim.Time.ms 200);
+  "server got data" => String.equal "bye" (contents server_sink);
+  "server saw eof" => server_sink.eof;
+  "client saw eof" => client_sink.eof;
+  (* client entered TIME_WAIT, which expires after 2MSL (100ms here) *)
+  run_for net (Psd_sim.Time.sec 2);
+  Alcotest.(check int) "a pcbs drained" 0 (Tcp.active_pcbs net.a.tcp);
+  Alcotest.(check int) "b pcbs drained" 0 (Tcp.active_pcbs net.b.tcp)
+
+let test_simultaneous_close () =
+  let net = create () in
+  let server_pcb = ref None in
+  let _, _ = autoserver net ~rcv_assign:(fun p -> server_pcb := Some p) 80 in
+  let client_sink = make_sink () in
+  Psd_sim.Engine.spawn net.eng (fun () ->
+      let pcb =
+        Tcp.connect net.a.tcp ~handlers:(sink_handlers client_sink)
+          ~src_port:5000 ~dst:net.b.addr ~dst_port:80 ()
+      in
+      Psd_sim.Engine.sleep net.eng (Psd_sim.Time.ms 20);
+      (* both sides close at the same instant *)
+      Psd_sim.Engine.spawn net.eng (fun () ->
+          match !server_pcb with
+          | Some spcb -> Tcp.shutdown_send spcb
+          | None -> ());
+      Tcp.shutdown_send pcb);
+  run_for net (Psd_sim.Time.sec 5);
+  Alcotest.(check int) "a drained" 0 (Tcp.active_pcbs net.a.tcp);
+  Alcotest.(check int) "b drained" 0 (Tcp.active_pcbs net.b.tcp)
+
+let test_abort_resets_peer () =
+  let net = create () in
+  let server_sink, _ = autoserver net 80 in
+  Psd_sim.Engine.spawn net.eng (fun () ->
+      let pcb =
+        Tcp.connect net.a.tcp ~src_port:5000 ~dst:net.b.addr ~dst_port:80 ()
+      in
+      Psd_sim.Engine.sleep net.eng (Psd_sim.Time.ms 20);
+      Tcp.abort pcb);
+  run_for net (Psd_sim.Time.ms 100);
+  "server reset" => (server_sink.errors = [ Tcp.Reset ]);
+  Alcotest.(check int) "a drained" 0 (Tcp.active_pcbs net.a.tcp);
+  Alcotest.(check int) "b drained" 0 (Tcp.active_pcbs net.b.tcp)
+
+(* --- migration ----------------------------------------------------------- *)
+
+let test_export_import_same_stack_roundtrip () =
+  (* Sanity: export then immediately import into the same instance. *)
+  let net = create () in
+  let server_pcb = ref None in
+  let server_sink, _ =
+    autoserver net ~rcv_assign:(fun p -> server_pcb := Some p) 80
+  in
+  let client_sink = make_sink () in
+  Psd_sim.Engine.spawn net.eng (fun () ->
+      let pcb =
+        Tcp.connect net.a.tcp ~handlers:(sink_handlers client_sink)
+          ~src_port:5000 ~dst:net.b.addr ~dst_port:80 ()
+      in
+      Psd_sim.Engine.sleep net.eng (Psd_sim.Time.ms 20);
+      Tcp.send pcb (Mbuf.of_string "before-");
+      Psd_sim.Engine.sleep net.eng (Psd_sim.Time.ms 50);
+      (* migrate the CLIENT side *)
+      let snap = Tcp.export pcb in
+      "snapshot has size" => (Tcp.snapshot_size snap >= 96);
+      Alcotest.(check int) "snap port" 5000 (Tcp.snapshot_local_port snap);
+      let pcb' =
+        Tcp.import net.a.tcp ~handlers:(sink_handlers client_sink) snap
+      in
+      Tcp.send pcb' (Mbuf.of_string "after");
+      Psd_sim.Engine.sleep net.eng (Psd_sim.Time.ms 50);
+      Tcp.shutdown_send pcb');
+  run_for net (Psd_sim.Time.sec 2);
+  Alcotest.(check string) "continuity" "before-after" (contents server_sink);
+  "eof" => server_sink.eof
+
+let test_migration_between_stacks () =
+  (* The paper's core mechanism: a connection established in one stack
+     (the OS server) continues in another (the application library).
+     Host B runs two stacks sharing address 10.0.0.2; a dispatch ref
+     plays the role of the packet filter. *)
+  let eng = Psd_sim.Engine.create () in
+  let a = make_host eng "client" "10.0.0.1" in
+  let b1 = make_host eng "b-server-stack" "10.0.0.2" in
+  let b2 = make_host eng "b-app-stack" "10.0.0.2" in
+  let b_active = ref b1 in
+  let tap = ref (fun _ -> false) in
+  Psd_ip.Ip.set_transmit a.ip (fun ~next_hop:_ ~iface:_ m ->
+      let packet = Psd_mbuf.Mbuf.to_bytes m in
+      if not (!tap packet) then
+        Psd_sim.Engine.schedule eng 50_000 (fun () ->
+            Psd_sim.Engine.spawn eng (fun () ->
+                Psd_ip.Ip.input !b_active.ip packet ~off:0
+                  ~len:(Bytes.length packet))));
+  let to_a host =
+    Psd_ip.Ip.set_transmit host.ip (fun ~next_hop:_ ~iface:_ m ->
+        let packet = Psd_mbuf.Mbuf.to_bytes m in
+        Psd_sim.Engine.schedule eng 50_000 (fun () ->
+            Psd_sim.Engine.spawn eng (fun () ->
+                Psd_ip.Ip.input a.ip packet ~off:0 ~len:(Bytes.length packet))))
+  in
+  to_a b1;
+  to_a b2;
+  let server_sink = make_sink () in
+  let b1_pcb = ref None in
+  let listener = Tcp.listen b1.tcp ~port:80 () in
+  Tcp.on_ready listener (fun () ->
+      Psd_sim.Engine.spawn eng (fun () ->
+          match Tcp.accept_ready listener with
+          | Some p ->
+            Tcp.set_handlers p (sink_handlers server_sink);
+            b1_pcb := Some p
+          | None -> ()));
+  let client_sink = make_sink () in
+  Psd_sim.Engine.spawn eng (fun () ->
+      let pcb =
+        Tcp.connect a.tcp ~handlers:(sink_handlers client_sink)
+          ~src_port:5000 ~dst:(Psd_ip.Addr.of_string "10.0.0.2") ~dst_port:80
+          ()
+      in
+      Psd_sim.Engine.sleep eng (Psd_sim.Time.ms 10);
+      Tcp.send pcb (Mbuf.of_string "one,");
+      Psd_sim.Engine.sleep eng (Psd_sim.Time.ms 30);
+      (* --- migrate the server-side session from b1 to b2 --- *)
+      (match !b1_pcb with
+      | Some p ->
+        let snap = Tcp.export p in
+        let p' = Tcp.import b2.tcp ~handlers:(sink_handlers server_sink) snap in
+        b_active := b2;
+        ignore p'
+      | None -> Alcotest.fail "not accepted yet");
+      (* continue the conversation: data must flow into the new stack *)
+      Tcp.send pcb (Mbuf.of_string "two,");
+      Psd_sim.Engine.sleep eng (Psd_sim.Time.ms 30);
+      Tcp.send pcb (Mbuf.of_string "three");
+      Psd_sim.Engine.sleep eng (Psd_sim.Time.ms 30);
+      Tcp.shutdown_send pcb);
+  Psd_sim.Engine.run_for eng (Psd_sim.Time.sec 2);
+  Alcotest.(check string) "stream continuity across migration" "one,two,three"
+    (contents server_sink);
+  "eof in new stack" => server_sink.eof;
+  Alcotest.(check int) "b1 released the session" 0 (Tcp.active_pcbs b1.tcp);
+  Alcotest.(check int) "b2 owns the session" 1 (Tcp.active_pcbs b2.tcp)
+
+let test_migration_with_unacked_data () =
+  (* Export while data is in flight/unacked: the importing stack must
+     retransmit from its own timers. *)
+  let net = create () in
+  let server_sink, _ = autoserver net 80 in
+  let client_sink = make_sink () in
+  Psd_sim.Engine.spawn net.eng (fun () ->
+      let pcb =
+        Tcp.connect net.a.tcp ~handlers:(sink_handlers client_sink)
+          ~src_port:5000 ~dst:net.b.addr ~dst_port:80 ()
+      in
+      Psd_sim.Engine.sleep net.eng (Psd_sim.Time.ms 10);
+      (* drop everything while we send, so data stays unacked *)
+      net.tap <- (fun _ -> true);
+      Tcp.send pcb (Mbuf.of_string "resilient");
+      (* export with the data unacknowledged *)
+      let snap = Tcp.export pcb in
+      "unacked data in snapshot" => (Tcp.snapshot_size snap >= 96 + 9);
+      net.tap <- (fun _ -> false);
+      let pcb' =
+        Tcp.import net.a.tcp ~handlers:(sink_handlers client_sink) snap
+      in
+      ignore pcb');
+  run_for net (Psd_sim.Time.sec 10);
+  "data arrives after re-import" => String.equal "resilient" (contents server_sink)
+
+(* --- property: arbitrary chunking preserves the stream ------------------ *)
+
+let prop_stream_integrity =
+  QCheck.Test.make ~name:"tcp: chunked sends preserve byte stream" ~count:15
+    QCheck.(
+      pair small_int (list_of_size Gen.(1 -- 12) (int_range 1 4000)))
+    (fun (seed, sizes) ->
+      let total = List.fold_left ( + ) 0 sizes in
+      let payload = String.init total (fun i -> Char.chr (i * 13 mod 256)) in
+      let _, server, _ =
+        oneway_transfer ~seed:(seed + 1) ~chunks:sizes payload
+      in
+      String.equal payload (contents server) && server.eof)
+
+(* --- window probing / teardown corners ----------------------------------- *)
+
+let test_persist_probes_zero_window () =
+  (* Receiver never consumes: the window closes; the sender must probe
+     (persist timer) rather than deadlock, and resume when it reopens. *)
+  let net = create () in
+  let server_pcb = ref None in
+  let received = Buffer.create 64 in
+  let listener = Tcp.listen net.b.tcp ~port:80 () in
+  Tcp.on_ready listener (fun () ->
+      Psd_sim.Engine.spawn net.eng (fun () ->
+          match Tcp.accept_ready listener with
+          | Some pcb ->
+            server_pcb := Some pcb;
+            Tcp.set_handlers pcb
+              {
+                Tcp.null_handlers with
+                Tcp.deliver =
+                  (fun m -> Buffer.add_string received (Mbuf.to_string m));
+              }
+          | None -> ()));
+  let payload = String.make 60_000 'w' in
+  Psd_sim.Engine.spawn net.eng (fun () ->
+      let pcb =
+        Tcp.connect net.a.tcp ~src_port:5000 ~dst:net.b.addr ~dst_port:80 ()
+      in
+      Psd_sim.Engine.sleep net.eng (Psd_sim.Time.ms 10);
+      Tcp.send pcb (Mbuf.of_string payload);
+      (* stall long enough for several persist intervals *)
+      Psd_sim.Engine.sleep net.eng (Psd_sim.Time.sec 3);
+      (* receiver wakes up and drains *)
+      match !server_pcb with
+      | Some spcb ->
+        let rec drain () =
+          let n = Tcp.rcv_buffered spcb in
+          if n > 0 then Tcp.user_consumed spcb n;
+          if Buffer.length received < String.length payload then begin
+            Psd_sim.Engine.sleep net.eng (Psd_sim.Time.ms 20);
+            drain ()
+          end
+        in
+        drain ()
+      | None -> Alcotest.fail "no server pcb");
+  run_for net (Psd_sim.Time.sec 120);
+  "all delivered after window reopened"
+  => (Buffer.length received = String.length payload);
+  (* while stalled, the sender emitted window probes *)
+  "probes or retransmissions occurred"
+  => ((Tcp.stats net.a.tcp).Tcp.rexmt_segs >= 1
+     || (Tcp.stats net.a.tcp).Tcp.segs_out > 50)
+
+let test_time_wait_handles_duplicate_fin () =
+  (* Drop the client's final ACK once: the server retransmits its FIN and
+     the client's TIME_WAIT must re-ACK it rather than RST. *)
+  let net = create () in
+  let server_pcb = ref None in
+  let _sink, _ = autoserver net ~rcv_assign:(fun p -> server_pcb := Some p) 80 in
+  let client_sink = make_sink () in
+  Psd_sim.Engine.spawn net.eng (fun () ->
+      let pcb =
+        Tcp.connect net.a.tcp ~handlers:(sink_handlers client_sink)
+          ~src_port:5000 ~dst:net.b.addr ~dst_port:80 ()
+      in
+      Psd_sim.Engine.sleep net.eng (Psd_sim.Time.ms 20);
+      Tcp.shutdown_send pcb;
+      Psd_sim.Engine.sleep net.eng (Psd_sim.Time.ms 20);
+      (* server closes too; drop the client's ACK of the server FIN *)
+      drop_nth net 2;
+      (match !server_pcb with
+      | Some spcb -> Tcp.shutdown_send spcb
+      | None -> ()));
+  run_for net (Psd_sim.Time.sec 10);
+  Alcotest.(check int) "no resets" 0 (Tcp.stats net.a.tcp).Tcp.rst_out;
+  Alcotest.(check int) "a drained" 0 (Tcp.active_pcbs net.a.tcp);
+  Alcotest.(check int) "b drained" 0 (Tcp.active_pcbs net.b.tcp)
+
+let test_mute_suppresses_rst_then_expires () =
+  let net = create () in
+  (* a stray segment for a connection nobody has *)
+  let stray () =
+    let seg =
+      {
+        Segment.src_port = 1111;
+        dst_port = 2222;
+        seq = 500;
+        ack = 0;
+        flags = { Segment.no_flags with Segment.ack = true };
+        window = 1000;
+        mss = None;
+      }
+    in
+    let packet =
+      Segment.encode seg ~src:net.a.addr ~dst:net.b.addr
+        ~payload:(Mbuf.empty ())
+    in
+    ignore
+      (Psd_ip.Ip.output net.a.ip ~proto:Psd_ip.Header.proto_tcp
+         ~dst:net.b.addr packet)
+  in
+  Psd_sim.Engine.spawn net.eng (fun () ->
+      Tcp.mute net.b.tcp ~local_port:2222 ~remote:(net.a.addr, 1111)
+        ~duration_ns:(Psd_sim.Time.ms 100);
+      stray ();
+      Psd_sim.Engine.sleep net.eng (Psd_sim.Time.ms 50);
+      Alcotest.(check int) "muted: no rst" 0
+        (Tcp.stats net.b.tcp).Tcp.rst_out;
+      Psd_sim.Engine.sleep net.eng (Psd_sim.Time.ms 100);
+      stray ();
+      Psd_sim.Engine.sleep net.eng (Psd_sim.Time.ms 50);
+      Alcotest.(check int) "mute expired: rst" 1
+        (Tcp.stats net.b.tcp).Tcp.rst_out);
+  run_for net (Psd_sim.Time.sec 2)
+
+(* --- keepalive ---------------------------------------------------------- *)
+
+let test_keepalive_detects_dead_peer () =
+  let net =
+    create ~keep_idle_ns:(Psd_sim.Time.ms 100)
+      ~keep_interval_ns:(Psd_sim.Time.ms 50) ~keep_max_probes:3 ()
+  in
+  let client_sink = make_sink () in
+  let _server_sink, _ = autoserver net 80 in
+  Psd_sim.Engine.spawn net.eng (fun () ->
+      let pcb =
+        Tcp.connect net.a.tcp ~handlers:(sink_handlers client_sink)
+          ~src_port:5000 ~dst:net.b.addr ~dst_port:80 ()
+      in
+      Psd_sim.Engine.sleep net.eng (Psd_sim.Time.ms 20);
+      Tcp.set_keepalive pcb true;
+      (* the peer silently disappears *)
+      net.tap <- (fun _ -> true));
+  run_for net (Psd_sim.Time.sec 10);
+  "dead peer detected" => (client_sink.errors = [ Tcp.Timed_out ]);
+  Alcotest.(check int) "pcb reaped" 0 (Tcp.active_pcbs net.a.tcp)
+
+let test_keepalive_keeps_healthy_connection () =
+  let net =
+    create ~keep_idle_ns:(Psd_sim.Time.ms 100)
+      ~keep_interval_ns:(Psd_sim.Time.ms 50) ~keep_max_probes:3 ()
+  in
+  let client_sink = make_sink () in
+  let _server_sink, _ = autoserver net 80 in
+  let pcb_ref = ref None in
+  Psd_sim.Engine.spawn net.eng (fun () ->
+      let pcb =
+        Tcp.connect net.a.tcp ~handlers:(sink_handlers client_sink)
+          ~src_port:5000 ~dst:net.b.addr ~dst_port:80 ()
+      in
+      pcb_ref := Some pcb;
+      Psd_sim.Engine.sleep net.eng (Psd_sim.Time.ms 20);
+      Tcp.set_keepalive pcb true);
+  (* idle far beyond the probe budget: probes are answered, so the
+     connection must survive *)
+  run_for net (Psd_sim.Time.sec 5);
+  "no errors" => (client_sink.errors = []);
+  (match !pcb_ref with
+  | Some pcb -> "still established" => (Tcp.state pcb = Tcp.Established)
+  | None -> Alcotest.fail "no pcb");
+  "probes were exchanged" => ((Tcp.stats net.a.tcp).Tcp.segs_out > 10)
+
+(* The paper-core property: exporting a live connection at an arbitrary
+   moment mid-transfer and importing it into a different stack never
+   corrupts or loses the byte stream. *)
+let prop_migration_at_random_time =
+  QCheck.Test.make ~name:"tcp: migration at any moment preserves the stream"
+    ~count:10
+    QCheck.(int_range 1 120)
+    (fun migrate_at_ms ->
+      let eng = Psd_sim.Engine.create ~seed:migrate_at_ms () in
+      let a = make_host eng "client" "10.0.0.1" in
+      let b1 = make_host eng "b-first" "10.0.0.2" in
+      let b2 = make_host eng "b-second" "10.0.0.2" in
+      let b_active = ref b1 in
+      Psd_ip.Ip.set_transmit a.ip (fun ~next_hop:_ ~iface:_ m ->
+          let packet = Psd_mbuf.Mbuf.to_bytes m in
+          Psd_sim.Engine.schedule eng 50_000 (fun () ->
+              Psd_sim.Engine.spawn eng (fun () ->
+                  Psd_ip.Ip.input !b_active.ip packet ~off:0
+                    ~len:(Bytes.length packet))));
+      let to_a host =
+        Psd_ip.Ip.set_transmit host.ip (fun ~next_hop:_ ~iface:_ m ->
+            let packet = Psd_mbuf.Mbuf.to_bytes m in
+            Psd_sim.Engine.schedule eng 50_000 (fun () ->
+                Psd_sim.Engine.spawn eng (fun () ->
+                    Psd_ip.Ip.input a.ip packet ~off:0
+                      ~len:(Bytes.length packet))))
+      in
+      to_a b1;
+      to_a b2;
+      let payload =
+        String.init 120_000 (fun i -> Char.chr ((i * 13 + migrate_at_ms) mod 256))
+      in
+      let received = Buffer.create 1024 in
+      let b_pcb = ref None in
+      let wire_consumer pcb =
+        {
+          Tcp.null_handlers with
+          Tcp.deliver =
+            (fun m ->
+              Buffer.add_string received (Mbuf.to_string m);
+              let n = Mbuf.length m in
+              Psd_sim.Engine.spawn eng (fun () -> Tcp.user_consumed pcb n));
+        }
+      in
+      let listener = Tcp.listen b1.tcp ~port:80 () in
+      Tcp.on_ready listener (fun () ->
+          Psd_sim.Engine.spawn eng (fun () ->
+              match Tcp.accept_ready listener with
+              | Some p ->
+                b_pcb := Some p;
+                Tcp.set_handlers p (wire_consumer p)
+              | None -> ()));
+      Psd_sim.Engine.spawn eng (fun () ->
+          let pcb =
+            Tcp.connect a.tcp ~src_port:5000
+              ~dst:(Psd_ip.Addr.of_string "10.0.0.2") ~dst_port:80 ()
+          in
+          Psd_sim.Engine.sleep eng (Psd_sim.Time.ms 5);
+          Tcp.send pcb (Mbuf.of_string payload));
+      (* migrate the receiver at the chosen instant, mid-flight *)
+      Psd_sim.Engine.schedule eng (Psd_sim.Time.ms migrate_at_ms) (fun () ->
+          Psd_sim.Engine.spawn eng (fun () ->
+              match !b_pcb with
+              | Some p when Tcp.state p <> Tcp.Closed ->
+                let snap = Tcp.export p in
+                Tcp.mute b1.tcp ~local_port:80
+                  ~remote:(Psd_ip.Addr.of_string "10.0.0.1", 5000)
+                  ~duration_ns:(Psd_sim.Time.sec 1);
+                (* handlers must be live at import time (buffered data is
+                   re-delivered through them); consumption is deferred so
+                   the pcb ref is filled in by then *)
+                let pcb_ref = ref None in
+                let handlers =
+                  {
+                    Tcp.null_handlers with
+                    Tcp.deliver =
+                      (fun m ->
+                        Buffer.add_string received (Mbuf.to_string m);
+                        let n = Mbuf.length m in
+                        Psd_sim.Engine.spawn eng (fun () ->
+                            match !pcb_ref with
+                            | Some p' -> Tcp.user_consumed p' n
+                            | None -> ()));
+                  }
+                in
+                let p' = Tcp.import b2.tcp ~handlers snap in
+                pcb_ref := Some p';
+                b_pcb := Some p';
+                b_active := b2
+              | _ -> ()));
+      Psd_sim.Engine.run_for eng (Psd_sim.Time.sec 120);
+      String.equal (Buffer.contents received) payload)
+
+(* Random bidirectional traffic under probabilistic loss: every byte must
+   arrive, in order, in both directions, despite drops. *)
+let prop_bidirectional_with_loss =
+  QCheck.Test.make ~name:"tcp: bidirectional stream survives random loss"
+    ~count:8
+    QCheck.(pair small_int (int_range 0 15))
+    (fun (seed, drop_pct) ->
+      let net = create ~seed:(seed + 100) () in
+      (* deterministic loss process over the wire *)
+      let rng = Psd_util.Rng.create ~seed:(seed * 31 + 7) in
+      net.tap <- (fun _ -> Psd_util.Rng.int rng 100 < drop_pct);
+      let a_to_b = String.init 30_000 (fun i -> Char.chr (i mod 256)) in
+      let b_to_a = String.init 22_000 (fun i -> Char.chr ((i * 3) mod 256)) in
+      let server_sink = make_sink () in
+      let client_sink = make_sink () in
+      (* server: consume and also transmit its own stream *)
+      let listener = Tcp.listen net.b.tcp ~port:80 () in
+      Tcp.on_ready listener (fun () ->
+          Psd_sim.Engine.spawn net.eng (fun () ->
+              match Tcp.accept_ready listener with
+              | None -> ()
+              | Some pcb ->
+                let h = sink_handlers server_sink in
+                Tcp.set_handlers pcb
+                  {
+                    h with
+                    Tcp.deliver =
+                      (fun m ->
+                        let n = Mbuf.length m in
+                        Buffer.add_string server_sink.buf (Mbuf.to_string m);
+                        Psd_sim.Engine.spawn net.eng (fun () ->
+                            Tcp.user_consumed pcb n));
+                  };
+                Tcp.send pcb (Mbuf.of_string b_to_a)));
+      Psd_sim.Engine.spawn net.eng (fun () ->
+          let pcb =
+            Tcp.connect net.a.tcp ~src_port:5000 ~dst:net.b.addr ~dst_port:80
+              ()
+          in
+          let h = sink_handlers client_sink in
+          Tcp.set_handlers pcb
+            {
+              h with
+              Tcp.deliver =
+                (fun m ->
+                  let n = Mbuf.length m in
+                  Buffer.add_string client_sink.buf (Mbuf.to_string m);
+                  Psd_sim.Engine.spawn net.eng (fun () ->
+                      Tcp.user_consumed pcb n));
+            };
+          Psd_sim.Engine.sleep net.eng (Psd_sim.Time.ms 5);
+          Tcp.send pcb (Mbuf.of_string a_to_b));
+      run_for net (Psd_sim.Time.sec 300);
+      String.equal (contents server_sink) a_to_b
+      && String.equal (contents client_sink) b_to_a)
+
+let () =
+  Alcotest.run "psd_tcp"
+    [
+      ( "seq",
+        [
+          Alcotest.test_case "wraparound" `Quick test_seq_wraparound;
+          Alcotest.test_case "in_window" `Quick test_seq_in_window;
+          QCheck_alcotest.to_alcotest prop_seq_ordering;
+        ] );
+      ( "segment",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_segment_roundtrip;
+          Alcotest.test_case "mss option" `Quick test_segment_mss_option;
+          Alcotest.test_case "checksum" `Quick test_segment_checksum_detects;
+        ] );
+      ( "handshake",
+        [
+          Alcotest.test_case "three-way" `Quick test_handshake;
+          Alcotest.test_case "refused" `Quick test_connect_refused;
+          Alcotest.test_case "syn loss" `Quick test_handshake_with_syn_loss;
+          Alcotest.test_case "simultaneous open" `Quick
+            test_simultaneous_open;
+          Alcotest.test_case "backlog" `Quick test_backlog_limit;
+        ] );
+      ( "data",
+        [
+          Alcotest.test_case "small" `Quick test_small_transfer;
+          Alcotest.test_case "empty+close" `Quick test_empty_close;
+          Alcotest.test_case "large 200KB" `Quick test_large_transfer;
+          Alcotest.test_case "mss" `Quick test_mss_respected;
+          Alcotest.test_case "echo" `Quick test_echo_bidirectional;
+          Alcotest.test_case "loss+rto" `Quick test_data_loss_retransmit;
+          Alcotest.test_case "fast retransmit" `Quick test_fast_retransmit;
+          Alcotest.test_case "flow control" `Quick
+            test_flow_control_zero_window;
+          Alcotest.test_case "nagle" `Quick test_nagle_coalesces;
+          Alcotest.test_case "delayed ack" `Quick test_delayed_ack;
+          QCheck_alcotest.to_alcotest prop_stream_integrity;
+          QCheck_alcotest.to_alcotest prop_bidirectional_with_loss;
+        ] );
+      ( "migration-property",
+        [ QCheck_alcotest.to_alcotest prop_migration_at_random_time ] );
+      ( "teardown",
+        [
+          Alcotest.test_case "graceful" `Quick test_graceful_close;
+          Alcotest.test_case "simultaneous" `Quick test_simultaneous_close;
+          Alcotest.test_case "abort" `Quick test_abort_resets_peer;
+        ] );
+      ( "corners",
+        [
+          Alcotest.test_case "persist probes" `Quick
+            test_persist_probes_zero_window;
+          Alcotest.test_case "time_wait dup fin" `Quick
+            test_time_wait_handles_duplicate_fin;
+          Alcotest.test_case "mute expiry" `Quick
+            test_mute_suppresses_rst_then_expires;
+        ] );
+      ( "keepalive",
+        [
+          Alcotest.test_case "dead peer" `Quick
+            test_keepalive_detects_dead_peer;
+          Alcotest.test_case "healthy peer" `Quick
+            test_keepalive_keeps_healthy_connection;
+        ] );
+      ( "migration",
+        [
+          Alcotest.test_case "export/import" `Quick
+            test_export_import_same_stack_roundtrip;
+          Alcotest.test_case "across stacks" `Quick
+            test_migration_between_stacks;
+          Alcotest.test_case "with unacked data" `Quick
+            test_migration_with_unacked_data;
+        ] );
+    ]

@@ -1,0 +1,283 @@
+open Psd_util
+
+let bytes_of_ints ints =
+  let b = Bytes.create (List.length ints) in
+  List.iteri (fun i v -> Bytes.set b i (Char.chr v)) ints;
+  b
+
+(* --- Checksum ------------------------------------------------------- *)
+
+let test_checksum_rfc1071 () =
+  (* Worked example from RFC 1071 section 3. *)
+  let b = bytes_of_ints [ 0x00; 0x01; 0xf2; 0x03; 0xf4; 0xf5; 0xf6; 0xf7 ] in
+  Alcotest.(check int)
+    "rfc1071 vector" 0x220d
+    (Checksum.of_bytes b ~off:0 ~len:8)
+
+let test_checksum_odd_length () =
+  let b = bytes_of_ints [ 0x01; 0x02; 0x03 ] in
+  (* 0x0102 + 0x0300 = 0x0402 -> complement 0xfbfd *)
+  Alcotest.(check int) "odd" 0xfbfd (Checksum.of_bytes b ~off:0 ~len:3)
+
+let test_checksum_zero () =
+  let b = Bytes.make 4 '\x00' in
+  Alcotest.(check int) "all-zero" 0xffff (Checksum.of_bytes b ~off:0 ~len:4)
+
+let test_checksum_incremental () =
+  let b = bytes_of_ints [ 0xde; 0xad; 0xbe; 0xef; 0x12; 0x34 ] in
+  let whole = Checksum.of_bytes b ~off:0 ~len:6 in
+  let acc = Checksum.add_bytes Checksum.empty b ~off:0 ~len:2 in
+  let acc = Checksum.add_bytes acc b ~off:2 ~len:4 in
+  Alcotest.(check int) "split = whole" whole (Checksum.finish acc);
+  let acc = Checksum.add_u16 Checksum.empty 0xdead in
+  let acc = Checksum.add_u16 acc 0xbeef in
+  let acc = Checksum.add_u16 acc 0x1234 in
+  Alcotest.(check int) "u16 = bytes" whole (Checksum.finish acc)
+
+let test_checksum_verify_roundtrip () =
+  (* Store complement at an offset; the whole range must then verify. *)
+  let b = bytes_of_ints [ 0x45; 0x00; 0x00; 0x1c; 0x00; 0x00; 0x00; 0x00 ] in
+  let c = Checksum.of_bytes b ~off:0 ~len:8 in
+  Codec.set_u16 b 4 c;
+  Alcotest.(check bool) "validates" true (Checksum.valid b ~off:0 ~len:8)
+
+let test_checksum_bounds () =
+  let b = Bytes.create 4 in
+  Alcotest.check_raises "oob" (Invalid_argument "Checksum.add_bytes")
+    (fun () -> ignore (Checksum.of_bytes b ~off:2 ~len:4))
+
+let prop_checksum_valid_after_store =
+  QCheck.Test.make ~name:"checksum: storing complement validates" ~count:200
+    QCheck.(list_of_size Gen.(2 -- 64) (int_bound 255))
+    (fun ints ->
+      let ints = 0 :: 0 :: ints in
+      let b = bytes_of_ints ints in
+      let len = Bytes.length b in
+      let c = Checksum.of_bytes b ~off:0 ~len in
+      Codec.set_u16 b 0 c;
+      Checksum.valid b ~off:0 ~len)
+
+(* --- Codec ---------------------------------------------------------- *)
+
+let test_codec_roundtrip () =
+  let b = Bytes.create 16 in
+  Codec.set_u8 b 0 0xab;
+  Codec.set_u16 b 1 0xcdef;
+  Codec.set_u32 b 3 0xdeadbeefl;
+  Codec.set_u32i b 7 0x01020304;
+  Alcotest.(check int) "u8" 0xab (Codec.get_u8 b 0);
+  Alcotest.(check int) "u16" 0xcdef (Codec.get_u16 b 1);
+  Alcotest.(check int32) "u32" 0xdeadbeefl (Codec.get_u32 b 3);
+  Alcotest.(check int) "u32i" 0x01020304 (Codec.get_u32i b 7)
+
+let test_codec_u32i_high_bit () =
+  let b = Bytes.create 4 in
+  Codec.set_u32i b 0 0xffffffff;
+  Alcotest.(check int) "high bit" 0xffffffff (Codec.get_u32i b 0)
+
+let test_codec_truncation () =
+  let b = Bytes.create 8 in
+  Codec.set_u16 b 0 0x12345;
+  Alcotest.(check int) "u16 trunc" 0x2345 (Codec.get_u16 b 0);
+  Codec.set_u8 b 2 0x1ff;
+  Alcotest.(check int) "u8 trunc" 0xff (Codec.get_u8 b 2)
+
+let test_hexdump () =
+  let b = Bytes.of_string "Hello, world! \x01\x02extra" in
+  let s = Codec.hexdump b ~off:0 ~len:(Bytes.length b) in
+  Alcotest.(check bool) "contains ascii" true
+    (String.length s > 0
+    && String.length (String.concat "" (String.split_on_char 'H' s)) < String.length s)
+
+(* --- Heap ----------------------------------------------------------- *)
+
+let test_heap_order () =
+  let h = Heap.create () in
+  List.iter (fun k -> Heap.push h ~key:k k) [ 5; 3; 8; 1; 9; 2 ];
+  let out = ref [] in
+  let rec drain () =
+    match Heap.pop h with
+    | Some (_, v) ->
+      out := v :: !out;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check (list int)) "sorted" [ 9; 8; 5; 3; 2; 1 ] !out
+
+let test_heap_fifo_ties () =
+  let h = Heap.create () in
+  List.iter (fun v -> Heap.push h ~key:7 v) [ "a"; "b"; "c" ];
+  let pop () = match Heap.pop h with Some (_, v) -> v | None -> "?" in
+  let first = pop () in
+  let second = pop () in
+  let third = pop () in
+  Alcotest.(check (list string)) "fifo" [ "a"; "b"; "c" ]
+    [ first; second; third ]
+
+let test_heap_empty () =
+  let h = Heap.create () in
+  Alcotest.(check bool) "empty" true (Heap.is_empty h);
+  Alcotest.(check (option int)) "peek" None (Heap.peek_key h);
+  Alcotest.(check bool) "pop none" true (Heap.pop h = None)
+
+let prop_heap_sorts =
+  QCheck.Test.make ~name:"heap: pop order is sorted" ~count:200
+    QCheck.(list int)
+    (fun keys ->
+      let h = Heap.create () in
+      List.iter (fun k -> Heap.push h ~key:k ()) keys;
+      let rec drain acc =
+        match Heap.pop h with
+        | Some (k, ()) -> drain (k :: acc)
+        | None -> List.rev acc
+      in
+      let out = drain [] in
+      out = List.sort compare keys)
+
+(* --- Stats ---------------------------------------------------------- *)
+
+let test_stats_basic () =
+  let s = Stats.create () in
+  List.iter (Stats.add s) [ 1.; 2.; 3.; 4.; 5. ];
+  Alcotest.(check (float 1e-9)) "mean" 3. (Stats.mean s);
+  Alcotest.(check (float 1e-9)) "min" 1. (Stats.min s);
+  Alcotest.(check (float 1e-9)) "max" 5. (Stats.max s);
+  Alcotest.(check (float 1e-9)) "total" 15. (Stats.total s);
+  Alcotest.(check (float 1e-6)) "stddev" (sqrt 2.5) (Stats.stddev s);
+  Alcotest.(check (float 1e-9)) "p50" 3. (Stats.percentile s 50.);
+  Alcotest.(check (float 1e-9)) "p100" 5. (Stats.percentile s 100.)
+
+let test_stats_empty () =
+  let s = Stats.create () in
+  Alcotest.(check int) "count" 0 (Stats.count s);
+  Alcotest.(check bool) "mean nan" true (Float.is_nan (Stats.mean s))
+
+(* --- Ring ----------------------------------------------------------- *)
+
+let test_ring_fifo () =
+  let r = Ring.create ~capacity:3 in
+  Alcotest.(check bool) "push1" true (Ring.push r 1);
+  Alcotest.(check bool) "push2" true (Ring.push r 2);
+  Alcotest.(check bool) "push3" true (Ring.push r 3);
+  Alcotest.(check bool) "full" true (Ring.is_full r);
+  Alcotest.(check bool) "push4 fails" false (Ring.push r 4);
+  Alcotest.(check (option int)) "pop1" (Some 1) (Ring.pop r);
+  Alcotest.(check bool) "push5" true (Ring.push r 5);
+  Alcotest.(check (option int)) "pop2" (Some 2) (Ring.pop r);
+  Alcotest.(check (option int)) "pop3" (Some 3) (Ring.pop r);
+  Alcotest.(check (option int)) "pop5" (Some 5) (Ring.pop r);
+  Alcotest.(check (option int)) "empty" None (Ring.pop r)
+
+let test_ring_wraparound_iter () =
+  let r = Ring.create ~capacity:4 in
+  for i = 1 to 4 do
+    ignore (Ring.push r i)
+  done;
+  ignore (Ring.pop r);
+  ignore (Ring.pop r);
+  ignore (Ring.push r 5);
+  let seen = ref [] in
+  Ring.iter (fun x -> seen := x :: !seen) r;
+  Alcotest.(check (list int)) "iter order" [ 3; 4; 5 ] (List.rev !seen)
+
+let prop_ring_behaves_like_queue =
+  QCheck.Test.make ~name:"ring: equivalent to bounded queue" ~count:300
+    QCheck.(list (pair bool small_int))
+    (fun ops ->
+      let cap = 5 in
+      let r = Ring.create ~capacity:cap in
+      let q = Queue.create () in
+      List.for_all
+        (fun (is_push, v) ->
+          if is_push then begin
+            let ok = Ring.push r v in
+            let qok = Queue.length q < cap in
+            if qok then Queue.push v q;
+            ok = qok
+          end
+          else
+            let a = Ring.pop r in
+            let b = Queue.take_opt q in
+            a = b)
+        ops)
+
+(* --- Rng ------------------------------------------------------------ *)
+
+let test_rng_deterministic () =
+  let a = Rng.create ~seed:7 and b = Rng.create ~seed:7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.next a) (Rng.next b)
+  done
+
+let test_rng_seed_differs () =
+  let a = Rng.create ~seed:1 and b = Rng.create ~seed:2 in
+  Alcotest.(check bool) "different" true (Rng.next a <> Rng.next b)
+
+let test_rng_bounds () =
+  let r = Rng.create ~seed:3 in
+  for _ = 1 to 1000 do
+    let v = Rng.int r 10 in
+    if v < 0 || v >= 10 then Alcotest.fail "out of range"
+  done;
+  for _ = 1 to 1000 do
+    let f = Rng.float r in
+    if f < 0. || f >= 1. then Alcotest.fail "float out of range"
+  done
+
+let test_rng_split_independent () =
+  let r = Rng.create ~seed:9 in
+  let r2 = Rng.split r in
+  let x = Rng.next r and y = Rng.next r2 in
+  Alcotest.(check bool) "streams differ" true (x <> y)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "psd_util"
+    [
+      ( "checksum",
+        [
+          Alcotest.test_case "rfc1071 vector" `Quick test_checksum_rfc1071;
+          Alcotest.test_case "odd length" `Quick test_checksum_odd_length;
+          Alcotest.test_case "all zero" `Quick test_checksum_zero;
+          Alcotest.test_case "incremental" `Quick test_checksum_incremental;
+          Alcotest.test_case "verify roundtrip" `Quick
+            test_checksum_verify_roundtrip;
+          Alcotest.test_case "bounds" `Quick test_checksum_bounds;
+        ]
+        @ qsuite [ prop_checksum_valid_after_store ] );
+      ( "codec",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_codec_roundtrip;
+          Alcotest.test_case "u32i high bit" `Quick test_codec_u32i_high_bit;
+          Alcotest.test_case "truncation" `Quick test_codec_truncation;
+          Alcotest.test_case "hexdump" `Quick test_hexdump;
+        ] );
+      ( "heap",
+        [
+          Alcotest.test_case "order" `Quick test_heap_order;
+          Alcotest.test_case "fifo ties" `Quick test_heap_fifo_ties;
+          Alcotest.test_case "empty" `Quick test_heap_empty;
+        ]
+        @ qsuite [ prop_heap_sorts ] );
+      ( "stats",
+        [
+          Alcotest.test_case "basic" `Quick test_stats_basic;
+          Alcotest.test_case "empty" `Quick test_stats_empty;
+        ] );
+      ( "ring",
+        [
+          Alcotest.test_case "fifo" `Quick test_ring_fifo;
+          Alcotest.test_case "wraparound iter" `Quick
+            test_ring_wraparound_iter;
+        ]
+        @ qsuite [ prop_ring_behaves_like_queue ] );
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "seed differs" `Quick test_rng_seed_differs;
+          Alcotest.test_case "bounds" `Quick test_rng_bounds;
+          Alcotest.test_case "split" `Quick test_rng_split_independent;
+        ] );
+    ]

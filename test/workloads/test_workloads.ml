@@ -1,0 +1,101 @@
+module W = Psd_workloads
+module Cfg = Psd_cost.Config
+
+let ( => ) name b = Alcotest.(check bool) name true b
+
+(* --- Paper reference data ------------------------------------------------ *)
+
+let test_paper_lookups () =
+  Alcotest.(check (option (float 0.01)))
+    "dec kernel throughput" (Some 1070.)
+    (W.Paper.table2_throughput W.Paper.Dec "Mach 2.5 In-Kernel");
+  Alcotest.(check (option (float 0.001)))
+    "lib-shm-ipf udp 1B" (Some 1.23)
+    (W.Paper.table2_udp_latency W.Paper.Dec "Mach 3.0+UX Library-SHM-IPF" 1);
+  Alcotest.(check (option (float 0.001)))
+    "gateway server tcp 512B" (Some 7.76)
+    (W.Paper.table2_tcp_latency W.Paper.Gateway "Mach 3.0+UX Server" 512);
+  Alcotest.(check (option (float 0.01)))
+    "table3 newapi shm-ipf" (Some 1099.)
+    (W.Paper.table3_throughput "Mach 3.0+UX Library-NEWAPI-SHM-IPF");
+  "unknown label" => (W.Paper.table2_throughput W.Paper.Dec "nope" = None)
+
+let test_paper_na_cells () =
+  (* 386BSD's large-TCP bug: 1024/1460 cells are NA in the paper *)
+  "386bsd tcp 1460 NA"
+  => (W.Paper.table2_tcp_latency W.Paper.Gateway "386BSD In-Kernel" 1460
+      = None);
+  "386bsd tcp 100 present"
+  => (W.Paper.table2_tcp_latency W.Paper.Gateway "386BSD In-Kernel" 100
+      <> None)
+
+let test_paper_table4_cells () =
+  Alcotest.(check (option int)) "kernel copyout zero" (Some 0)
+    (W.Paper.table4_cell "Kernel" ~proto:"tcp" ~size:1 "kernel copyout");
+  Alcotest.(check (option int)) "server entry 1460" (Some 579)
+    (W.Paper.table4_cell "Server" ~proto:"tcp" ~size:1460 "entry/copyin");
+  "bad phase" => (W.Paper.table4_cell "Server" ~proto:"tcp" ~size:1 "x" = None)
+
+let test_best_rcv_buf () =
+  Alcotest.(check int) "dec kernel" (24 * 1024)
+    (W.Paper.best_rcv_buf W.Paper.Dec Cfg.mach25_kernel);
+  Alcotest.(check int) "dec shm clamped to 16-bit window" 65535
+    (W.Paper.best_rcv_buf W.Paper.Dec Cfg.library_shm);
+  Alcotest.(check int) "gateway kernel" (8 * 1024)
+    (W.Paper.best_rcv_buf W.Paper.Gateway Cfg.mach25_kernel)
+
+(* --- drivers ------------------------------------------------------------- *)
+
+let test_ttcp_fields () =
+  let r = W.Ttcp.run ~mb:1 Cfg.library_shm in
+  Alcotest.(check int) "bytes" (1024 * 1024) r.W.Ttcp.bytes;
+  "throughput positive" => (r.W.Ttcp.kb_per_sec > 100.);
+  "wire utilisation sane"
+  => (r.W.Ttcp.wire_utilization > 0.1 && r.W.Ttcp.wire_utilization <= 1.0);
+  "segments counted" => (r.W.Ttcp.segs_out > 700)
+
+let test_protolat_na () =
+  let r =
+    W.Protolat.run ~machine:W.Paper.Gateway ~proto:W.Protolat.Tcp ~size:1460
+      Cfg.bnr2ss_server
+  in
+  "bnr2ss large tcp NA" => r.W.Protolat.na
+
+let test_protolat_monotone_in_size () =
+  let at size =
+    (W.Protolat.run ~rounds:40 ~proto:W.Protolat.Udp ~size Cfg.mach25_kernel)
+      .W.Protolat.rtt_ms
+  in
+  let s1 = at 1 and s512 = at 512 and s1472 = at 1472 in
+  "1 < 512" => (s1 < s512);
+  "512 < 1472" => (s512 < s1472)
+
+let test_tables_structs () =
+  let rows = W.Tables.table2 ~machine:W.Paper.Dec ~mb:1 ~rounds:20 () in
+  Alcotest.(check int) "six rows" 6 (List.length rows);
+  List.iter
+    (fun r ->
+      Alcotest.(check int) "five tcp sizes" 5 (List.length r.W.Tables.tcp_ms);
+      Alcotest.(check int) "five udp sizes" 5 (List.length r.W.Tables.udp_ms);
+      "throughput present" => (r.W.Tables.throughput <> None))
+    rows
+
+let () =
+  Alcotest.run "psd_workloads"
+    [
+      ( "paper",
+        [
+          Alcotest.test_case "lookups" `Quick test_paper_lookups;
+          Alcotest.test_case "na cells" `Quick test_paper_na_cells;
+          Alcotest.test_case "table4 cells" `Quick test_paper_table4_cells;
+          Alcotest.test_case "rcv buf" `Quick test_best_rcv_buf;
+        ] );
+      ( "drivers",
+        [
+          Alcotest.test_case "ttcp fields" `Quick test_ttcp_fields;
+          Alcotest.test_case "protolat NA" `Quick test_protolat_na;
+          Alcotest.test_case "latency monotone" `Quick
+            test_protolat_monotone_in_size;
+          Alcotest.test_case "table structs" `Quick test_tables_structs;
+        ] );
+    ]
