@@ -1,0 +1,190 @@
+(* Fast-path microbenchmarks: the three data-plane inner loops this
+   reproduction's wall-clock time is spent in (BPF demultiplex, Internet
+   checksum, mbuf churn) plus the table2 macro cell, measured with
+   Bechamel and emitted as BENCH_fastpath.json so successive PRs can
+   track the wall-clock trajectory. The byte-at-a-time checksum and the
+   BPF interpreter are measured alongside the fast paths, so every run
+   records its own before/after ratios.
+
+   `--smoke` (the @bench-smoke dune alias, part of the default test run)
+   instead executes each workload a handful of times and writes nothing:
+   it exists so the harness cannot silently rot. *)
+
+open Bechamel
+module W = Psd_workloads
+module Cfg = Psd_cost.Config
+
+(* --- workloads -------------------------------------------------------- *)
+
+let buf1500 = Bytes.init 1500 (fun i -> Char.chr (i * 131 land 0xff))
+
+(* the pre-fast-path algorithm, kept as the measured reference *)
+let ref_checksum b ~off ~len =
+  let acc = ref 0 in
+  let i = ref off in
+  let stop = off + len in
+  while !i + 1 < stop do
+    acc :=
+      !acc
+      + (Char.code (Bytes.get b !i) lsl 8)
+      + Char.code (Bytes.get b (!i + 1));
+    i := !i + 2
+  done;
+  if !i < stop then acc := !acc + (Char.code (Bytes.get b !i) lsl 8);
+  let acc = ref !acc in
+  while !acc lsr 16 <> 0 do
+    acc := (!acc land 0xffff) + (!acc lsr 16)
+  done;
+  lnot !acc land 0xffff
+
+let spec =
+  {
+    Psd_bpf.Filter.proto = Psd_bpf.Filter.Tcp;
+    local_ip = 0x0a000002;
+    local_port = 80;
+    remote_ip = Some 0x0a000001;
+    remote_port = Some 1234;
+  }
+
+let prog = Psd_bpf.Filter.session spec
+let compiled = Psd_bpf.Compile.compile_exn prog
+let flat = Psd_bpf.Filter.flat_of_spec spec
+
+let match_frame =
+  (* a frame the session filter accepts: the full demultiplexing path *)
+  let b = Bytes.make 64 '\x00' in
+  Psd_util.Codec.set_u16 b 12 0x0800;
+  Psd_util.Codec.set_u8 b 14 0x45;
+  Psd_util.Codec.set_u8 b 23 6;
+  Psd_util.Codec.set_u32i b 26 0x0a000001;
+  Psd_util.Codec.set_u32i b 30 0x0a000002;
+  Psd_util.Codec.set_u16 b 34 1234;
+  Psd_util.Codec.set_u16 b 36 80;
+  b
+
+let payload4k = String.make 4096 'x'
+
+let mbuf_churn () =
+  let m = Psd_mbuf.Mbuf.of_string payload4k in
+  let front = Psd_mbuf.Mbuf.split m 1000 in
+  Psd_mbuf.Mbuf.concat front m;
+  Psd_mbuf.Mbuf.length front
+
+let table2_cell () =
+  ignore (W.Ttcp.run ~mb:1 Cfg.library_shm_ipf);
+  ignore
+    (W.Protolat.run ~rounds:20 ~proto:W.Protolat.Udp ~size:1
+       Cfg.library_shm_ipf)
+
+let workloads =
+  [
+    ( "checksum_ref_1500B",
+      fun () -> ignore (ref_checksum buf1500 ~off:0 ~len:1500) );
+    ( "checksum_fast_1500B",
+      fun () -> ignore (Psd_util.Checksum.of_bytes buf1500 ~off:0 ~len:1500) );
+    ( "checksum_fast_64B",
+      fun () -> ignore (Psd_util.Checksum.of_bytes buf1500 ~off:0 ~len:64) );
+    ( "bpf_session_interp",
+      fun () -> ignore (Psd_bpf.Vm.run_exn prog match_frame) );
+    ( "bpf_session_compiled",
+      fun () -> ignore (Psd_bpf.Compile.run compiled match_frame) );
+    ( "bpf_session_flat",
+      fun () -> ignore (Psd_bpf.Filter.flat_run flat match_frame) );
+    ("mbuf_churn_4096B", fun () -> ignore (mbuf_churn ()));
+    ("table2_ttcp_protolat_cell", fun () -> table2_cell ());
+  ]
+
+(* --- measurement ------------------------------------------------------ *)
+
+let measure () =
+  let tests =
+    List.map
+      (fun (name, f) -> Test.make ~name (Staged.stage f))
+      workloads
+  in
+  let grouped = Test.make_grouped ~name:"fastpath" ~fmt:"%s/%s" tests in
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:(Some 10) ()
+  in
+  let raw = Benchmark.all cfg instances grouped in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let estimate name =
+    match Hashtbl.find_opt results ("fastpath/" ^ name) with
+    | Some r -> (
+      match Analyze.OLS.estimates r with Some [ est ] -> Some est | _ -> None)
+    | None -> None
+  in
+  List.filter_map
+    (fun (name, _) -> Option.map (fun e -> (name, e)) (estimate name))
+    workloads
+
+let ratio results num den =
+  match (List.assoc_opt num results, List.assoc_opt den results) with
+  | Some n, Some d when d > 0.0 -> Some (n /. d)
+  | _ -> None
+
+let emit_json path results =
+  let oc = open_out path in
+  let p fmt = Printf.fprintf oc fmt in
+  p "{\n";
+  p "  \"benchmark\": \"fastpath\",\n";
+  p "  \"unit\": \"ns_per_run\",\n";
+  p "  \"results\": {\n";
+  let n = List.length results in
+  List.iteri
+    (fun i (name, est) ->
+      p "    \"%s\": %.1f%s\n" name est (if i = n - 1 then "" else ","))
+    results;
+  p "  },\n";
+  p "  \"speedups\": {\n";
+  let speedups =
+    List.filter_map
+      (fun (label, num, den) ->
+        Option.map (fun r -> (label, r)) (ratio results num den))
+      [
+        ("checksum_1500B", "checksum_ref_1500B", "checksum_fast_1500B");
+        ("bpf_session_compiled", "bpf_session_interp", "bpf_session_compiled");
+        ("bpf_session_flat", "bpf_session_interp", "bpf_session_flat");
+      ]
+  in
+  let m = List.length speedups in
+  List.iteri
+    (fun i (label, r) ->
+      p "    \"%s\": %.2f%s\n" label r (if i = m - 1 then "" else ","))
+    speedups;
+  p "  }\n";
+  p "}\n";
+  close_out oc
+
+(* --- entry ------------------------------------------------------------ *)
+
+let smoke () =
+  (* tiny iteration counts: prove every workload still runs *)
+  List.iter
+    (fun (name, f) ->
+      let reps = if name = "table2_ttcp_protolat_cell" then 1 else 100 in
+      for _ = 1 to reps do
+        f ()
+      done;
+      Format.printf "bench-smoke %-28s ok (%d reps)@." name reps)
+    workloads
+
+let () =
+  match Sys.argv with
+  | [| _; "--smoke" |] -> smoke ()
+  | [| _; arg |] ->
+    Printf.eprintf "micro: unknown argument %S\nusage: micro.exe [--smoke]\n" arg;
+    exit 2
+  | _ ->
+    let results = measure () in
+    Format.printf "=== fastpath microbenchmarks ===@.";
+    List.iter
+      (fun (name, est) -> Format.printf "  %-28s %12.1f ns/run@." name est)
+      results;
+    let out = "BENCH_fastpath.json" in
+    emit_json out results;
+    Format.printf "wrote %s@." out

@@ -73,6 +73,101 @@ let session spec =
         I (Ret (RetK 0));
       ])
 
+(* --- flat session descriptors ----------------------------------------
+
+   A session filter is entirely determined by its [spec]: a handful of
+   equality tests against fields at fixed (or IHL-derived) offsets. The
+   flat descriptor records exactly those fields so the kernel's
+   demultiplexer can match a frame with direct byte comparisons instead
+   of running the program at all.
+
+   [flat_match] is a transliteration of the program [session] emits —
+   same tests, same order, same out-of-bounds behaviour — and counts the
+   instructions the interpreter would have executed on the same frame,
+   so the simulated per-instruction demultiplexing cost is unchanged.
+   The differential test suite checks (accept, steps) equality against
+   the interpreter on random frames. *)
+
+type flat = {
+  f_proto : int;  (** IP protocol number *)
+  f_local_ip : int;
+  f_local_port : int;
+  f_remote_ip : int option;
+  f_remote_port : int option;
+}
+
+let flat_of_spec spec =
+  {
+    f_proto = proto_number spec.proto;
+    f_local_ip = spec.local_ip land 0xffffffff;
+    (* same masking the VM applies to jump constants: a port outside
+       0..0xffff can never equal a 16-bit load, in either engine *)
+    f_local_port = spec.local_port land 0xffffffff;
+    f_remote_ip = Option.map (fun ip -> ip land 0xffffffff) spec.remote_ip;
+    f_remote_port = Option.map (fun p -> p land 0xffffffff) spec.remote_port;
+  }
+
+exception Done of int
+
+let flat_match f pkt ~off ~len =
+  if off < 0 || len < 0 || off + len > Bytes.length pkt then
+    invalid_arg "Filter.flat_match";
+  let steps = ref 0 in
+  (* Each load/jump helper counts the one VM instruction it stands for.
+     A load that would run off the end of the frame rejects immediately,
+     as Vm.load_size does, with the faulting instruction counted. *)
+  let ld_u8 rel =
+    incr steps;
+    if rel + 1 > len then raise (Done 0)
+    else Char.code (Bytes.unsafe_get pkt (off + rel))
+  in
+  let ld_u16 rel =
+    incr steps;
+    if rel + 2 > len then raise (Done 0)
+    else Psd_util.Codec.get_u16 pkt (off + rel)
+  in
+  let ld_u32 rel =
+    incr steps;
+    if rel + 4 > len then raise (Done 0)
+    else Psd_util.Codec.get_u32i pkt (off + rel)
+  in
+  let jmp_to_ret v =
+    (* the conditional jump, then the Ret at its target *)
+    steps := !steps + 2;
+    raise (Done v)
+  in
+  let jmp () = incr steps in
+  let result =
+    try
+      let ety = ld_u16 off_ethertype in
+      if ety <> ethertype_ip then jmp_to_ret 0 else jmp ();
+      let proto = ld_u8 off_ip_proto in
+      if proto <> f.f_proto then jmp_to_ret 0 else jmp ();
+      let dst = ld_u32 off_ip_dst in
+      if dst <> f.f_local_ip then jmp_to_ret 0 else jmp ();
+      (match f.f_remote_ip with
+      | None -> ()
+      | Some ip ->
+        let src = ld_u32 off_ip_src in
+        if src <> ip then jmp_to_ret 0 else jmp ());
+      let frag = ld_u16 off_ip_frag in
+      if frag land 0x1fff <> 0 then jmp_to_ret snaplen else jmp ();
+      let ihl4 = 4 * (ld_u8 off_ip land 0xf) (* ldx msh *) in
+      let dport = ld_u16 (ihl4 + off_ip + 2) in
+      if dport <> f.f_local_port then jmp_to_ret 0 else jmp ();
+      (match f.f_remote_port with
+      | None -> ()
+      | Some p ->
+        let sport = ld_u16 (ihl4 + off_ip) in
+        if sport <> p then jmp_to_ret 0 else jmp ());
+      incr steps (* the accept Ret *);
+      snaplen
+    with Done v -> v
+  in
+  (result, !steps)
+
+let flat_run f pkt = flat_match f pkt ~off:0 ~len:(Bytes.length pkt)
+
 let arp =
   let open Insn in
   let open Asm in

@@ -17,6 +17,30 @@ type spec = {
   remote_port : int option;
 }
 
+type flat = {
+  f_proto : int;  (** IP protocol number *)
+  f_local_ip : int;
+  f_local_port : int;
+  f_remote_ip : int option;
+  f_remote_port : int option;
+}
+(** Declarative form of a session filter: the fixed-offset field
+    comparisons the program performs, recorded so the kernel can match
+    common frames without running the program. *)
+
+val flat_of_spec : spec -> flat
+
+val flat_match : flat -> Bytes.t -> off:int -> len:int -> int * int
+(** [flat_match f pkt ~off ~len] decides the same accept/reject as
+    interpreting [session spec] over the frame view, by direct byte
+    comparisons, and returns [(accepted_bytes, instructions)] where
+    [instructions] is exactly the count {!Vm.run} would report — the
+    fast path must not change the simulated demultiplexing cost.
+    @raise Invalid_argument if the view exceeds the buffer. *)
+
+val flat_run : flat -> Bytes.t -> int * int
+(** [flat_run f pkt] = [flat_match f pkt ~off:0 ~len:(Bytes.length pkt)]. *)
+
 val session : spec -> Vm.program
 (** Accept exactly the frames addressed to the session: Ethernet type IP,
     matching IP protocol, destination (and optionally source) address and

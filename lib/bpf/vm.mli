@@ -13,6 +13,9 @@ type error =
 
 val pp_error : Format.formatter -> error -> unit
 
+val scratch_cells : int
+(** Number of scratch-memory cells ([M[0..15]], BSD: 16). *)
+
 val validate : program -> (unit, error) result
 (** Static checks performed when a filter is installed in the kernel:
     all jumps are forward and in range, constant divisors are non-zero,

@@ -99,8 +99,9 @@ let install_session_filter t sess ~sink =
     in
     let prio = if sess.remote <> None then 5 else 20 in
     let prog = Psd_bpf.Filter.session spec in
+    let flat = Psd_bpf.Filter.flat_of_spec spec in
     sess.filter <-
-      Some (Psd_mach.Netdev.attach t.netdev ~prio ~prog ~sink ())
+      Some (Psd_mach.Netdev.attach t.netdev ~prio ~flat ~prog ~sink ())
 
 let drop_session_filter t sess =
   match sess.filter with

@@ -67,10 +67,10 @@ let forward t ~in_iface frame =
       | None -> t.dropped_no_route <- t.dropped_no_route + 1
       | Some (next_hop, out_index) ->
         let out = t.ifaces.(out_index) in
-        (* rewrite TTL and header checksum in place *)
+        (* rewrite TTL in place; RFC 1624 incremental checksum update
+           patches the stored checksum without re-summing the header *)
         let packet = Bytes.sub frame off (hdr.Psd_ip.Header.total_len) in
-        Psd_ip.Header.encode_into packet ~off:0
-          { hdr with Psd_ip.Header.ttl = hdr.Psd_ip.Header.ttl - 1 };
+        Psd_ip.Header.decrement_ttl packet ~off:0;
         Psd_arp.Resolver.resolve out.resolver next_hop (function
           | None -> t.dropped_no_route <- t.dropped_no_route + 1
           | Some mac ->

@@ -83,6 +83,19 @@ let decode ?(truncated = false) b ~off ~len =
     end
   end
 
+(* Forwarding hop: decrement TTL in place and patch the stored checksum
+   incrementally (RFC 1624) — the TTL shares a 16-bit word with the
+   protocol field, at header offset 8. *)
+let decrement_ttl b ~off =
+  let old_word = Codec.get_u16 b (off + 8) in
+  let ttl = old_word lsr 8 in
+  if ttl = 0 then invalid_arg "Header.decrement_ttl: ttl is zero";
+  let new_word = old_word - 0x100 in
+  Codec.set_u16 b (off + 8) new_word;
+  let cksum = Codec.get_u16 b (off + 10) in
+  Codec.set_u16 b (off + 10)
+    (Checksum.update ~cksum ~old:old_word ~new_:new_word)
+
 let pseudo_checksum ~src ~dst ~proto ~len =
   let acc = Checksum.empty in
   let acc = Checksum.add_u16 acc (Addr.to_int src lsr 16) in

@@ -39,6 +39,12 @@ val decode :
     [~truncated:true] the [total_len]-fits check is skipped — for the
     header-plus-eight-bytes excerpts embedded in ICMP errors. *)
 
+val decrement_ttl : Bytes.t -> off:int -> unit
+(** Forwarding hop: decrement the TTL of an encoded header in place and
+    patch the stored checksum incrementally (RFC 1624), without
+    re-summing the header.
+    @raise Invalid_argument if the TTL is already zero. *)
+
 val pseudo_checksum :
   src:Addr.t -> dst:Addr.t -> proto:int -> len:int -> Psd_util.Checksum.acc
 (** Checksum accumulator seeded with the TCP/UDP pseudo-header. *)

@@ -7,7 +7,7 @@ type filter_id = int
 type filter = {
   id : filter_id;
   prio : int;
-  prog : Psd_bpf.Vm.program;
+  matcher : Bytes.t -> int * int;  (* (accepted_bytes, instructions) *)
   sink : Bytes.t -> unit;
 }
 
@@ -16,7 +16,7 @@ type t = {
   nic : Psd_link.Segment.nic;
   mutable mode : rx_mode;
   mutable filters : filter list; (* sorted by prio *)
-  mutable egress : (filter_id * Psd_bpf.Vm.program) list;
+  mutable egress : (filter_id * (Bytes.t -> int * int)) list;
   mutable next_id : int;
   mutable rx_frames : int;
   mutable rx_unmatched : int;
@@ -58,12 +58,10 @@ let create host segment ~mac =
           let insns = ref 0 in
           let rec demux = function
             | [] -> None
-            | f :: rest -> (
-              match Psd_bpf.Vm.run f.prog frame with
-              | Ok (accept, steps) ->
-                insns := !insns + steps;
-                if accept > 0 then Some f else demux rest
-              | Error `Invalid -> demux rest)
+            | f :: rest ->
+              let accept, steps = f.matcher frame in
+              insns := !insns + steps;
+              if accept > 0 then Some f else demux rest
           in
           let matched = demux t.filters in
           Ctx.charge_at kctx Psd_sim.Cpu.Interrupt Phase.Netisr_filter
@@ -80,7 +78,30 @@ let host t = t.host
 
 let set_rx_mode t mode = t.mode <- mode
 
-let attach t ?(prio = 10) ~prog ~sink () =
+(* The demultiplexing fast-path ladder (cheapest engine that can decide
+   the program, chosen once at install time):
+     1. flat descriptor — session filters reduce to a few direct byte
+        comparisons;
+     2. compiled closures — any valid program (snoop/wiretap filters,
+        hand-written programs);
+     3. the interpreter — unreachable in practice since every valid
+        program compiles, but kept as the semantic reference.
+   All three report the executed-instruction count the interpreter would
+   have produced, so the charged virtual time is identical whichever
+   rung runs. *)
+let make_matcher ?flat prog =
+  match flat with
+  | Some f -> fun frame -> Psd_bpf.Filter.flat_run f frame
+  | None -> (
+    match Psd_bpf.Compile.compile prog with
+    | Ok c -> fun frame -> Psd_bpf.Compile.run c frame
+    | Error _ -> (
+      fun frame ->
+        match Psd_bpf.Vm.run prog frame with
+        | Ok r -> r
+        | Error `Invalid -> (0, 0)))
+
+let attach t ?(prio = 10) ?flat ~prog ~sink () =
   (match Psd_bpf.Vm.validate prog with
   | Ok () -> ()
   | Error e ->
@@ -89,7 +110,7 @@ let attach t ?(prio = 10) ~prog ~sink () =
          e));
   let id = t.next_id in
   t.next_id <- id + 1;
-  let f = { id; prio; prog; sink } in
+  let f = { id; prio; matcher = make_matcher ?flat prog; sink } in
   t.filters <-
     List.stable_sort
       (fun a b -> compare a.prio b.prio)
@@ -110,12 +131,10 @@ let egress_allows t frame =
     let insns = ref 0 in
     let ok =
       List.exists
-        (fun (_, prog) ->
-          match Psd_bpf.Vm.run prog frame with
-          | Ok (accept, steps) ->
-            insns := !insns + steps;
-            accept > 0
-          | Error `Invalid -> false)
+        (fun (_, matcher) ->
+          let accept, steps = matcher frame in
+          insns := !insns + steps;
+          accept > 0)
         progs
     in
     Psd_sim.Engine.spawn (Host.eng t.host) ~name:"egress-charge" (fun () ->
@@ -146,7 +165,7 @@ let attach_egress t ~prog () =
          Psd_bpf.Vm.pp_error e));
   let id = t.next_id in
   t.next_id <- id + 1;
-  t.egress <- (id, prog) :: t.egress;
+  t.egress <- (id, make_matcher prog) :: t.egress;
   id
 
 let detach_egress t id =

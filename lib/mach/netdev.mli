@@ -30,6 +30,7 @@ val set_rx_mode : t -> rx_mode -> unit
 val attach :
   t ->
   ?prio:int ->
+  ?flat:Psd_bpf.Filter.flat ->
   prog:Psd_bpf.Vm.program ->
   sink:(Bytes.t -> unit) ->
   unit ->
@@ -38,6 +39,14 @@ val attach :
     10); session-specific filters should outrank wildcard ones. The sink
     runs in the interrupt fiber after demultiplexing costs are charged —
     it should enqueue, not process.
+
+    Demultiplexing runs the cheapest engine that can decide the program:
+    the [?flat] descriptor when the caller derived one from a session
+    spec (direct byte comparisons), otherwise the program compiled to
+    closures, with the interpreter as the final fallback. All rungs
+    report the interpreter's executed-instruction count, so the charged
+    virtual time does not depend on which engine ran. The caller is
+    responsible for [flat] describing the same predicate as [prog].
     @raise Invalid_argument if the program fails validation. *)
 
 val detach : t -> filter_id -> unit

@@ -1,18 +1,21 @@
 type seg = { buf : Bytes.t; mutable off : int; mutable len : int }
 
-type t = { mutable segs : seg list }
+(* [total] caches the sum of segment lengths so [length] is O(1) instead
+   of an O(segments) fold — it is consulted on nearly every socket-buffer
+   and TCP-send-queue operation. Every mutator maintains it. *)
+type t = { mutable segs : seg list; mutable total : int }
 
 let mlen = 108
 let cluster_size = 2048
 let default_headroom = 64
 
-let empty () = { segs = [] }
+let empty () = { segs = []; total = 0 }
 
-let length t = List.fold_left (fun acc s -> acc + s.len) 0 t.segs
+let length t = t.total
 
 let seg_count t = List.length t.segs
 
-let is_empty t = length t = 0
+let is_empty t = t.total = 0
 
 let of_bytes ?(headroom = default_headroom) b ~off ~len =
   if off < 0 || len < 0 || off + len > Bytes.length b then
@@ -34,13 +37,14 @@ let of_bytes ?(headroom = default_headroom) b ~off ~len =
       [ { buf = Bytes.create headroom; off = headroom; len = 0 } ]
     else chunks off len [] true
   in
-  { segs }
+  { segs; total = len }
 
 let of_string ?headroom s =
   of_bytes ?headroom (Bytes.unsafe_of_string s) ~off:0 ~len:(String.length s)
 
 let prepend t n =
   if n < 0 then invalid_arg "Mbuf.prepend";
+  t.total <- t.total + n;
   match t.segs with
   | s :: _ when s.off >= n ->
     s.off <- s.off - n;
@@ -54,7 +58,7 @@ let prepend t n =
     (buf, off)
 
 let trim_front t n =
-  if n < 0 || n > length t then invalid_arg "Mbuf.trim_front";
+  if n < 0 || n > t.total then invalid_arg "Mbuf.trim_front";
   let rec go n segs =
     if n = 0 then segs
     else
@@ -68,13 +72,14 @@ let trim_front t n =
           segs
         end
   in
-  t.segs <- go n t.segs
+  t.segs <- go n t.segs;
+  t.total <- t.total - n
 
 let drop_front = trim_front
 
 let trim_back t n =
-  if n < 0 || n > length t then invalid_arg "Mbuf.trim_back";
-  let keep = length t - n in
+  if n < 0 || n > t.total then invalid_arg "Mbuf.trim_back";
+  let keep = t.total - n in
   let rec go remaining segs =
     match segs with
     | [] -> []
@@ -86,38 +91,71 @@ let trim_back t n =
         [ s ]
       end
   in
-  t.segs <- go keep t.segs
+  t.segs <- go keep t.segs;
+  t.total <- keep
 
 let concat a b =
   a.segs <- a.segs @ b.segs;
-  b.segs <- []
+  a.total <- a.total + b.total;
+  b.segs <- [];
+  b.total <- 0
 
 let fold_ranges t ~init ~f =
   List.fold_left
     (fun acc s -> if s.len = 0 then acc else f acc s.buf ~off:s.off ~len:s.len)
     init t.segs
 
+(* BSD m_copym. Copies each overlapping source range straight into fresh
+   cluster segments — one copy per byte, where the previous
+   implementation flattened into an intermediate buffer and then
+   re-chunked it (two copies and a throwaway allocation per call; this
+   sits on the TCP send path, once per transmitted segment). *)
 let copy_range t ~off ~len =
-  if off < 0 || len < 0 || off + len > length t then
+  if off < 0 || len < 0 || off + len > t.total then
     invalid_arg "Mbuf.copy_range";
-  let flat = Bytes.create len in
-  let filled = ref 0 in
-  let pos = ref 0 in
-  List.iter
-    (fun s ->
-      let seg_start = !pos and seg_end = !pos + s.len in
-      pos := seg_end;
-      let lo = max seg_start off and hi = min seg_end (off + len) in
-      if lo < hi then begin
-        Bytes.blit s.buf (s.off + lo - seg_start) flat (lo - off) (hi - lo);
-        filled := !filled + (hi - lo)
-      end)
-    t.segs;
-  assert (!filled = len);
-  of_bytes flat ~off:0 ~len
+  if len = 0 then of_bytes Bytes.empty ~off:0 ~len:0
+  else begin
+    let dst =
+      ref
+        {
+          buf = Bytes.create (default_headroom + min len cluster_size);
+          off = default_headroom;
+          len = 0;
+        }
+    in
+    let dst_room = ref (min len cluster_size) in
+    let acc = ref [ !dst ] in
+    let remaining = ref len in
+    let pos = ref 0 in
+    List.iter
+      (fun s ->
+        let seg_start = !pos and seg_end = !pos + s.len in
+        pos := seg_end;
+        let lo = max seg_start off and hi = min seg_end (off + len) in
+        let lo = ref lo in
+        while !lo < hi do
+          if !dst_room = 0 then begin
+            let n = min !remaining cluster_size in
+            let d = { buf = Bytes.create n; off = 0; len = 0 } in
+            dst := d;
+            dst_room := n;
+            acc := d :: !acc
+          end;
+          let d = !dst in
+          let n = min (hi - !lo) !dst_room in
+          Bytes.blit s.buf (s.off + !lo - seg_start) d.buf (d.off + d.len) n;
+          d.len <- d.len + n;
+          dst_room := !dst_room - n;
+          remaining := !remaining - n;
+          lo := !lo + n
+        done)
+      t.segs;
+    assert (!remaining = 0);
+    { segs = List.rev !acc; total = len }
+  end
 
 let split t n =
-  if n < 0 || n > length t then invalid_arg "Mbuf.split";
+  if n < 0 || n > t.total then invalid_arg "Mbuf.split";
   let front = copy_range t ~off:0 ~len:n in
   trim_front t n;
   front
@@ -131,14 +169,14 @@ let blit_to_bytes t b off =
     t.segs
 
 let to_bytes t =
-  let b = Bytes.create (length t) in
+  let b = Bytes.create t.total in
   blit_to_bytes t b 0;
   b
 
 let to_string t = Bytes.unsafe_to_string (to_bytes t)
 
 let get_u8 t i =
-  if i < 0 || i >= length t then invalid_arg "Mbuf.get_u8";
+  if i < 0 || i >= t.total then invalid_arg "Mbuf.get_u8";
   let rec go i segs =
     match segs with
     | [] -> assert false

@@ -3,7 +3,7 @@ type t = {
   events : (unit -> unit) Psd_util.Heap.t;
   rng : Psd_util.Rng.t;
   mutable alive : int;
-  mutable failures : exn list;
+  mutable failures : exn list; (* newest first; reversed when read *)
   mutable trace_sink : (time:int -> string -> unit) option;
 }
 
@@ -51,7 +51,9 @@ let spawn t ?name f =
         exnc =
           (fun e ->
             t.alive <- t.alive - 1;
-            t.failures <- t.failures @ [ e ];
+            (* prepend: appending would make accumulating n failures
+               O(n²); readers reverse once instead *)
+            t.failures <- e :: t.failures;
             (match t.trace_sink with
             | Some sink ->
               sink ~time:t.now
@@ -86,7 +88,7 @@ let step t =
     true
 
 let check_failures t =
-  match t.failures with
+  match List.rev t.failures with
   | [] -> ()
   | e :: _ ->
     failwith
@@ -113,7 +115,7 @@ let run_for t dt = run_until t (t.now + dt)
 
 let alive t = t.alive
 
-let failures t = t.failures
+let failures t = List.rev t.failures
 
 let set_trace t sink = t.trace_sink <- sink
 

@@ -4,27 +4,59 @@ let empty = 0
 
 let add_u16 acc w = acc + (w land 0xffff)
 
+let fold16 v =
+  let v = ref v in
+  while !v lsr 16 <> 0 do
+    v := (!v land 0xffff) + (!v lsr 16)
+  done;
+  !v
+
+(* One's-complement sums commute with byte order (RFC 1071 §2.B):
+   swap16 x ≡ 256·x (mod 0xffff), so a sum of byte-swapped words, folded
+   and swapped back, equals the big-endian sum modulo 0xffff — and is
+   zero exactly when the big-endian sum is. That lets the inner loop read
+   native-endian 64-bit words (four 16-bit lanes per load) regardless of
+   host byte order, correcting once at the end. *)
+let swap16 v = ((v land 0xff) lsl 8) lor ((v lsr 8) land 0xff)
+
 let add_bytes acc b ~off ~len =
   if off < 0 || len < 0 || off + len > Bytes.length b then
     invalid_arg "Checksum.add_bytes";
   let acc = ref acc in
   let i = ref off in
   let stop = off + len in
-  while !i + 1 < stop do
-    acc := !acc + (Char.code (Bytes.get b !i) lsl 8)
-           + Char.code (Bytes.get b (!i + 1));
+  if len >= 32 then begin
+    (* Word-at-a-time: pairs are consumed from [off], so the 16-bit lanes
+       of each 64-bit load coincide with the logical word stream whatever
+       the buffer's memory alignment. Splitting each word into 32-bit
+       halves keeps the running sum far below OCaml's 63-bit int range
+       (2^32 per half; a 64 KB packet contributes < 2^46). *)
+    let sum = ref 0 in
+    while !i + 8 <= stop do
+      let w = Bytes.get_int64_ne b !i in
+      sum :=
+        !sum
+        + Int64.to_int (Int64.logand w 0xFFFF_FFFFL)
+        + Int64.to_int (Int64.shift_right_logical w 32);
+      i := !i + 8
+    done;
+    let folded = fold16 !sum in
+    acc := !acc + if Sys.big_endian then folded else swap16 folded
+  end;
+  while !i + 2 <= stop do
+    acc := !acc + Bytes.get_uint16_be b !i;
     i := !i + 2
   done;
-  if !i < stop then acc := !acc + (Char.code (Bytes.get b !i) lsl 8);
+  if !i < stop then acc := !acc + (Bytes.get_uint8 b !i lsl 8);
   !acc
 
-let finish acc =
-  let acc = ref acc in
-  while !acc lsr 16 <> 0 do
-    acc := (!acc land 0xffff) + (!acc lsr 16)
-  done;
-  lnot !acc land 0xffff
+let finish acc = lnot (fold16 acc) land 0xffff
 
 let of_bytes b ~off ~len = finish (add_bytes empty b ~off ~len)
 
 let valid b ~off ~len = of_bytes b ~off ~len = 0
+
+(* RFC 1624: HC' = ~(~HC + ~m + m'). *)
+let update ~cksum ~old ~new_ =
+  finish
+    ((lnot cksum land 0xffff) + (lnot old land 0xffff) + (new_ land 0xffff))

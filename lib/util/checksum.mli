@@ -28,3 +28,9 @@ val of_bytes : Bytes.t -> off:int -> len:int -> int
 val valid : Bytes.t -> off:int -> len:int -> bool
 (** [valid b ~off ~len] is [true] when the range (which includes a stored
     checksum field) sums to [0xffff], i.e. verifies correctly. *)
+
+val update : cksum:int -> old:int -> new_:int -> int
+(** Incremental checksum update (RFC 1624): the stored checksum of a
+    buffer after one 16-bit word changes from [old] to [new_], without
+    re-summing the buffer — [HC' = ~(~HC + ~m + m')]. Used when a header
+    field (e.g. the IP TTL on a forwarding hop) is rewritten in place. *)

@@ -322,6 +322,95 @@ let gen_program =
       (fun insns -> Array.of_list (insns @ [ Insn.Ret (Insn.RetK 0) ]))
       (list_size (1 -- 24) gen_insn))
 
+(* --- differential: compiled closures vs interpreter ------------------- *)
+
+(* Any valid program, any packet: the compiled closure must return
+   exactly the interpreter's (accept, steps) — the simulator charges
+   per-instruction costs from this count, so the fast path must not
+   perturb virtual time. *)
+let gen_packet =
+  QCheck.Gen.(
+    int_bound 80 >>= fun n ->
+    map Bytes.unsafe_of_string (string_size ~gen:char (return n)))
+
+let prop_compile_matches_interpreter =
+  QCheck.Test.make ~name:"compile: (accept, steps) equals interpreter"
+    ~count:2000
+    (QCheck.make QCheck.Gen.(pair gen_program gen_packet))
+    (fun (prog, pkt) ->
+      match Vm.validate prog with
+      | Error _ -> QCheck.assume_fail ()
+      | Ok () ->
+        let reference = Vm.run_exn prog pkt in
+        let compiled = Compile.compile_exn prog in
+        Compile.run compiled pkt = reference)
+
+let prop_compile_view_matches_interpreter =
+  (* exec over a view into a larger buffer = interpreting the copy *)
+  QCheck.Test.make ~name:"compile: packet views equal sub-packet interp"
+    ~count:1000
+    (QCheck.make
+       QCheck.Gen.(triple gen_program gen_packet (int_bound 16)))
+    (fun (prog, pkt, lead) ->
+      match Vm.validate prog with
+      | Error _ -> QCheck.assume_fail ()
+      | Ok () ->
+        let padded = Bytes.cat (Bytes.make lead '\xaa') (Bytes.cat pkt (Bytes.make 3 '\xbb')) in
+        let compiled = Compile.compile_exn prog in
+        Compile.exec compiled padded ~off:lead ~len:(Bytes.length pkt)
+        = Vm.run_exn prog pkt)
+
+(* --- differential: flat session descriptors vs interpreter ------------ *)
+
+(* Draw spec fields and frame fields from small overlapping pools so
+   accepts, each distinct rejection point, fragments, IP options and
+   truncations all occur; flat match, compiled closure and interpreter
+   must agree exactly, steps included. *)
+let gen_session_case =
+  let open QCheck.Gen in
+  let ips = [ 0x0a000001; 0x0a000002; 0x0a000003 ] in
+  let ports = [ 7; 80; 1234; 9999 ] in
+  let gen_spec =
+    oneofl [ Filter.Tcp; Filter.Udp ] >>= fun proto ->
+    oneofl ips >>= fun local_ip ->
+    oneofl ports >>= fun local_port ->
+    opt (oneofl ips) >>= fun remote_ip ->
+    opt (oneofl ports) >>= fun remote_port ->
+    return { Filter.proto; local_ip; local_port; remote_ip; remote_port }
+  in
+  let gen_frame =
+    oneofl [ 0x0800; 0x0806 ] >>= fun ethertype ->
+    oneofl [ 1; 6; 17 ] >>= fun ip_proto ->
+    oneofl ips >>= fun src_ip ->
+    oneofl ips >>= fun dst_ip ->
+    oneofl ports >>= fun src_port ->
+    oneofl ports >>= fun dst_port ->
+    oneofl [ 0; 0x0010; 0x2000 ] >>= fun frag_off ->
+    oneofl [ 5; 8 ] >>= fun ip_hl ->
+    int_bound 4 >>= fun payload_len ->
+    return
+      (make_frame ~ethertype ~ip_proto ~src_ip ~dst_ip ~src_port ~dst_port
+         ~frag_off ~ip_hl ~payload_len ())
+  in
+  triple gen_spec gen_frame (int_bound 60)
+
+let prop_flat_matches_interpreter =
+  QCheck.Test.make
+    ~name:"filter: flat, compiled and interpreter agree on (accept, steps)"
+    ~count:2000
+    (QCheck.make gen_session_case)
+    (fun (spec, frame, cut) ->
+      (* random truncation exercises every out-of-bounds load path *)
+      let frame =
+        if cut < Bytes.length frame then Bytes.sub frame 0 cut else frame
+      in
+      let prog = Filter.session spec in
+      let flat = Filter.flat_of_spec spec in
+      let reference = Vm.run_exn prog frame in
+      let compiled = Compile.compile_exn prog in
+      Filter.flat_run flat frame = reference
+      && Compile.run compiled frame = reference)
+
 let prop_validated_programs_run_safely =
   QCheck.Test.make ~name:"bpf: validated programs always run to completion"
     ~count:2000
@@ -376,5 +465,11 @@ let () =
           Alcotest.test_case "short packet" `Quick test_filter_short_packet;
           QCheck_alcotest.to_alcotest prop_session_exactness;
           QCheck_alcotest.to_alcotest prop_validated_programs_run_safely;
+        ] );
+      ( "fastpath",
+        [
+          QCheck_alcotest.to_alcotest prop_compile_matches_interpreter;
+          QCheck_alcotest.to_alcotest prop_compile_view_matches_interpreter;
+          QCheck_alcotest.to_alcotest prop_flat_matches_interpreter;
         ] );
     ]

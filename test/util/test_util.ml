@@ -57,6 +57,91 @@ let prop_checksum_valid_after_store =
       Codec.set_u16 b 0 c;
       Checksum.valid b ~off:0 ~len)
 
+(* --- differential: word-at-a-time checksum vs byte-at-a-time --------- *)
+
+(* Independent byte-at-a-time reference (the pre-fast-path algorithm,
+   re-derived here rather than shared with the implementation). *)
+let ref_add_bytes acc b ~off ~len =
+  let acc = ref acc in
+  let i = ref off in
+  let stop = off + len in
+  while !i + 1 < stop do
+    acc :=
+      !acc
+      + (Char.code (Bytes.get b !i) lsl 8)
+      + Char.code (Bytes.get b (!i + 1));
+    i := !i + 2
+  done;
+  if !i < stop then acc := !acc + (Char.code (Bytes.get b !i) lsl 8);
+  !acc
+
+let ref_finish acc =
+  let acc = ref acc in
+  while !acc lsr 16 <> 0 do
+    acc := (!acc land 0xffff) + (!acc lsr 16)
+  done;
+  lnot !acc land 0xffff
+
+let gen_checksum_case =
+  QCheck.Gen.(
+    (* sizes straddling the word-at-a-time threshold, odd offsets and odd
+       lengths included *)
+    int_bound 4000 >>= fun size ->
+    map Bytes.unsafe_of_string (string_size ~gen:char (return size))
+    >>= fun b ->
+    int_bound size >>= fun off ->
+    int_bound (size - off) >>= fun len ->
+    int_bound 0xffff >>= fun seed -> return (b, off, len, seed))
+
+let prop_checksum_matches_reference =
+  QCheck.Test.make ~name:"checksum: word-at-a-time equals reference"
+    ~count:2000
+    (QCheck.make gen_checksum_case)
+    (fun (b, off, len, seed) ->
+      let acc0 = Checksum.add_u16 Checksum.empty seed in
+      Checksum.finish (Checksum.add_bytes acc0 b ~off ~len)
+      = ref_finish (ref_add_bytes seed b ~off ~len))
+
+let prop_checksum_chained_matches_reference =
+  (* split at a random even boundary: accumulator chaining across calls *)
+  QCheck.Test.make ~name:"checksum: chained add_bytes equals reference"
+    ~count:1000
+    (QCheck.make
+       QCheck.Gen.(pair gen_checksum_case (int_bound 2000)))
+    (fun ((b, off, len, seed), cut) ->
+      let cut = 2 * (min cut len / 2) in
+      let acc0 = Checksum.add_u16 Checksum.empty seed in
+      let acc = Checksum.add_bytes acc0 b ~off ~len:cut in
+      let acc = Checksum.add_bytes acc b ~off:(off + cut) ~len:(len - cut) in
+      Checksum.finish acc = ref_finish (ref_add_bytes seed b ~off ~len))
+
+let prop_checksum_update_agrees_with_recompute =
+  QCheck.Test.make
+    ~name:"checksum: rfc1624 update equals recomputation" ~count:1000
+    QCheck.(
+      triple
+        (list_of_size Gen.(4 -- 20) (int_bound 255))
+        small_nat (int_bound 0xffff))
+    (fun (ints, field_idx, new_val) ->
+      (* an even-length buffer with a guaranteed nonzero byte, a stored
+         checksum at word 0 and a rewritten 16-bit field elsewhere *)
+      let ints = 0 :: 0 :: 0x45 :: 0x17 :: ints in
+      let ints = if List.length ints mod 2 = 0 then ints else ints @ [ 0 ] in
+      let b = bytes_of_ints ints in
+      let len = Bytes.length b in
+      let c = Checksum.of_bytes b ~off:0 ~len in
+      Codec.set_u16 b 0 c;
+      let words = len / 2 in
+      let field = 2 * (1 + (field_idx mod (words - 1))) in
+      let old = Codec.get_u16 b field in
+      Codec.set_u16 b field new_val;
+      let updated = Checksum.update ~cksum:c ~old ~new_:new_val in
+      (* recompute over the buffer with the checksum field zeroed *)
+      Codec.set_u16 b 0 0;
+      let recomputed = Checksum.of_bytes b ~off:0 ~len in
+      Codec.set_u16 b 0 updated;
+      updated = recomputed && Checksum.valid b ~off:0 ~len)
+
 (* --- Codec ---------------------------------------------------------- *)
 
 let test_codec_roundtrip () =
@@ -246,7 +331,13 @@ let () =
             test_checksum_verify_roundtrip;
           Alcotest.test_case "bounds" `Quick test_checksum_bounds;
         ]
-        @ qsuite [ prop_checksum_valid_after_store ] );
+        @ qsuite
+            [
+              prop_checksum_valid_after_store;
+              prop_checksum_matches_reference;
+              prop_checksum_chained_matches_reference;
+              prop_checksum_update_agrees_with_recompute;
+            ] );
       ( "codec",
         [
           Alcotest.test_case "roundtrip" `Quick test_codec_roundtrip;
