@@ -76,16 +76,28 @@ let table4_cmd =
     Term.(const run $ rounds_arg)
 
 let sweep_cmd =
-  let run mb =
-    List.iter
-      (fun config -> ignore (W.Ablation.bufsize_sweep ~mb config))
-      [ Cfg.mach25_kernel; Cfg.ux_server; Cfg.library_shm_ipf ]
+  let which =
+    Arg.(
+      value
+      & pos 0 (enum [ ("bufsize", `Bufsize); ("loss", `Loss) ]) `Bufsize
+      & info [] ~docv:"WHICH" ~doc:"$(b,bufsize) (default) or $(b,loss).")
+  in
+  let run which mb =
+    match which with
+    | `Bufsize ->
+      List.iter
+        (fun config -> ignore (W.Ablation.bufsize_sweep ~mb config))
+        [ Cfg.mach25_kernel; Cfg.ux_server; Cfg.library_shm_ipf ]
+    | `Loss -> ignore (W.Ablation.loss_sweep ~mb:(min mb 2) ())
   in
   Cmd.v
     (Cmd.info "sweep"
-       ~doc:"Throughput versus receive-buffer size (how the paper found \
-             each configuration's best buffer).")
-    Term.(const run $ mb_arg)
+       ~doc:"Parameter sweeps: $(b,bufsize) — throughput versus \
+             receive-buffer size (how the paper found each \
+             configuration's best buffer); $(b,loss) — goodput and \
+             retransmissions versus injected frame-loss rate for all \
+             six placements.")
+    Term.(const run $ which $ mb_arg)
 
 let ablation_cmd =
   let which =
@@ -93,32 +105,37 @@ let ablation_cmd =
       value
       & pos 0 (enum
                  [ ("delivery", `Delivery); ("ack", `Ack); ("spl", `Spl);
-                   ("migration", `Migration); ("all", `All) ])
+                   ("migration", `Migration); ("loss", `Loss);
+                   ("all", `All) ])
           `All
       & info [] ~docv:"WHICH"
-          ~doc:"$(b,delivery), $(b,ack), $(b,spl), $(b,migration) or \
-                $(b,all).")
+          ~doc:"$(b,delivery), $(b,ack), $(b,spl), $(b,migration), \
+                $(b,loss) or $(b,all).")
   in
   let run which =
     let dl () = ignore (W.Ablation.delivery ()) in
     let ack () = ignore (W.Ablation.ack_strategy ()) in
     let spl () = ignore (W.Ablation.sync_weight ()) in
     let mig () = ignore (W.Ablation.migration_cost ()) in
+    let loss () = ignore (W.Ablation.loss_faults ()) in
     match which with
     | `Delivery -> dl ()
     | `Ack -> ack ()
     | `Spl -> spl ()
     | `Migration -> mig ()
+    | `Loss -> loss ()
     | `All ->
       dl ();
       ack ();
       spl ();
-      mig ()
+      mig ();
+      loss ()
   in
   Cmd.v
     (Cmd.info "ablation"
        ~doc:"Ablations of the design choices: delivery variant, ack \
-             strategy, synchronisation weight, migration cost.")
+             strategy, synchronisation weight, migration cost, wire \
+             fault class.")
     Term.(const run $ which)
 
 let series_cmd =

@@ -16,6 +16,7 @@ type t = {
   mutable next_app_seq : int;
   rcv_buf : int option;
   delack_ns : int option;
+  fault : Psd_link.Fault.t option;
 }
 
 let mac_counter = ref 0
@@ -24,11 +25,26 @@ let fresh_mac () =
   incr mac_counter;
   Psd_link.Macaddr.of_host_id !mac_counter
 
-let create ~eng ~segment ~config ?plat ?rcv_buf ?delack_ns ~addr ~name () =
+let create ~eng ~segment ~config ?plat ?rcv_buf ?delack_ns ?fault ~addr
+    ~name () =
   let base_plat = Option.value plat ~default:Platform.decstation in
   let plat = Config.effective_platform base_plat config.Config.os in
   let host = Psd_mach.Host.create ~eng ~plat ~name in
   let netdev = Psd_mach.Netdev.create host segment ~mac:(fresh_mac ()) in
+  (* A null policy installs nothing and draws nothing, so fault-free
+     runs stay bit-identical whether or not the argument was passed. *)
+  let fault =
+    match fault with
+    | Some policy when not (Psd_link.Fault.is_null policy) ->
+      let f =
+        Psd_link.Fault.create
+          ~rng:(Psd_util.Rng.split (Psd_sim.Engine.rng eng))
+          policy
+      in
+      Psd_mach.Netdev.set_fault netdev (Some f);
+      Some f
+    | _ -> None
+  in
   (match (config.Config.placement, config.Config.delivery) with
   | Config.Library, Config.Pf_shm_ipf ->
     Psd_mach.Netdev.set_rx_mode netdev Psd_mach.Netdev.Rx_deferred
@@ -59,6 +75,7 @@ let create ~eng ~segment ~config ?plat ?rcv_buf ?delack_ns ~addr ~name () =
       next_app_seq = 1;
       rcv_buf;
       delack_ns;
+      fault;
     }
   in
   match config.Config.placement with
@@ -207,14 +224,26 @@ let netdev t = t.netdev
 let server t = t.server
 let kernel_stack t = t.kernel_stack
 
-let stacks_tcp_stats t =
+let fault_stats t = Option.map Psd_link.Fault.stats t.fault
+
+let stacks t =
   let base =
     match (t.kernel_stack, t.server) with
-    | Some s, _ -> [ Psd_tcp.Tcp.stats (Netstack.tcp s) ]
-    | None, Some srv -> [ Psd_tcp.Tcp.stats (Netstack.tcp (Os_server.stack srv)) ]
+    | Some s, _ -> [ s ]
+    | None, Some srv -> [ Os_server.stack srv ]
     | None, None -> []
   in
-  base
-  @ List.map (fun s -> Psd_tcp.Tcp.stats (Netstack.tcp s)) t.app_stacks
+  base @ t.app_stacks
+
+let stacks_tcp_stats t =
+  List.map (fun s -> Psd_tcp.Tcp.stats (Netstack.tcp s)) (stacks t)
+
+let stacks_ip_stats t =
+  List.map (fun s -> Psd_ip.Ip.stats (Netstack.ip s)) (stacks t)
+
+let reass_timed_out t =
+  List.fold_left
+    (fun acc s -> acc + Psd_ip.Ip.reass_timed_out (Netstack.ip s))
+    0 (stacks t)
 
 let set_breakdown t b = List.iter (fun ctx -> ctx.Ctx.breakdown <- b) t.ctxs

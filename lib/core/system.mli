@@ -16,13 +16,20 @@ val create :
   ?plat:Psd_cost.Platform.t ->
   ?rcv_buf:int ->
   ?delack_ns:int ->
+  ?fault:Psd_link.Fault.policy ->
   addr:string ->
   name:string ->
   unit ->
   t
 (** [plat] defaults to the DECstation 5000/200 (adjusted by the
     configuration's OS profile). A direct route for the address's /24 is
-    installed. *)
+    installed.
+
+    [fault] subjects every frame this host receives to a deterministic
+    fault process (see {!Psd_link.Fault}); its RNG is split off the
+    engine's, so one simulation seed fixes the complete fault schedule.
+    Omitting it — or passing a null policy — leaves the receive path
+    bit-identical to a host built without the argument. *)
 
 val app : t -> name:string -> Sockets.app
 (** Create an application process on this host. In the Library placement
@@ -45,6 +52,16 @@ val kernel_stack : t -> Netstack.t option
 val stacks_tcp_stats : t -> Psd_tcp.Tcp.stats list
 (** TCP statistics of every stack on the host (kernel or server plus any
     application libraries), for experiment reporting. *)
+
+val stacks_ip_stats : t -> Psd_ip.Ip.stats list
+(** IP statistics of every stack on the host, same order as
+    {!stacks_tcp_stats}. *)
+
+val reass_timed_out : t -> int
+(** IP reassembly timeouts summed over every stack on the host. *)
+
+val fault_stats : t -> Psd_link.Fault.stats option
+(** Counters of the host's fault process, when [create] installed one. *)
 
 val set_breakdown : t -> Psd_cost.Breakdown.t option -> unit
 (** Attach a latency-breakdown accumulator to every context on this host

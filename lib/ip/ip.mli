@@ -59,3 +59,10 @@ val input : t -> Bytes.t -> off:int -> len:int -> unit
     registered protocol handler. Charges [ipintr] costs. *)
 
 val stats : t -> stats
+
+val reass_timed_out : t -> int
+(** Reassembly timeouts of this stack's fragment table. *)
+
+val reass_dropped_inconsistent : t -> int
+(** Fragments this stack dropped for contradicting an established
+    datagram length (see {!Reass.dropped_inconsistent}). *)

@@ -13,10 +13,17 @@ type t = {
   timeout_ns : int;
   table : (key, datagram) Hashtbl.t;
   mutable timed_out : int;
+  mutable dropped_inconsistent : int;
 }
 
 let create eng ?(timeout_ns = Psd_sim.Time.sec 30) () =
-  { eng; timeout_ns; table = Hashtbl.create 16; timed_out = 0 }
+  {
+    eng;
+    timeout_ns;
+    table = Hashtbl.create 16;
+    timed_out = 0;
+    dropped_inconsistent = 0;
+  }
 
 let key_of (h : Header.t) =
   { src = h.src; dst = h.dst; proto = h.proto; ident = h.ident }
@@ -63,26 +70,50 @@ let input t (h : Header.t) payload =
         Hashtbl.add t.table key dg;
         dg
     in
-    dg.frags <- (h.frag_off, payload) :: dg.frags;
-    if not h.more_frags then
-      dg.total <- Some (h.frag_off + Mbuf.length payload);
-    match dg.total with
-    | Some total when complete dg.frags total ->
-      Hashtbl.remove t.table key;
-      dg.cancel ();
-      let whole = assemble dg.frags total in
-      let header =
-        {
-          h with
-          more_frags = false;
-          frag_off = 0;
-          total_len = Header.size + total;
-        }
-      in
-      Some (header, whole)
-    | _ -> None
+    (* The datagram's length is fixed by the first MF=0 fragment seen
+       and never rewritten: a duplicated-then-corrupted final whose
+       offset shrank must not pull [total] below data already received
+       and assemble a truncated datagram. Fragments that contradict the
+       established length (a different final, or data beyond the end)
+       are dropped and counted. *)
+    let frag_end = h.frag_off + Mbuf.length payload in
+    let consistent =
+      match dg.total with
+      | Some total ->
+        if h.more_frags then frag_end <= total else frag_end = total
+      | None ->
+        h.more_frags
+        || List.for_all (fun (off, m) -> off + Mbuf.length m <= frag_end)
+             dg.frags
+    in
+    if not consistent then begin
+      t.dropped_inconsistent <- t.dropped_inconsistent + 1;
+      None
+    end
+    else begin
+      dg.frags <- (h.frag_off, payload) :: dg.frags;
+      if (not h.more_frags) && dg.total = None then
+        dg.total <- Some frag_end;
+      match dg.total with
+      | Some total when complete dg.frags total ->
+        Hashtbl.remove t.table key;
+        dg.cancel ();
+        let whole = assemble dg.frags total in
+        let header =
+          {
+            h with
+            more_frags = false;
+            frag_off = 0;
+            total_len = Header.size + total;
+          }
+        in
+        Some (header, whole)
+      | _ -> None
+    end
   end
 
 let pending t = Hashtbl.length t.table
 
 let timed_out t = t.timed_out
+
+let dropped_inconsistent t = t.dropped_inconsistent

@@ -10,10 +10,21 @@ val input : t -> Header.t -> Psd_mbuf.Mbuf.t -> (Header.t * Psd_mbuf.Mbuf.t) opt
     datagram when this fragment completes it: a header with fragmentation
     fields cleared and [total_len] covering the reassembled payload.
     Overlapping fragments are resolved in favour of later arrivals.
-    Expired partial datagrams are discarded silently. *)
+    Expired partial datagrams are discarded silently.
+
+    The datagram's total length is established by the first MF=0
+    fragment and never changes; a later fragment contradicting it — a
+    final ending at a different offset, or any fragment extending past
+    the established end — is dropped and counted in
+    {!dropped_inconsistent}, so a corrupted duplicate of the final
+    fragment cannot shrink the datagram below data already received. *)
 
 val pending : t -> int
 (** Incomplete datagrams currently buffered. *)
 
 val timed_out : t -> int
 (** Datagrams dropped by the reassembly timer since creation. *)
+
+val dropped_inconsistent : t -> int
+(** Fragments dropped for contradicting their datagram's established
+    total length. *)

@@ -2,6 +2,7 @@ type nic = {
   nic_mac : Macaddr.t;
   mutable rx : Bytes.t -> unit;
   mutable promisc : bool;
+  mutable nic_fault : Fault.t option;
   segment : t;
 }
 
@@ -10,6 +11,7 @@ and t = {
   bps : int;
   ifg_ns : int;
   mutable nics : nic list;
+  mutable fault : Fault.t option;
   mutable busy_until : int;
   mutable frames : int;
   mutable bytes : int;
@@ -24,6 +26,7 @@ let create eng ?(bps = 10_000_000) ?(ifg_ns = 9_600) () =
     bps;
     ifg_ns;
     nics = [];
+    fault = None;
     busy_until = 0;
     frames = 0;
     bytes = 0;
@@ -31,7 +34,15 @@ let create eng ?(bps = 10_000_000) ?(ifg_ns = 9_600) () =
   }
 
 let attach t ~mac =
-  let nic = { nic_mac = mac; rx = (fun _ -> ()); promisc = false; segment = t } in
+  let nic =
+    {
+      nic_mac = mac;
+      rx = (fun _ -> ());
+      promisc = false;
+      nic_fault = None;
+      segment = t;
+    }
+  in
   t.nics <- t.nics @ [ nic ];
   nic
 
@@ -40,6 +51,14 @@ let mac nic = nic.nic_mac
 let set_rx nic f = nic.rx <- f
 
 let set_promiscuous nic v = nic.promisc <- v
+
+let set_fault t f = t.fault <- f
+
+let set_nic_fault nic f = nic.nic_fault <- f
+
+let fault t = t.fault
+
+let nic_fault nic = nic.nic_fault
 
 let frame_time t len =
   let len = max len Frame.min_frame in
@@ -79,7 +98,24 @@ let transmit nic frame =
               || Macaddr.is_broadcast dst
               || Macaddr.equal dst receiver.nic_mac
             in
-            if wanted then receiver.rx (Bytes.copy frame))
+            if wanted then begin
+              let copy = Bytes.copy frame in
+              (* a NIC-specific fault process overrides the segment's *)
+              match
+                (match receiver.nic_fault with
+                | Some _ as f -> f
+                | None -> t.fault)
+              with
+              | None -> receiver.rx copy
+              | Some f ->
+                List.iter
+                  (fun (extra_ns, frm) ->
+                    if extra_ns = 0 then receiver.rx frm
+                    else
+                      Psd_sim.Engine.schedule t.eng extra_ns (fun () ->
+                          receiver.rx frm))
+                  (Fault.apply f copy)
+            end)
         t.nics)
 
 let frames_sent t = t.frames

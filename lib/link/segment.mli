@@ -25,6 +25,20 @@ val set_rx : nic -> (Bytes.t -> unit) -> unit
 
 val set_promiscuous : nic -> bool -> unit
 
+val set_fault : t -> Fault.t option -> unit
+(** Install (or clear) a fault process for every delivery on this
+    segment. With [None] — the default — delivery is byte-perfect and
+    event-for-event identical to a segment that never had a fault
+    process, so fault-free runs replay bit-identically. *)
+
+val set_nic_fault : nic -> Fault.t option -> unit
+(** Per-NIC fault process; when set it overrides the segment-wide one
+    for deliveries to this NIC (it is not composed with it). *)
+
+val fault : t -> Fault.t option
+
+val nic_fault : nic -> Fault.t option
+
 val transmit : nic -> Bytes.t -> unit
 (** Queue a frame for transmission. Undersized frames are padded to the
     Ethernet minimum; frames above the MTU raise [Invalid_argument].

@@ -78,6 +78,10 @@ let host t = t.host
 
 let set_rx_mode t mode = t.mode <- mode
 
+let set_fault t f = Psd_link.Segment.set_nic_fault t.nic f
+
+let fault t = Psd_link.Segment.nic_fault t.nic
+
 (* The demultiplexing fast-path ladder (cheapest engine that can decide
    the program, chosen once at install time):
      1. flat descriptor — session filters reduce to a few direct byte

@@ -27,6 +27,13 @@ val host : t -> Host.t
 
 val set_rx_mode : t -> rx_mode -> unit
 
+val set_fault : t -> Psd_link.Fault.t option -> unit
+(** Subject every frame delivered to this device to a fault process
+    (drop/duplicate/reorder/corrupt/jitter) before the interrupt fires.
+    Overrides any segment-wide fault process for this NIC. *)
+
+val fault : t -> Psd_link.Fault.t option
+
 val attach :
   t ->
   ?prio:int ->

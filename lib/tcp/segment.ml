@@ -95,12 +95,21 @@ let parse_mss buf off hlen =
   in
   walk 20
 
+type decode_error = Truncated | Bad_offset | Bad_checksum
+
+let pp_decode_error fmt e =
+  Format.fprintf fmt "%s"
+    (match e with
+    | Truncated -> "tcp: segment too short"
+    | Bad_offset -> "tcp: bad data offset"
+    | Bad_checksum -> "tcp: bad checksum")
+
 let decode b ~src ~dst =
   let len = Bytes.length b in
-  if len < base_size then Error "tcp: segment too short"
+  if len < base_size then Error Truncated
   else begin
     let hlen = Codec.get_u8 b 12 lsr 4 * 4 in
-    if hlen < base_size || hlen > len then Error "tcp: bad data offset"
+    if hlen < base_size || hlen > len then Error Bad_offset
     else begin
       let total = len in
       let acc =
@@ -108,7 +117,7 @@ let decode b ~src ~dst =
           ~len:total
       in
       let acc = Checksum.add_bytes acc b ~off:0 ~len:total in
-      if Checksum.finish acc <> 0 then Error "tcp: bad checksum"
+      if Checksum.finish acc <> 0 then Error Bad_checksum
       else begin
         let flags = flags_of_byte (Codec.get_u8 b 13) in
         let header =

@@ -36,12 +36,21 @@ val encode :
 (** Prepend the TCP header (with a correct checksum over the pseudo
     header, header and payload) onto [payload] and return the chain. *)
 
+type decode_error =
+  | Truncated  (** shorter than the fixed header *)
+  | Bad_offset  (** data offset below 20 or past the segment end *)
+  | Bad_checksum
+
+val pp_decode_error : Format.formatter -> decode_error -> unit
+
 val decode :
   Bytes.t ->
   src:Psd_ip.Addr.t ->
   dst:Psd_ip.Addr.t ->
-  (t * Psd_mbuf.Mbuf.t, string) result
+  (t * Psd_mbuf.Mbuf.t, decode_error) result
 (** Parse a transport payload (header at offset 0) and verify its
-    checksum; returns the header and the data. *)
+    checksum; returns the header and the data. The error distinguishes
+    malformed segments ([Truncated], [Bad_offset]) from checksum
+    mismatches so the caller can account them separately. *)
 
 val pp : Format.formatter -> t -> unit

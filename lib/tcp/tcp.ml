@@ -71,6 +71,7 @@ type stats = {
   mutable acks_delayed : int;
   mutable rst_out : int;
   mutable drop_checksum : int;
+  mutable drop_malformed : int;
   mutable drop_no_pcb : int;
 }
 
@@ -966,7 +967,10 @@ let input t ~(hdr : Psd_ip.Header.t) (m : Mbuf.t) =
         Segment.decode flat ~src:hdr.Psd_ip.Header.src
           ~dst:hdr.Psd_ip.Header.dst
       with
-      | Error _ -> t.st.drop_checksum <- t.st.drop_checksum + 1
+      | Error Segment.Bad_checksum ->
+        t.st.drop_checksum <- t.st.drop_checksum + 1
+      | Error (Segment.Truncated | Segment.Bad_offset) ->
+        t.st.drop_malformed <- t.st.drop_malformed + 1
       | Ok (seg, payload) -> (
         t.st.segs_in <- t.st.segs_in + 1;
         let key =
@@ -1047,6 +1051,7 @@ let create ~ctx ~ip ?(mss = 1460) ?(msl_ns = Psd_sim.Time.sec 30)
           acks_delayed = 0;
           rst_out = 0;
           drop_checksum = 0;
+          drop_malformed = 0;
           drop_no_pcb = 0;
         };
     }

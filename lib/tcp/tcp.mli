@@ -69,6 +69,11 @@ type stats = {
   mutable acks_delayed : int;
   mutable rst_out : int;
   mutable drop_checksum : int;
+      (** well-formed segments whose internet checksum failed *)
+  mutable drop_malformed : int;
+      (** truncated segments or impossible data offsets — kept separate
+          from {!drop_checksum} so corruption-injection statistics can
+          tell garbled payloads from garbled framing *)
   mutable drop_no_pcb : int;
 }
 

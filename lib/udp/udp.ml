@@ -13,6 +13,7 @@ type stats = {
   mutable udp_out : int;
   mutable udp_in : int;
   mutable udp_drop_checksum : int;
+  mutable udp_drop_malformed : int;
   mutable udp_drop_no_port : int;
 }
 
@@ -79,15 +80,21 @@ let input t ~(hdr : Psd_ip.Header.t) (m : Mbuf.t) =
   let len = Bytes.length flat in
   charge_in t (max 0 (len - header_size));
   if len < header_size then
-    t.st.udp_drop_checksum <- t.st.udp_drop_checksum + 1
+    (* too short to even carry a header: malformed, not a checksum miss *)
+    t.st.udp_drop_malformed <- t.st.udp_drop_malformed + 1
   else begin
     let src_port = Codec.get_u16 flat 0 in
     let dst_port = Codec.get_u16 flat 2 in
     let udp_len = Codec.get_u16 flat 4 in
     let cksum = Codec.get_u16 flat 6 in
+    (* A length field shorter than the header or longer than the IP
+       payload can never checksum correctly by accident of data — it is
+       a framing error, counted apart from checksum mismatches so
+       corruption-injection statistics stay trustworthy. *)
+    if udp_len < header_size || udp_len > len then
+      t.st.udp_drop_malformed <- t.st.udp_drop_malformed + 1
+    else begin
     let valid =
-      udp_len >= header_size && udp_len <= len
-      &&
       if cksum = 0 then true (* checksum not computed by sender *)
       else begin
         let acc =
@@ -131,6 +138,7 @@ let input t ~(hdr : Psd_ip.Header.t) (m : Mbuf.t) =
             dst = hdr.Psd_ip.Header.dst;
             payload;
           }
+    end
   end
 
 let create ~ctx ~ip () =
@@ -145,6 +153,7 @@ let create ~ctx ~ip () =
           udp_out = 0;
           udp_in = 0;
           udp_drop_checksum = 0;
+          udp_drop_malformed = 0;
           udp_drop_no_port = 0;
         };
     }

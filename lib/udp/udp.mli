@@ -21,6 +21,11 @@ type stats = {
   mutable udp_out : int;
   mutable udp_in : int;
   mutable udp_drop_checksum : int;
+      (** plausibly-framed datagrams whose internet checksum failed *)
+  mutable udp_drop_malformed : int;
+      (** datagrams whose length field is shorter than the header or
+          longer than the IP payload (framing damage, not payload
+          damage) *)
   mutable udp_drop_no_port : int;
 }
 

@@ -63,3 +63,14 @@ let percentile t p =
   end
 
 let total t = t.sum
+
+(* Named-counter rendering shared by the workload reports: only the
+   counters that actually fired are worth a reader's attention. *)
+let pp_counters fmt counters =
+  match List.filter (fun (_, v) -> v <> 0) counters with
+  | [] -> Format.pp_print_string fmt "none"
+  | live ->
+    Format.pp_print_list
+      ~pp_sep:(fun fmt () -> Format.pp_print_char fmt ' ')
+      (fun fmt (k, v) -> Format.fprintf fmt "%s=%d" k v)
+      fmt live

@@ -24,3 +24,7 @@ val percentile : t -> float -> float
 
 val total : t -> float
 (** Sum of all samples. *)
+
+val pp_counters : Format.formatter -> (string * int) list -> unit
+(** Render named event counters compactly, omitting the zero ones:
+    ["rexmt=12 dup_acks=31"], or ["none"] when nothing fired. *)

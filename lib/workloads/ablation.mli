@@ -23,6 +23,26 @@ val bufsize_sweep :
 (** Throughput versus receive-buffer size — the sweep the paper ran to
     pick each configuration's best buffer (Table 2's buffer column). *)
 
+val loss_sweep :
+  ?mb:int ->
+  ?rates:float list ->
+  unit ->
+  (string * (float * float * int * int) list) list
+(** TCP goodput versus injected frame-loss rate across all six
+    DECstation placements: per configuration, a row of (loss rate,
+    KB/s, timer retransmissions, fast retransmits). Deterministic —
+    same seed, same fault schedule, same counters. *)
+
+val loss_faults :
+  ?mb:int ->
+  ?rate:float ->
+  unit ->
+  (string * float * Ttcp.recovery) list
+(** One fault class at a time (drop / duplicate / reorder / corrupt /
+    all together) at a fixed rate on the Library-SHM-IPF placement, with
+    the recovery counters that show which machinery each class
+    exercises. *)
+
 val migration_cost : ?conns:int -> ?bytes_per_conn:int -> unit ->
   (string * float) list
 (** Cost of session migration amortised against connection lifetime:

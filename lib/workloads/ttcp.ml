@@ -1,5 +1,29 @@
 open Psd_core
 
+type recovery = {
+  rexmt : int;
+  fast_rexmt : int;
+  dup_acks_in : int;
+  ooo_segs : int;
+  drop_checksum : int;
+  drop_malformed : int;
+  reass_timed_out : int;
+  injected : int;
+}
+
+let pp_recovery fmt r =
+  Psd_util.Stats.pp_counters fmt
+    [
+      ("injected", r.injected);
+      ("rexmt", r.rexmt);
+      ("fast_rexmt", r.fast_rexmt);
+      ("dup_acks_in", r.dup_acks_in);
+      ("ooo_segs", r.ooo_segs);
+      ("drop_checksum", r.drop_checksum);
+      ("drop_malformed", r.drop_malformed);
+      ("reass_timed_out", r.reass_timed_out);
+    ]
+
 type result = {
   config : Psd_cost.Config.t;
   bytes : int;
@@ -9,9 +33,11 @@ type result = {
   segs_out : int;
   rexmt : int;
   wire_utilization : float;
+  recovery : recovery;
 }
 
-let run ?plat ?(machine = Paper.Dec) ?(mb = 16) ?rcv_buf ?delack_ns ?(seed = 7) config =
+let run ?plat ?(machine = Paper.Dec) ?(mb = 16) ?rcv_buf ?delack_ns ?(seed = 7)
+    ?fault config =
   let plat =
     Option.value plat
       ~default:
@@ -24,6 +50,21 @@ let run ?plat ?(machine = Paper.Dec) ?(mb = 16) ?rcv_buf ?delack_ns ?(seed = 7) 
   in
   let eng = Psd_sim.Engine.create ~seed () in
   let segment = Psd_link.Segment.create eng () in
+  (* Wire-level fault injection covers both directions (data and acks).
+     The fault RNG is split off the engine's only when a live policy is
+     installed, so fault-free runs replay the seed bit-identically. *)
+  let wire_fault =
+    match fault with
+    | Some policy when not (Psd_link.Fault.is_null policy) ->
+      let f =
+        Psd_link.Fault.create
+          ~rng:(Psd_util.Rng.split (Psd_sim.Engine.rng eng))
+          policy
+      in
+      Psd_link.Segment.set_fault segment (Some f);
+      Some f
+    | _ -> None
+  in
   let sys_a =
     System.create ~eng ~segment ~config ~plat ~rcv_buf ?delack_ns
       ~addr:"10.0.0.1" ~name:"sender" ()
@@ -51,6 +92,18 @@ let run ?plat ?(machine = Paper.Dec) ?(mb = 16) ?rcv_buf ?delack_ns ?(seed = 7) 
           match Sockets.recv c ~max:65536 with
           | Ok "" -> t_end := Psd_sim.Engine.now eng
           | Ok d ->
+            (* End-to-end integrity: every byte must equal its stream
+               offset mod 256, so any corruption that slipped past the
+               checksums (or any reassembly bug) is caught here. *)
+            String.iteri
+              (fun i c ->
+                let off = !received + i in
+                if Char.code c <> off land 0xff then
+                  failwith
+                    (Printf.sprintf
+                       "ttcp[%s]: payload corrupt at byte %d (got %#x)"
+                       config.Psd_cost.Config.label off (Char.code c)))
+              d;
             received := !received + String.length d;
             drain ()
           | Error e -> failwith ("ttcp receiver: " ^ e)
@@ -65,7 +118,10 @@ let run ?plat ?(machine = Paper.Dec) ?(mb = 16) ?rcv_buf ?delack_ns ?(seed = 7) 
       | Error e -> failwith ("ttcp connect: " ^ e));
       t_start := Psd_sim.Engine.now eng;
       wire_busy_start := Psd_link.Segment.busy_ns segment;
-      let block = String.make 8192 'T' in
+      (* 8192 is a multiple of 256, so a block whose byte [i] is
+         [i mod 256] makes every byte of the stream equal its global
+         offset mod 256 — cheap for the receiver to verify. *)
+      let block = String.init 8192 (fun i -> Char.chr (i land 0xff)) in
       let rec pump sent =
         if sent < total then begin
           let n = min (String.length block) (total - sent) in
@@ -90,6 +146,24 @@ let run ?plat ?(machine = Paper.Dec) ?(mb = 16) ?rcv_buf ?delack_ns ?(seed = 7) 
   let rexmt =
     List.fold_left (fun acc st -> acc + st.Psd_tcp.Tcp.rexmt_segs) 0 stats
   in
+  let recovery =
+    let both = System.stacks_tcp_stats sys_a @ System.stacks_tcp_stats sys_b in
+    let sum f = List.fold_left (fun acc st -> acc + f st) 0 both in
+    {
+      rexmt = sum (fun st -> st.Psd_tcp.Tcp.rexmt_segs);
+      fast_rexmt = sum (fun st -> st.Psd_tcp.Tcp.fast_rexmt);
+      dup_acks_in = sum (fun st -> st.Psd_tcp.Tcp.dup_acks_in);
+      ooo_segs = sum (fun st -> st.Psd_tcp.Tcp.ooo_segs);
+      drop_checksum = sum (fun st -> st.Psd_tcp.Tcp.drop_checksum);
+      drop_malformed = sum (fun st -> st.Psd_tcp.Tcp.drop_malformed);
+      reass_timed_out =
+        System.reass_timed_out sys_a + System.reass_timed_out sys_b;
+      injected =
+        (match wire_fault with
+        | None -> 0
+        | Some f -> Psd_link.Fault.injected (Psd_link.Fault.stats f));
+    }
+  in
   {
     config;
     bytes = total;
@@ -102,6 +176,7 @@ let run ?plat ?(machine = Paper.Dec) ?(mb = 16) ?rcv_buf ?delack_ns ?(seed = 7) 
     wire_utilization =
       float_of_int (Psd_link.Segment.busy_ns segment - !wire_busy_start)
       /. float_of_int elapsed;
+    recovery;
   }
 
 let pp fmt r =

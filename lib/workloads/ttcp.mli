@@ -1,6 +1,22 @@
 (** The paper's throughput microbenchmark: memory-to-memory TCP transfer
     of a fixed volume between two hosts (16 MB in the paper). *)
 
+type recovery = {
+  rexmt : int;  (** timer retransmissions, both hosts *)
+  fast_rexmt : int;  (** fast retransmits (3 dup acks), both hosts *)
+  dup_acks_in : int;
+  ooo_segs : int;  (** segments queued out of order by the receiver *)
+  drop_checksum : int;  (** TCP segments dropped for a bad checksum *)
+  drop_malformed : int;  (** TCP segments dropped for broken framing *)
+  reass_timed_out : int;  (** IP fragment datagrams that timed out *)
+  injected : int;  (** wire faults injected (0 when no policy given) *)
+}
+(** How the transfer recovered from injected wire faults, summed over
+    both hosts' stacks. All-zero (except possibly [dup_acks_in]) on a
+    clean wire. *)
+
+val pp_recovery : Format.formatter -> recovery -> unit
+
 type result = {
   config : Psd_cost.Config.t;
   bytes : int;
@@ -10,6 +26,7 @@ type result = {
   segs_out : int;  (** sender data segments *)
   rexmt : int;
   wire_utilization : float;  (** fraction of elapsed time the wire was busy *)
+  recovery : recovery;
 }
 
 val run :
@@ -19,10 +36,15 @@ val run :
   ?rcv_buf:int ->
   ?delack_ns:int ->
   ?seed:int ->
+  ?fault:Psd_link.Fault.policy ->
   Psd_cost.Config.t ->
   result
 (** Build a fresh two-host simulation in the given configuration and
     transfer [mb] megabytes (default 16). [rcv_buf] defaults to the
-    paper's per-configuration best (Table 2). *)
+    paper's per-configuration best (Table 2). [fault] installs a
+    wire-level fault-injection policy on the shared segment (both
+    directions suffer); the payload is patterned and verified end to
+    end, so [run] raises if recovery ever delivers wrong bytes. A null
+    policy (or none) leaves the run bit-identical to the seed. *)
 
 val pp : Format.formatter -> result -> unit

@@ -169,6 +169,53 @@ let test_request_triggers_reply_and_learning () =
   "resolved" => !done_;
   "a learned b" => (Cache.lookup ca (addr "10.0.0.2") <> None)
 
+let test_reply_loss_retries () =
+  (* The wire eats the first ARP reply: the resolver must retry the
+     query and succeed on the second round trip, not hang or fail. *)
+  let eng = Psd_sim.Engine.create () in
+  let input_a = ref None and input_b = ref None in
+  let queries = ref 0 in
+  let replies_to_drop = ref 1 in
+  let make ip id peer_input ~drop =
+    let cache = Cache.create eng () in
+    let send ~dst p =
+      ignore dst;
+      if not (drop p) then
+        Psd_sim.Engine.schedule eng 10_000 (fun () ->
+            match !peer_input with Some f -> f p | None -> ())
+    in
+    let r =
+      Resolver.create ~eng ~cache ~my_ip:(addr ip)
+        ~my_mac:(Macaddr.of_host_id id) ~send
+        ~retry_interval_ns:(Psd_sim.Time.ms 50) ()
+    in
+    (r, cache)
+  in
+  let ra, ca =
+    make "10.0.0.1" 1 input_b ~drop:(fun p ->
+        if p.Packet.op = Packet.Request then incr queries;
+        false)
+  in
+  let rb, _cb =
+    make "10.0.0.2" 2 input_a ~drop:(fun p ->
+        p.Packet.op = Packet.Reply && !replies_to_drop > 0
+        && begin
+             decr replies_to_drop;
+             true
+           end)
+  in
+  input_a := Some (fun p -> Resolver.input ra p);
+  input_b := Some (fun p -> Resolver.input rb p);
+  let result = ref None in
+  Resolver.resolve ra (addr "10.0.0.2") (fun r -> result := r);
+  Psd_sim.Engine.run eng;
+  (match !result with
+  | Some mac -> "resolved after loss" => Macaddr.equal mac (Macaddr.of_host_id 2)
+  | None -> Alcotest.fail "reply loss killed the resolution");
+  Alcotest.(check int) "retried exactly once" 2 !queries;
+  "cached" => (Cache.lookup ca (addr "10.0.0.2") <> None);
+  Alcotest.(check int) "no pending" 0 (Resolver.pending ra)
+
 let () =
   Alcotest.run "psd_arp"
     [
@@ -194,5 +241,7 @@ let () =
             test_concurrent_resolutions_share_query;
           Alcotest.test_case "learning" `Quick
             test_request_triggers_reply_and_learning;
+          Alcotest.test_case "reply loss retries" `Quick
+            test_reply_loss_retries;
         ] );
     ]

@@ -221,6 +221,33 @@ let test_ip_fragmentation_roundtrip () =
   Alcotest.(check int) "fragments produced" 3 (Ip.stats a.ip).ip_fragmented;
   Alcotest.(check int) "reassembled count" 1 (Ip.stats b.ip).ip_reassembled
 
+let test_ip_fragment_loss_times_out () =
+  let eng = Psd_sim.Engine.create () in
+  let a, b = make_pair eng in
+  let got = ref None in
+  Ip.register b.ip ~proto:201 (fun ~hdr:_ m -> got := Some (Mbuf.to_string m));
+  (* re-wire a->b to lose the middle fragment of the three *)
+  let nth = ref 0 in
+  Ip.set_transmit a.ip (fun ~next_hop:_ ~iface:_ m ->
+      let packet = Mbuf.to_bytes m in
+      incr nth;
+      if !nth <> 2 then
+        Psd_sim.Engine.schedule eng 1000 (fun () ->
+            Psd_sim.Engine.spawn eng (fun () ->
+                Ip.input b.ip packet ~off:0 ~len:(Bytes.length packet))));
+  Psd_sim.Engine.spawn eng (fun () ->
+      match
+        Ip.output a.ip ~proto:201 ~dst:(addr "10.0.0.2")
+          (Mbuf.of_string (String.make 4000 'f'))
+      with
+      | Ok () -> ()
+      | Error _ -> Alcotest.fail "output failed");
+  run_to_completion eng;
+  Alcotest.(check (option string)) "never delivered" None !got;
+  Alcotest.(check int) "reassembly gave up" 1 (Ip.reass_timed_out b.ip);
+  Alcotest.(check int) "no datagram counted" 0
+    (Ip.stats b.ip).ip_reassembled
+
 let test_ip_dont_frag () =
   let eng = Psd_sim.Engine.create () in
   let a, _b = make_pair eng in
@@ -332,6 +359,48 @@ let test_reass_timeout () =
   (* Late fragment restarts a fresh datagram rather than completing. *)
   Alcotest.(check bool) "late tail alone" true
     (feed_fragment r ~ident:3 ~off:8 ~mf:false "tail" = None)
+
+let test_reass_inconsistent_final () =
+  let eng = Psd_sim.Engine.create () in
+  let r = Reass.create eng () in
+  (* the true final fragment fixes the datagram's total length at 13 *)
+  ignore (feed_fragment r ~ident:5 ~off:8 ~mf:false "WORLD");
+  (* a damaged copy claiming a different end must not re-truncate it *)
+  Alcotest.(check bool) "conflicting final rejected" true
+    (feed_fragment r ~ident:5 ~off:8 ~mf:false "ab" = None);
+  Alcotest.(check int) "counted" 1 (Reass.dropped_inconsistent r);
+  match feed_fragment r ~ident:5 ~off:0 ~mf:true "HELLO..." with
+  | Some (_, m) ->
+    Alcotest.(check string) "completes at the original total"
+      "HELLO...WORLD" (Mbuf.to_string m)
+  | None -> Alcotest.fail "incomplete"
+
+let test_reass_fragment_beyond_total () =
+  let eng = Psd_sim.Engine.create () in
+  let r = Reass.create eng () in
+  ignore (feed_fragment r ~ident:6 ~off:8 ~mf:false "IJ");
+  (* data past the established end of the datagram is damage *)
+  Alcotest.(check bool) "overshoot rejected" true
+    (feed_fragment r ~ident:6 ~off:16 ~mf:true "XX" = None);
+  Alcotest.(check int) "counted" 1 (Reass.dropped_inconsistent r);
+  match feed_fragment r ~ident:6 ~off:0 ~mf:true "ABCDEFGH" with
+  | Some (_, m) ->
+    Alcotest.(check string) "intact" "ABCDEFGHIJ" (Mbuf.to_string m)
+  | None -> Alcotest.fail "incomplete"
+
+let test_reass_final_below_extent () =
+  let eng = Psd_sim.Engine.create () in
+  let r = Reass.create eng () in
+  ignore (feed_fragment r ~ident:7 ~off:8 ~mf:true "BBBBBBBB");
+  (* a final that ends before data we already hold cannot be genuine *)
+  Alcotest.(check bool) "short final rejected" true
+    (feed_fragment r ~ident:7 ~off:8 ~mf:false "b" = None);
+  Alcotest.(check int) "counted" 1 (Reass.dropped_inconsistent r);
+  ignore (feed_fragment r ~ident:7 ~off:0 ~mf:true "AAAAAAAA");
+  match feed_fragment r ~ident:7 ~off:16 ~mf:false "CC" with
+  | Some (_, m) ->
+    Alcotest.(check string) "intact" "AAAAAAAABBBBBBBBCC" (Mbuf.to_string m)
+  | None -> Alcotest.fail "incomplete"
 
 let test_reass_duplicate_fragment () =
   let eng = Psd_sim.Engine.create () in
@@ -447,6 +516,8 @@ let () =
           Alcotest.test_case "fragmentation" `Quick
             test_ip_fragmentation_roundtrip;
           Alcotest.test_case "dont frag" `Quick test_ip_dont_frag;
+          Alcotest.test_case "fragment loss times out" `Quick
+            test_ip_fragment_loss_times_out;
           Alcotest.test_case "no route" `Quick test_ip_no_route;
           Alcotest.test_case "wrong addr" `Quick test_ip_wrong_addr_dropped;
           Alcotest.test_case "unknown proto" `Quick
@@ -470,5 +541,11 @@ let () =
             test_reass_interleaved_datagrams;
           Alcotest.test_case "timeout" `Quick test_reass_timeout;
           Alcotest.test_case "duplicate" `Quick test_reass_duplicate_fragment;
+          Alcotest.test_case "inconsistent final" `Quick
+            test_reass_inconsistent_final;
+          Alcotest.test_case "beyond total" `Quick
+            test_reass_fragment_beyond_total;
+          Alcotest.test_case "final below extent" `Quick
+            test_reass_final_below_extent;
         ] );
     ]

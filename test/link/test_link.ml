@@ -151,6 +151,124 @@ let test_throughput_bound () =
   Alcotest.(check bool) "over 9.5Mb/s" true (rate_bps > 9_500_000.);
   ignore seg
 
+(* --- fault injection --------------------------------------------------- *)
+
+let ip_frame ?(claimed_len = None) ~len () =
+  (* an IP-ethertype frame; [claimed_len] forges the IP total-length
+     field (offset 16) — default claims the whole payload *)
+  let b = mk_frame ~dst:(Macaddr.of_host_id 2) ~src:(Macaddr.of_host_id 1) ~len in
+  let total = match claimed_len with Some l -> l | None -> len - 14 in
+  Bytes.set_uint8 b 16 (total lsr 8);
+  Bytes.set_uint8 b 17 (total land 0xff);
+  b
+
+let test_fault_null_passthrough () =
+  let f = Fault.create ~rng:(Psd_util.Rng.create ~seed:1) Fault.none in
+  let frame = ip_frame ~len:100 () in
+  let before = Bytes.copy frame in
+  (match Fault.apply f frame with
+  | [ (0, frm) ] ->
+    Alcotest.(check bool) "same frame" true (frm == frame);
+    Alcotest.(check bytes) "untouched" before frm
+  | _ -> Alcotest.fail "null policy must deliver exactly once, delay 0");
+  Alcotest.(check int) "counted" 1 (Fault.stats f).Fault.frames;
+  Alcotest.(check int) "no faults" 0 (Fault.injected (Fault.stats f))
+
+let test_fault_drop_all () =
+  let f = Fault.create ~rng:(Psd_util.Rng.create ~seed:1) (Fault.drop_only 1.0) in
+  for _ = 1 to 10 do
+    Alcotest.(check (list (pair int bytes))) "dropped" []
+      (Fault.apply f (ip_frame ~len:80 ()))
+  done;
+  Alcotest.(check int) "all counted" 10 (Fault.stats f).Fault.dropped
+
+let test_fault_duplicate () =
+  let f =
+    Fault.create ~rng:(Psd_util.Rng.create ~seed:1)
+      { Fault.none with Fault.duplicate = 1.0 }
+  in
+  match Fault.apply f (ip_frame ~len:80 ()) with
+  | [ (0, a); (0, b) ] ->
+    Alcotest.(check bytes) "copies equal" a b;
+    Bytes.set_uint8 a 20 0xff;
+    Alcotest.(check bool) "copies independent" false (Bytes.equal a b)
+  | l -> Alcotest.failf "expected two immediate copies, got %d" (List.length l)
+
+let test_fault_corrupt_scoped () =
+  let f =
+    Fault.create ~rng:(Psd_util.Rng.create ~seed:3)
+      { Fault.none with Fault.corrupt = 1.0 }
+  in
+  (* IP frame claiming 20 bytes of a 60-byte payload: the corrupted byte
+     must land inside the claimed datagram, never in the pad *)
+  for _ = 1 to 50 do
+    let frame = ip_frame ~claimed_len:(Some 20) ~len:74 () in
+    let before = Bytes.copy frame in
+    (match Fault.apply f frame with
+    | [ (0, frm) ] ->
+      let diffs = ref [] in
+      Bytes.iteri
+        (fun i c -> if c <> Bytes.get before i then diffs := i :: !diffs)
+        frm;
+      (match !diffs with
+      | [ i ] ->
+        Alcotest.(check bool) "inside claimed datagram" true
+          (i >= 14 && i < 14 + 20)
+      | _ -> Alcotest.fail "exactly one byte must differ")
+    | _ -> Alcotest.fail "corrupt must still deliver once")
+  done;
+  (* a non-IP frame (ARP) is never corrupted *)
+  let arp = mk_frame ~dst:(Macaddr.of_host_id 2) ~src:(Macaddr.of_host_id 1) ~len:60 in
+  Bytes.set_uint8 arp 12 0x08;
+  Bytes.set_uint8 arp 13 0x06;
+  let before = Bytes.copy arp in
+  (match Fault.apply f arp with
+  | [ (0, frm) ] -> Alcotest.(check bytes) "arp untouched" before frm
+  | _ -> Alcotest.fail "non-IP frames pass through");
+  Alcotest.(check int) "only IP corruptions counted" 50
+    (Fault.stats f).Fault.corrupted
+
+let test_fault_same_seed_same_schedule () =
+  let run () =
+    let f =
+      Fault.create ~rng:(Psd_util.Rng.create ~seed:99) (Fault.chaos 0.3)
+    in
+    let log = ref [] in
+    for i = 1 to 200 do
+      let frame = ip_frame ~len:(60 + (i mod 40)) () in
+      let fate =
+        Fault.apply f frame
+        |> List.map (fun (d, frm) -> (d, Bytes.to_string frm))
+      in
+      log := fate :: !log
+    done;
+    (!log, Fault.injected (Fault.stats f))
+  in
+  let log1, n1 = run () and log2, n2 = run () in
+  Alcotest.(check bool) "identical schedules" true (log1 = log2);
+  Alcotest.(check int) "identical counts" n1 n2;
+  Alcotest.(check bool) "faults actually fired" true (n1 > 0)
+
+let test_fault_on_segment () =
+  (* wire a drop-everything fault into the segment: nothing arrives *)
+  let eng, seg, a, b = two_nics () in
+  Segment.set_fault seg
+    (Some
+       (Fault.create ~rng:(Psd_util.Rng.create ~seed:1) (Fault.drop_only 1.0)));
+  let got = ref 0 in
+  Segment.set_rx b (fun _ -> incr got);
+  Segment.transmit a
+    (mk_frame ~dst:(Segment.mac b) ~src:(Segment.mac a) ~len:100);
+  Engine.run eng;
+  Alcotest.(check int) "all dropped" 0 !got;
+  (* a per-NIC null process overrides the lossy segment-wide one *)
+  Segment.set_nic_fault b
+    (Some (Fault.create ~rng:(Psd_util.Rng.create ~seed:1) Fault.none));
+  Segment.transmit a
+    (mk_frame ~dst:(Segment.mac b) ~src:(Segment.mac a) ~len:100);
+  Engine.run eng;
+  Alcotest.(check int) "nic override wins" 1 !got
+
 let () =
   Alcotest.run "psd_link"
     [
@@ -175,5 +293,17 @@ let () =
             test_giant_frame_rejected;
           Alcotest.test_case "stats" `Quick test_stats;
           Alcotest.test_case "throughput bound" `Quick test_throughput_bound;
+        ] );
+      ( "fault",
+        [
+          Alcotest.test_case "null passthrough" `Quick
+            test_fault_null_passthrough;
+          Alcotest.test_case "drop all" `Quick test_fault_drop_all;
+          Alcotest.test_case "duplicate" `Quick test_fault_duplicate;
+          Alcotest.test_case "corrupt scoped" `Quick
+            test_fault_corrupt_scoped;
+          Alcotest.test_case "same seed, same schedule" `Quick
+            test_fault_same_seed_same_schedule;
+          Alcotest.test_case "segment wiring" `Quick test_fault_on_segment;
         ] );
     ]

@@ -45,7 +45,7 @@ let test_segment_roundtrip () =
   in
   let packet = Segment.encode seg ~src ~dst ~payload:(Mbuf.of_string "data!") in
   match Segment.decode (Mbuf.to_bytes packet) ~src ~dst with
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.failf "%a" Segment.pp_decode_error e
   | Ok (seg', payload) ->
     Alcotest.(check int) "sport" 1234 seg'.Segment.src_port;
     Alcotest.(check int) "seq" 0xdeadbeef seg'.Segment.seq;
@@ -70,7 +70,7 @@ let test_segment_mss_option () =
   let packet = Segment.encode seg ~src ~dst ~payload:(Mbuf.empty ()) in
   match Segment.decode (Mbuf.to_bytes packet) ~src ~dst with
   | Ok (seg', _) -> Alcotest.(check (option int)) "mss" (Some 1460) seg'.Segment.mss
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.failf "%a" Segment.pp_decode_error e
 
 let test_segment_checksum_detects () =
   let src = Psd_ip.Addr.of_string "10.0.0.1"
@@ -91,8 +91,39 @@ let test_segment_checksum_detects () =
   in
   Bytes.set packet 21 'z';
   match Segment.decode packet ~src ~dst with
-  | Error _ -> ()
+  | Error Segment.Bad_checksum -> ()
+  | Error e ->
+    Alcotest.failf "expected Bad_checksum, got %a" Segment.pp_decode_error e
   | Ok _ -> Alcotest.fail "corruption accepted"
+
+let test_decode_error_classes () =
+  let src = Psd_ip.Addr.of_string "10.0.0.1"
+  and dst = Psd_ip.Addr.of_string "10.0.0.2" in
+  (match Segment.decode (Bytes.create 10) ~src ~dst with
+  | Error Segment.Truncated -> ()
+  | _ -> Alcotest.fail "short buffer must be Truncated");
+  let seg =
+    {
+      Segment.src_port = 1;
+      dst_port = 2;
+      seq = 7;
+      ack = 0;
+      flags = Segment.no_flags;
+      window = 0;
+      mss = None;
+    }
+  in
+  let packet =
+    Mbuf.to_bytes (Segment.encode seg ~src ~dst ~payload:(Mbuf.of_string "xy"))
+  in
+  (* data offset claiming 60 header bytes in a 22-byte segment: framing,
+     not checksum, even though the checksum is now stale too *)
+  Bytes.set_uint8 packet 12 0xf0;
+  match Segment.decode packet ~src ~dst with
+  | Error Segment.Bad_offset -> ()
+  | Error e ->
+    Alcotest.failf "expected Bad_offset, got %a" Segment.pp_decode_error e
+  | Ok _ -> Alcotest.fail "impossible offset accepted"
 
 (* --- connection establishment ------------------------------------------ *)
 
@@ -950,9 +981,63 @@ let prop_bidirectional_with_loss =
       String.equal (contents server_sink) a_to_b
       && String.equal (contents client_sink) b_to_a)
 
+(* --- drop accounting --------------------------------------------------- *)
+
+(* One data segment mangled in flight lands in exactly one drop counter
+   of the receiving stack: payload damage in [drop_checksum], framing
+   damage (an impossible data offset) in [drop_malformed] — and the
+   retransmission still delivers the data. *)
+let test_drop_accounting_classes () =
+  let net = create () in
+  let sink, _l = autoserver net 80 in
+  let client_sink = make_sink () in
+  let pcb = ref None in
+  Psd_sim.Engine.spawn net.eng (fun () ->
+      pcb :=
+        Some
+          (Tcp.connect net.a.tcp ~handlers:(sink_handlers client_sink)
+             ~src_port:5000 ~dst:net.b.addr ~dst_port:80 ()));
+  run_for net (Psd_sim.Time.ms 20);
+  "established" => client_sink.established;
+  let is_data packet =
+    (* only a data segment is longer than bare IP + TCP headers *)
+    Bytes.length packet > Psd_ip.Header.size + Segment.base_size
+  in
+  let mangle = ref None in
+  net.tap <-
+    (fun packet ->
+      (match !mangle with
+      | Some f when is_data packet ->
+        mangle := None;
+        f packet
+      | _ -> ());
+      false);
+  let send_mangled data f =
+    mangle := Some f;
+    Psd_sim.Engine.spawn net.eng (fun () ->
+        Tcp.send (Option.get !pcb) (Mbuf.of_string data));
+    run_for net (Psd_sim.Time.sec 10)
+  in
+  (* flip a payload byte: IP's header checksum doesn't cover it, so it
+     reaches TCP and must die as a checksum drop *)
+  send_mangled "hello" (fun packet ->
+      let off = Psd_ip.Header.size + Segment.base_size in
+      Bytes.set_uint8 packet off (Bytes.get_uint8 packet off lxor 0xff));
+  (* wreck the data offset: framing damage, not a checksum miss *)
+  send_mangled "world" (fun packet ->
+      Bytes.set_uint8 packet (Psd_ip.Header.size + 12) 0xf0);
+  let st = Tcp.stats net.b.tcp in
+  Alcotest.(check int) "one checksum drop" 1 st.Tcp.drop_checksum;
+  Alcotest.(check int) "one malformed drop" 1 st.Tcp.drop_malformed;
+  Alcotest.(check string) "rexmt delivered both" "helloworld"
+    (Buffer.contents sink.buf)
+
 let () =
   Alcotest.run "psd_tcp"
     [
+      ( "drop accounting",
+        [ Alcotest.test_case "checksum vs malformed" `Quick
+            test_drop_accounting_classes ] );
       ( "seq",
         [
           Alcotest.test_case "wraparound" `Quick test_seq_wraparound;
@@ -964,6 +1049,7 @@ let () =
           Alcotest.test_case "roundtrip" `Quick test_segment_roundtrip;
           Alcotest.test_case "mss option" `Quick test_segment_mss_option;
           Alcotest.test_case "checksum" `Quick test_segment_checksum_detects;
+          Alcotest.test_case "error classes" `Quick test_decode_error_classes;
         ] );
       ( "handshake",
         [

@@ -129,6 +129,42 @@ let test_checksum_corruption_dropped () =
   Alcotest.(check int) "checksum drop" 1
     (Udp.stats net.b.udp).Udp.udp_drop_checksum
 
+let test_malformed_length_dropped () =
+  let net = create () in
+  let got = ref 0 in
+  let _s = bind_exn net.b.udp ~port:7 ~receive:(fun _ -> incr got) in
+  (* forge the UDP length field in flight (offset 24 = IP header + 4),
+     patching the IP header checksum so the damage reaches UDP *)
+  let forged_len = ref 0 in
+  net.tap <-
+    (fun pkt ->
+      if Bytes.length pkt > 30 && Psd_util.Codec.get_u8 pkt 9 = 17 then begin
+        Psd_util.Codec.set_u16 pkt 24 !forged_len;
+        Psd_util.Codec.set_u16 pkt 10 0;
+        let c = Psd_util.Checksum.of_bytes pkt ~off:0 ~len:20 in
+        Psd_util.Codec.set_u16 pkt 10 c;
+        false
+      end
+      else false);
+  let send_one () =
+    Psd_sim.Engine.spawn net.eng (fun () ->
+        let c = bind_exn net.a.udp ~port:5001 ~receive:(fun _ -> ()) in
+        ignore (Udp.send c ~dst:(net.b.addr, 7) (Mbuf.of_string "payload-x"));
+        Udp.close net.a.udp c);
+    run net
+  in
+  (* longer than the IP payload delivers nothing... *)
+  forged_len := 0xffff;
+  send_one ();
+  (* ...and shorter than the UDP header can't even frame *)
+  forged_len := 3;
+  send_one ();
+  Alcotest.(check int) "not delivered" 0 !got;
+  Alcotest.(check int) "malformed drops" 2
+    (Udp.stats net.b.udp).Udp.udp_drop_malformed;
+  Alcotest.(check int) "not a checksum miss" 0
+    (Udp.stats net.b.udp).Udp.udp_drop_checksum
+
 let test_large_datagram_fragments () =
   let net = create () in
   let got = ref None in
@@ -203,6 +239,8 @@ let () =
           Alcotest.test_case "no listener" `Quick test_no_listener_dropped;
           Alcotest.test_case "checksum" `Quick
             test_checksum_corruption_dropped;
+          Alcotest.test_case "malformed length" `Quick
+            test_malformed_length_dropped;
           Alcotest.test_case "fragmentation" `Quick
             test_large_datagram_fragments;
           Alcotest.test_case "too big" `Quick test_too_big;

@@ -80,6 +80,48 @@ let test_tables_structs () =
       "throughput present" => (r.W.Tables.throughput <> None))
     rows
 
+(* --- loss soak ----------------------------------------------------------- *)
+
+(* [Ttcp.run] verifies every delivered byte against the payload pattern
+   and fails the transfer on any shortfall, so surviving the call IS the
+   bit-identical-delivery check; the assertions below are about the
+   recovery machinery. *)
+
+let chaos_run ?(mb = 2) ?(seed = 23) ?(rate = 0.01) () =
+  W.Ttcp.run ~mb ~seed ~fault:(Psd_link.Fault.chaos rate) Cfg.library_shm_ipf
+
+let test_loss_soak_short () =
+  let rc = (chaos_run ()).W.Ttcp.recovery in
+  "faults were injected" => (rc.W.Ttcp.injected > 0);
+  "loss forced retransmission" => (rc.W.Ttcp.rexmt > 0);
+  "duplicate acks observed" => (rc.W.Ttcp.dup_acks_in > 0)
+
+let test_loss_soak_deterministic () =
+  let a = chaos_run () and b = chaos_run () in
+  "same seed, same fault schedule and counters"
+  => (a.W.Ttcp.recovery = b.W.Ttcp.recovery);
+  Alcotest.(check int) "same virtual duration" a.W.Ttcp.elapsed_ns
+    b.W.Ttcp.elapsed_ns;
+  let c = chaos_run ~seed:24 () in
+  "different seed, different schedule"
+  => (a.W.Ttcp.recovery <> c.W.Ttcp.recovery)
+
+let test_loss_soak_16mb () =
+  let r = chaos_run ~mb:16 () in
+  Alcotest.(check int) "full volume" (16 * 1024 * 1024) r.W.Ttcp.bytes;
+  let rc = r.W.Ttcp.recovery in
+  "rexmt fired" => (rc.W.Ttcp.rexmt > 0);
+  "fast rexmt fired" => (rc.W.Ttcp.fast_rexmt > 0);
+  "checksums caught corruption" => (rc.W.Ttcp.drop_checksum > 0)
+
+let test_clean_wire_reports_no_faults () =
+  let r = W.Ttcp.run ~mb:1 ~fault:Psd_link.Fault.none Cfg.library_shm in
+  let baseline = W.Ttcp.run ~mb:1 Cfg.library_shm in
+  Alcotest.(check int) "no injections" 0 r.W.Ttcp.recovery.W.Ttcp.injected;
+  (* a null policy must not even perturb the run *)
+  Alcotest.(check int) "same duration as no policy at all"
+    baseline.W.Ttcp.elapsed_ns r.W.Ttcp.elapsed_ns
+
 let () =
   Alcotest.run "psd_workloads"
     [
@@ -97,5 +139,14 @@ let () =
           Alcotest.test_case "latency monotone" `Quick
             test_protolat_monotone_in_size;
           Alcotest.test_case "table structs" `Quick test_tables_structs;
+        ] );
+      ( "soak",
+        [
+          Alcotest.test_case "chaos 2MB" `Quick test_loss_soak_short;
+          Alcotest.test_case "deterministic replay" `Quick
+            test_loss_soak_deterministic;
+          Alcotest.test_case "chaos 16MB" `Slow test_loss_soak_16mb;
+          Alcotest.test_case "clean wire" `Quick
+            test_clean_wire_reports_no_faults;
         ] );
     ]
