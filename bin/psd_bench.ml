@@ -259,6 +259,34 @@ let trace_cmd =
        ~doc:"Print a tcpdump-style decode of a small echo scenario on the              simulated wire.")
     Term.(const run $ config_arg)
 
+let copies_cmd =
+  let count_arg =
+    Arg.(
+      value & opt int 200
+      & info [ "count" ] ~docv:"N" ~doc:"Datagrams per placement.")
+  in
+  let size_arg =
+    Arg.(
+      value & opt int 1024
+      & info [ "size" ] ~docv:"BYTES" ~doc:"Datagram payload size.")
+  in
+  let run count size =
+    Format.printf
+      "@.=== Copies per packet (one-way UDP blast, %d x %dB) ===@.@." count
+      size;
+    List.iter
+      (fun config ->
+        let r = W.Copymeter.run ~count ~size config in
+        Format.printf "%a@." W.Copymeter.pp r)
+      Cfg.decstation_rows
+  in
+  Cmd.v
+    (Cmd.info "copies"
+       ~doc:"Count the data-touching copies each placement performs per \
+             packet (the measurement behind the single-copy claim for \
+             the SHM-IPF delivery path).")
+    Term.(const run $ count_arg $ size_arg)
+
 let all_cmd =
   let run mb rounds =
     W.Tables.figure1 ();
@@ -300,6 +328,7 @@ let main =
       ablation_cmd;
       series_cmd;
       trace_cmd;
+      copies_cmd;
       all_cmd;
     ]
 

@@ -37,6 +37,7 @@ let encapsulate t ~dst_mac packet =
   Psd_link.Frame.set_header buf ~off ~dst:dst_mac
     ~src:(Psd_mach.Netdev.mac t.netdev)
     ~ethertype:Psd_link.Frame.ethertype_ip;
+  Psd_util.Copies.count Psd_util.Copies.Tx_frame (Mbuf.length packet);
   Psd_mach.Netdev.transmit t.netdev ~ctx:t.ctx ~from_user:(from_user t.ctx)
     (Mbuf.to_bytes packet)
 
@@ -148,15 +149,21 @@ let create ~ctx ~netdev ~addr ~routes ~arp ~arp_cache ~input ?rcv_buf
             Psd_arp.Cache.insert arp_cache next_hop mac;
             encapsulate t ~dst_mac:mac packet
           | None -> ())));
-  (* input fiber *)
+  (* input fiber: dequeue the whole packet train accumulated since the
+     last wakeup, then process it — one block/wakeup per train instead of
+     per packet. Popping a non-empty queue never blocks or charges, so
+     the charge/event sequence is identical to the per-packet loop. *)
   Psd_sim.Engine.spawn ctx.Ctx.eng ~name:"stack-input" (fun () ->
       let rec loop () =
-        let frame =
+        let frames =
           match input with
-          | Netisr_queue -> Psd_sim.Mailbox.recv netisr_q
-          | Chan chan -> Psd_mach.Pktchan.recv chan
+          | Netisr_queue -> (
+            match Psd_sim.Mailbox.drain netisr_q with
+            | [] -> [ Psd_sim.Mailbox.recv netisr_q ]
+            | fs -> fs)
+          | Chan chan -> Psd_mach.Pktchan.recv_batch chan
         in
-        process_frame t frame;
+        List.iter (process_frame t) frames;
         loop ()
       in
       loop ());

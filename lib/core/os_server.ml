@@ -246,6 +246,8 @@ let bind_server_udp t sess b port =
     let ctx = sctx t in
     if Psd_socket.Dgramq.has_waiters b.b_dq then
       Ctx.charge ctx Phase.Wakeup ctx.Ctx.wakeup_ns;
+    Psd_util.Copies.count Psd_util.Copies.Rx_copyout
+      (Psd_mbuf.Mbuf.length dg.Psd_udp.Udp.payload);
     ignore
       (Psd_socket.Dgramq.push b.b_dq
          ~src:(Psd_ip.Addr.to_int dg.Psd_udp.Udp.src, dg.Psd_udp.Udp.src_port)
@@ -582,8 +584,12 @@ let handle_send t ~sid ~data ~dst =
                 S.Rs_err "connection closed"
               else begin
                 let n = min space (len - off) in
+                (* the server's socket layer performs the RPC's fourth
+                   copy: message data into mbufs *)
+                Psd_util.Copies.count Psd_util.Copies.Tx_copyin n;
                 Psd_tcp.Tcp.send pcb
-                  (Psd_mbuf.Mbuf.of_string (String.sub data off n));
+                  (Psd_mbuf.Mbuf.of_bytes (Bytes.unsafe_of_string data)
+                     ~off ~len:n);
                 push (off + n)
               end
             end
@@ -601,6 +607,8 @@ let handle_send t ~sid ~data ~dst =
           Ctx.charge ctx Phase.Entry_copyin
             (plat.Platform.socket_layer + plat.Platform.mbuf_alloc
            + ctx.Ctx.sync_ns);
+          Psd_util.Copies.count Psd_util.Copies.Tx_copyin
+            (String.length data);
           match
             Psd_udp.Udp.send pcb
               ?dst:(Option.map (fun (ip, p) -> (ip, p)) dst)
@@ -629,6 +637,7 @@ let handle_recv t ~sid ~max =
           (match b.b_tcp with
           | Some pcb -> Psd_tcp.Tcp.user_consumed pcb len
           | None -> ());
+          Psd_util.Copies.count Psd_util.Copies.Rx_copyout len;
           S.Rs_recv (Ok (Psd_mbuf.Mbuf.to_string m, None))
         | Error `Eof -> S.Rs_recv (Error `Eof)
         | Error (`Error e) -> S.Rs_recv (Error (`Err e)))

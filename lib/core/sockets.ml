@@ -254,6 +254,8 @@ let udp_receive s (stack : Netstack.t) (dg : Psd_udp.Udp.datagram) =
   let ctx = Netstack.ctx stack in
   if Psd_socket.Dgramq.has_waiters s.dq then
     Ctx.charge ctx Phase.Wakeup ctx.Ctx.wakeup_ns;
+  Psd_util.Copies.count Psd_util.Copies.Rx_copyout
+    (Psd_mbuf.Mbuf.length dg.Psd_udp.Udp.payload);
   ignore
     (Psd_socket.Dgramq.push s.dq
        ~src:(Psd_ip.Addr.to_int dg.Psd_udp.Udp.src, dg.Psd_udp.Udp.src_port)
@@ -508,7 +510,9 @@ let send s ?dst data =
       else if space <= 0 then Error ewouldblock
       else begin
         let n = min space len in
-        Psd_tcp.Tcp.send pcb (Psd_mbuf.Mbuf.of_string (String.sub data 0 n));
+        Psd_util.Copies.count Psd_util.Copies.Tx_copyin n;
+        Psd_tcp.Tcp.send pcb
+          (Psd_mbuf.Mbuf.of_bytes (Bytes.unsafe_of_string data) ~off:0 ~len:n);
         Ok n
       end
     | Ltcp (pcb, stack) ->
@@ -528,8 +532,12 @@ let send s ?dst data =
             Error (Option.value s.conn_err ~default:"error")
           else begin
             let n = min space (len - off) in
+            (* single user→mbuf copy: of_bytes reads the range in place
+               instead of materialising a String.sub first *)
+            Psd_util.Copies.count Psd_util.Copies.Tx_copyin n;
             Psd_tcp.Tcp.send pcb
-              (Psd_mbuf.Mbuf.of_string (String.sub data off n));
+              (Psd_mbuf.Mbuf.of_bytes (Bytes.unsafe_of_string data) ~off
+                 ~len:n);
             push (off + n)
           end
         end
@@ -548,6 +556,7 @@ let send s ?dst data =
       match pending with
       | Some e -> Error e
       | None ->
+      Psd_util.Copies.count Psd_util.Copies.Tx_copyin len;
       match
         Psd_udp.Udp.send pcb
           ?dst:(Option.map (fun (ip, p) -> (ip, p)) dst)
@@ -561,6 +570,7 @@ let send s ?dst data =
       (* a data-bearing RPC copies the payload four times in total
          (paper Section 4.3): charge three message-copy passes here, the
          server's socket layer performs the fourth *)
+      Psd_util.Copies.count Psd_util.Copies.Tx_rpc ~n:3 (3 * len);
       match
         rpc s ~phase:Phase.Entry_copyin ~req_bytes:((3 * len) + 32)
           (S.R_send { sid = s.sid; data; dst })
@@ -590,6 +600,7 @@ let recvfrom s ~max =
         charge_exit s.a stack ~len ~copies:true;
         Psd_tcp.Tcp.user_consumed pcb len;
         notify_status s;
+        Psd_util.Copies.count Psd_util.Copies.Rx_copyout len;
         Ok (Psd_mbuf.Mbuf.to_string m, None)
       | Error `Eof -> Ok ("", None)
       | Error (`Error e) -> Error e)
@@ -611,7 +622,10 @@ let recvfrom s ~max =
         rpc s ~phase:Phase.Copyout_exit ~resp_size
           (S.R_recv { sid = s.sid; max })
       with
-      | S.Rs_recv (Ok (data, src)) -> Ok (data, src)
+      | S.Rs_recv (Ok (data, src)) ->
+        Psd_util.Copies.count Psd_util.Copies.Rx_rpc ~n:3
+          (3 * String.length data);
+        Ok (data, src)
       | S.Rs_recv (Error `Eof) -> Ok ("", None)
       | S.Rs_recv (Error (`Err e)) -> Error e
       | S.Rs_err e -> Error e

@@ -161,8 +161,12 @@ let input t b ~off ~len =
     then t.stats.ip_dropped_addr <- t.stats.ip_dropped_addr + 1
     else begin
       let payload_len = hdr.total_len - Header.size in
+      (* zero-copy: wrap the payload bytes in place. The frame buffer is
+         this receiver's private copy and is never written after
+         delivery, so the view stays valid for as long as TCP
+         reassembly or the socket buffer holds it. *)
       let payload =
-        Mbuf.of_bytes b ~off:(off + Header.size) ~len:payload_len
+        Mbuf.of_bytes_view b ~off:(off + Header.size) ~len:payload_len
       in
       let was_fragment = hdr.more_frags || hdr.frag_off > 0 in
       match Reass.input t.reass hdr payload with

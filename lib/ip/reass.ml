@@ -40,16 +40,19 @@ let complete frags total =
 
 let assemble frags total =
   let flat = Bytes.create total in
-  (* Oldest fragments first so that later arrivals win overlaps. *)
+  (* Reassembly is the one receive-side operation that inherently
+     flattens: fragments land at their offsets in a fresh buffer
+     (oldest first so that later arrivals win overlaps), one copy per
+     fragment byte — counted as such. The result wraps the fresh buffer
+     without a further copy. *)
+  Psd_util.Copies.count Psd_util.Copies.Rx_flatten total;
   List.iter
     (fun (off, m) ->
       let len = min (Mbuf.length m) (total - off) in
-      if len > 0 then begin
-        let part = Mbuf.copy_range m ~off:0 ~len in
-        Mbuf.blit_to_bytes part flat off
-      end)
+      if len > 0 then
+        Mbuf.blit_to_bytes (Mbuf.sub_view m ~off:0 ~len) flat off)
     (List.rev frags);
-  Mbuf.of_bytes flat ~off:0 ~len:total
+  Mbuf.of_bytes_view flat ~off:0 ~len:total
 
 let input t (h : Header.t) payload =
   if (not h.more_frags) && h.frag_off = 0 then Some (h, payload)

@@ -99,6 +99,14 @@ let transmit nic frame =
               || Macaddr.equal dst receiver.nic_mac
             in
             if wanted then begin
+              (* each receiver gets a private copy of the frame: it is
+                 the simulated medium handing the NIC its own bits, and
+                 it is what makes downstream zero-copy views safe — the
+                 buffer has exactly one owner and is never written after
+                 delivery (fault corruption happens below, before the
+                 receiver sees it) *)
+              Psd_util.Copies.count Psd_util.Copies.Wire
+                (Bytes.length frame);
               let copy = Bytes.copy frame in
               (* a NIC-specific fault process overrides the segment's *)
               match

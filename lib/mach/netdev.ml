@@ -48,6 +48,10 @@ let create host segment ~mac =
           let intr_cost =
             match t.mode with
             | Rx_full_copy ->
+              (* the driver copies the whole frame out of device memory;
+                 deferred mode only peeks at headers and leaves the body
+                 for the input-packet-filter path to move once *)
+              Psd_util.Copies.count Psd_util.Copies.Rx_device len;
               plat.Platform.intr + plat.Platform.drv_rx_fixed
               + (len * plat.Platform.device_read_per_byte)
             | Rx_deferred -> plat.Platform.intr + plat.Platform.drv_rx_peek

@@ -45,6 +45,8 @@ let deliver t pkt =
     Ctx.charge_at (kctx t) Psd_sim.Cpu.Kernel Phase.Kernel_copyout
       (t.deliver_fixed + plat.Platform.ipc_msg + plat.Platform.wakeup_kernel
       + (len * (t.deliver_per_byte + plat.Platform.ipc_per_byte)));
+    (* two physical passes, mirroring deliver_per_byte + ipc_per_byte *)
+    Psd_util.Copies.count Psd_util.Copies.Rx_ipc ~n:2 (2 * len);
     Queue.push pkt t.q;
     t.delivered <- t.delivered + 1;
     t.wakeups <- t.wakeups + 1;
@@ -54,6 +56,7 @@ let deliver t pkt =
       (t.deliver_fixed + (len * t.deliver_per_byte));
     let ring = Option.get t.ring in
     if Psd_util.Ring.push ring pkt then begin
+      Psd_util.Copies.count Psd_util.Copies.Rx_ring len;
       t.delivered <- t.delivered + 1;
       (* lightweight condition: wake only a blocked receiver *)
       if t.waiting > 0 then begin
@@ -80,6 +83,27 @@ let rec recv t =
     recv t
 
 let try_recv t = pop t
+
+(* Drain everything already queued, oldest first, without blocking —
+   the paper's SHM batching observable: a receiver woken once consumes
+   the whole packet train that accumulated while it ran. *)
+let drain t =
+  let rec go acc =
+    match pop t with Some pkt -> go (pkt :: acc) | None -> List.rev acc
+  in
+  go []
+
+(* Blocking batch receive. Identical event sequence to per-packet
+   [recv]: popping a non-empty queue never blocks or charges, and the
+   waiting++/wait/waiting-- discipline on empty is [recv]'s own — so
+   wakeup accounting (and therefore virtual time) is unchanged, only the
+   number of OCaml-level loop iterations per wakeup drops. *)
+let recv_batch t =
+  match drain t with
+  | [] ->
+    let pkt = recv t in
+    pkt :: drain t
+  | pkts -> pkts
 
 let queued t =
   match t.kind with

@@ -32,6 +32,16 @@ val recv : t -> Bytes.t
 
 val try_recv : t -> Bytes.t option
 
+val drain : t -> Bytes.t list
+(** Every packet already queued, oldest first, without blocking (empty
+    list when none). *)
+
+val recv_batch : t -> Bytes.t list
+(** Blocking batch receive: the whole queued packet train in one call
+    (blocking like {!recv} only when the channel is empty). Event-order
+    identical to calling {!recv} per packet; one wakeup now amortises
+    over the train — the paper's SHM batching observable. *)
+
 val queued : t -> int
 
 val dropped : t -> int

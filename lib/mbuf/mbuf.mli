@@ -29,7 +29,14 @@ val of_string : ?headroom:int -> string -> t
 (** Copy a payload into a new chain, chunked into clusters. *)
 
 val of_bytes : ?headroom:int -> Bytes.t -> off:int -> len:int -> t
-(** Copy [len] bytes of [b] at [off] into a new chain. *)
+(** Copy [len] bytes of [b] at [off] into a new chain. Payloads that fit
+    in a small mbuf (headroom + len ≤ [mlen]) get one, larger ones are
+    chunked into clusters. *)
+
+val of_bytes_view : Bytes.t -> off:int -> len:int -> t
+(** Wrap a byte range as a chain {e without copying}. The chain aliases
+    [b]: the caller must not mutate the range afterwards. The segment is
+    marked shared, so {!prepend} never reuses headroom inside [b]. *)
 
 val length : t -> int
 (** Total payload bytes in the chain. *)
@@ -64,7 +71,19 @@ val copy_range : t -> off:int -> len:int -> t
 
 val split : t -> int -> t
 (** [split t n] removes the first [n] bytes of [t] and returns them as a
-    new chain; [t] keeps the remainder. *)
+    new chain; [t] keeps the remainder. Zero-copy (BSD [m_split]): the
+    two chains share buffers, which both sides track so header prepends
+    never write into shared storage. *)
+
+val sub_view : t -> off:int -> len:int -> t
+(** Non-destructive zero-copy window onto a byte range: fresh segment
+    records over the same buffers. Read-only by the same aliasing rule
+    as {!of_bytes_view}. *)
+
+val contiguous : t -> (Bytes.t * int * int) option
+(** [Some (buf, off, len)] when the chain's payload is a single
+    contiguous byte range (at most one non-empty segment) — the
+    zero-copy header-decode fast path. [None] otherwise. *)
 
 val to_bytes : t -> Bytes.t
 (** Flatten to a contiguous buffer (handing a frame to the wire). *)
@@ -77,6 +96,15 @@ val to_string : t -> string
 val fold_ranges : t -> init:'a -> f:('a -> Bytes.t -> off:int -> len:int -> 'a) -> 'a
 (** Fold over the segments' byte ranges (checksum, copies) without
     flattening. *)
+
+val iter_ranges : t -> f:(Bytes.t -> off:int -> len:int -> unit) -> unit
+(** Read-only iteration over the non-empty segment ranges. *)
+
+val checksum_add : t -> Psd_util.Checksum.acc -> Psd_util.Checksum.acc
+(** Fold the whole chain into an Internet-checksum accumulator, running
+    the word-at-a-time kernel directly over the segments (odd-length
+    segment boundaries handled by the RFC 1071 byte-swap identity).
+    Equals [Checksum.add_bytes] over the flattened chain. *)
 
 val get_u8 : t -> int -> int
 (** Random access by payload offset (slow; for tests and header peeks). *)

@@ -5,11 +5,21 @@ type t = {
   mutable alive : int;
   mutable failures : exn list; (* newest first; reversed when read *)
   mutable trace_sink : (time:int -> string -> unit) option;
+  mutable horizon : int; (* run_until bound; sleeps may not advance past it *)
 }
 
 type cancel = unit -> unit
 
 type _ Effect.t += Suspend : ((unit -> unit) -> unit) -> unit Effect.t
+
+(* Sleep is the hot path (every cost charge passes through it), so it
+   gets its own effect: the handler skips [Suspend]'s resume-closure and
+   double-resume guard. It keeps the same two-step schedule (timer
+   fires, then the fiber re-enters the queue at delay 0) because the
+   re-queue assigns the continuation its sequence number at fire time —
+   same-instant FIFO order is part of the determinism contract, and
+   collapsing the two steps observably reorders lossy runs. *)
+type _ Effect.t += Sleep : int -> unit Effect.t
 
 let create ?(seed = 42) () =
   {
@@ -19,6 +29,7 @@ let create ?(seed = 42) () =
     alive = 0;
     failures = [];
     trace_sink = None;
+    horizon = max_int;
   }
 
 let now t = t.now
@@ -40,7 +51,20 @@ let suspend t register =
 
 let sleep t dt =
   if dt < 0 then invalid_arg "Engine.sleep: negative delay";
-  suspend t (fun resume -> schedule t dt (fun () -> resume ()))
+  let target = t.now + dt in
+  (* Bypass: if no queued event fires at or before [target] (and the
+     run horizon doesn't cut the sleep short), the two-step schedule
+     would pop the timer, re-queue the continuation, and pop it again
+     with nothing able to interleave — the fiber wakes with the heap in
+     exactly the state it left it, and no other push can happen in
+     between, so relative sequence order of every real event is
+     unchanged.  Advancing the clock inline is observationally
+     identical and skips two heap operations and two effect
+     stack-switches.  ~70% of steady-state events are these
+     uncontended cost-charge sleeps. *)
+  if target <= t.horizon && Psd_util.Heap.min_key t.events > target then
+    t.now <- target
+  else Effect.perform (Sleep dt)
 
 let spawn t ?name f =
   let body () =
@@ -73,6 +97,11 @@ let spawn t ?name f =
                         invalid_arg "Engine: fiber resumed twice";
                       resumed := true;
                       schedule t 0 (fun () -> continue k ())))
+            | Sleep dt ->
+              Some
+                (fun (k : (a, unit) continuation) ->
+                  schedule t dt (fun () ->
+                      schedule t 0 (fun () -> continue k ())))
             | _ -> None);
       }
   in
@@ -80,12 +109,13 @@ let spawn t ?name f =
   schedule t 0 body
 
 let step t =
-  match Psd_util.Heap.pop t.events with
-  | None -> false
-  | Some (time, f) ->
-    t.now <- time;
+  if Psd_util.Heap.is_empty t.events then false
+  else begin
+    t.now <- Psd_util.Heap.min_key t.events;
+    let f = Psd_util.Heap.pop_min t.events in
     f ();
     true
+  end
 
 let check_failures t =
   match List.rev t.failures with
@@ -102,12 +132,15 @@ let run t =
   check_failures t
 
 let run_until t stop =
-  let continue = ref true in
-  while !continue do
-    match Psd_util.Heap.peek_key t.events with
-    | Some key when key <= stop -> ignore (step t)
-    | _ -> continue := false
+  let saved = t.horizon in
+  t.horizon <- stop;
+  while
+    (not (Psd_util.Heap.is_empty t.events))
+    && Psd_util.Heap.min_key t.events <= stop
+  do
+    ignore (step t)
   done;
+  t.horizon <- saved;
   if t.now < stop then t.now <- stop;
   check_failures t
 
@@ -123,3 +156,5 @@ let trace t msg =
   match t.trace_sink with
   | Some sink -> sink ~time:t.now msg
   | None -> ()
+
+let events_scheduled t = Psd_util.Heap.pushes t.events

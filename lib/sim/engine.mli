@@ -72,3 +72,7 @@ val set_trace : t -> (time:int -> string -> unit) option -> unit
 (** Install a trace sink for {!trace} messages (diagnostics). *)
 
 val trace : t -> string -> unit
+
+val events_scheduled : t -> int
+(** Total events pushed onto the queue since creation — the simulator's
+    work metric (diagnostics and wall-clock tuning). *)

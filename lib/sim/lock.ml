@@ -14,9 +14,8 @@ let acquire t =
 
 let release t =
   if not t.held then invalid_arg "Lock.release: not held";
-  match Queue.take_opt t.waiters with
-  | Some resume -> resume ()
-  | None -> t.held <- false
+  if Queue.is_empty t.waiters then t.held <- false
+  else (Queue.pop t.waiters) ()
 
 let with_lock t f =
   acquire t;

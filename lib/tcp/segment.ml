@@ -64,16 +64,16 @@ let encode t ~src ~dst ~payload =
     Codec.set_u8 buf (off + 20) 2;
     Codec.set_u8 buf (off + 21) 4;
     Codec.set_u16 buf (off + 22) mss);
-  (* Checksum over pseudo-header + header + data. The chain now starts
-     with the header; flatten for 16-bit alignment safety. *)
+  (* Checksum over pseudo-header + header + data, run directly over the
+     chain's segments — odd-length segment boundaries are handled by the
+     RFC 1071 byte-swap identity, so no flatten is needed. *)
   let whole = payload in
-  let flat = Mbuf.to_bytes whole in
-  let total = Bytes.length flat in
+  let total = Mbuf.length whole in
   let acc =
     Psd_ip.Header.pseudo_checksum ~src ~dst ~proto:Psd_ip.Header.proto_tcp
       ~len:total
   in
-  let acc = Checksum.add_bytes acc flat ~off:0 ~len:total in
+  let acc = Mbuf.checksum_add whole acc in
   Codec.set_u16 buf (off + 16) (Checksum.finish acc);
   whole
 
@@ -104,11 +104,11 @@ let pp_decode_error fmt e =
     | Bad_offset -> "tcp: bad data offset"
     | Bad_checksum -> "tcp: bad checksum")
 
-let decode b ~src ~dst =
-  let len = Bytes.length b in
+let decode ?(off = 0) ?len b ~src ~dst =
+  let len = match len with Some l -> l | None -> Bytes.length b - off in
   if len < base_size then Error Truncated
   else begin
-    let hlen = Codec.get_u8 b 12 lsr 4 * 4 in
+    let hlen = Codec.get_u8 b (off + 12) lsr 4 * 4 in
     if hlen < base_size || hlen > len then Error Bad_offset
     else begin
       let total = len in
@@ -116,22 +116,23 @@ let decode b ~src ~dst =
         Psd_ip.Header.pseudo_checksum ~src ~dst ~proto:Psd_ip.Header.proto_tcp
           ~len:total
       in
-      let acc = Checksum.add_bytes acc b ~off:0 ~len:total in
+      let acc = Checksum.add_bytes acc b ~off ~len:total in
       if Checksum.finish acc <> 0 then Error Bad_checksum
       else begin
-        let flags = flags_of_byte (Codec.get_u8 b 13) in
+        let flags = flags_of_byte (Codec.get_u8 b (off + 13)) in
         let header =
           {
-            src_port = Codec.get_u16 b 0;
-            dst_port = Codec.get_u16 b 2;
-            seq = Codec.get_u32i b 4;
-            ack = Codec.get_u32i b 8;
+            src_port = Codec.get_u16 b off;
+            dst_port = Codec.get_u16 b (off + 2);
+            seq = Codec.get_u32i b (off + 4);
+            ack = Codec.get_u32i b (off + 8);
             flags;
-            window = Codec.get_u16 b 14;
-            mss = (if flags.syn then parse_mss b 0 hlen else None);
+            window = Codec.get_u16 b (off + 14);
+            mss = (if flags.syn then parse_mss b off hlen else None);
           }
         in
-        let payload = Mbuf.of_bytes b ~off:hlen ~len:(len - hlen) in
+        (* zero-copy payload: a view into the decode buffer *)
+        let payload = Mbuf.of_bytes_view b ~off:(off + hlen) ~len:(len - hlen) in
         Ok (header, payload)
       end
     end

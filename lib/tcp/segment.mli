@@ -44,13 +44,17 @@ type decode_error =
 val pp_decode_error : Format.formatter -> decode_error -> unit
 
 val decode :
+  ?off:int ->
+  ?len:int ->
   Bytes.t ->
   src:Psd_ip.Addr.t ->
   dst:Psd_ip.Addr.t ->
   (t * Psd_mbuf.Mbuf.t, decode_error) result
-(** Parse a transport payload (header at offset 0) and verify its
-    checksum; returns the header and the data. The error distinguishes
-    malformed segments ([Truncated], [Bad_offset]) from checksum
-    mismatches so the caller can account them separately. *)
+(** Parse a transport payload ([len] bytes at [off]; defaults cover the
+    whole buffer) and verify its checksum; returns the header and the
+    data as a zero-copy view into [b]. The caller must not mutate the
+    buffer afterwards. The error distinguishes malformed segments
+    ([Truncated], [Bad_offset]) from checksum mismatches so the caller
+    can account them separately. *)
 
 val pp : Format.formatter -> t -> unit

@@ -156,6 +156,10 @@ and t = {
   keep_max_probes : int;
   default_rcv_buf : int;
   conns : (conn_key, pcb) Hashtbl.t;
+  (* one-entry demux memo: steady-state traffic is dominated by one
+     connection, so remember the last pcb matched on input and skip the
+     tuple-key hash. Invalidated on any [conns] removal. *)
+  mutable memo : pcb option;
   listeners : (int, listener) Hashtbl.t;
   muted : (conn_key, int) Hashtbl.t; (* key -> expiry; migration quench *)
   st : stats;
@@ -294,6 +298,7 @@ let drop_pcb t pcb err =
   pcb.delack_timer <- cancel_timer pcb.delack_timer;
   pcb.msl_timer <- cancel_timer pcb.msl_timer;
   pcb.keep_timer <- cancel_timer pcb.keep_timer;
+  t.memo <- None;
   Hashtbl.remove t.conns pcb.key;
   set_state pcb Closed;
   match err with Some e -> pcb.handlers.on_error e | None -> ()
@@ -470,7 +475,12 @@ and output t pcb ~force =
         in
         if should_send_data || (fin_to_send && usable >= 0) then begin
           let payload =
-            if len > 0 then Mbuf.copy_range pcb.sndq ~off ~len
+            if len > 0 then begin
+              (* data must survive on the send queue until acked, so the
+                 wire gets a copy (BSD m_copym semantics) *)
+              Psd_util.Copies.count Psd_util.Copies.Tx_retain len;
+              Mbuf.copy_range pcb.sndq ~off ~len
+            end
             else Mbuf.empty ()
           in
           let flags =
@@ -686,6 +696,7 @@ let handle_listener t (l : listener) (seg : Segment.t) ~from_ip =
       pcb.snd_wl1 <- seg.Segment.seq;
       pcb.snd_wl2 <- pcb.iss;
       pcb.parent_listener <- Some l;
+      t.memo <- None;
       Hashtbl.replace t.conns key pcb;
       (* SYN-ACK *)
       let flags =
@@ -961,10 +972,21 @@ let handle_synchronized t pcb (seg : Segment.t) payload =
 
 let input t ~(hdr : Psd_ip.Header.t) (m : Mbuf.t) =
   Psd_sim.Lock.with_lock t.lock (fun () ->
-      let flat = Mbuf.to_bytes m in
-      charge_segment_in t (Bytes.length flat);
+      let seg_len = Mbuf.length m in
+      charge_segment_in t seg_len;
+      (* fast path: a delivered packet arrives as one contiguous view,
+         so the header decode and checksum run in place; only a
+         reassembled multi-segment chain still flattens (and is counted
+         doing so) *)
+      let b, off =
+        match Mbuf.contiguous m with
+        | Some (b, off, _) -> (b, off)
+        | None ->
+          Psd_util.Copies.count Psd_util.Copies.Rx_flatten seg_len;
+          (Mbuf.to_bytes m, 0)
+      in
       match
-        Segment.decode flat ~src:hdr.Psd_ip.Header.src
+        Segment.decode ~off ~len:seg_len b ~src:hdr.Psd_ip.Header.src
           ~dst:hdr.Psd_ip.Header.dst
       with
       | Error Segment.Bad_checksum ->
@@ -980,7 +1002,15 @@ let input t ~(hdr : Psd_ip.Header.t) (m : Mbuf.t) =
             rport = seg.Segment.src_port;
           }
         in
-        match Hashtbl.find_opt t.conns key with
+        let hit =
+          match t.memo with
+          | Some p when p.key = key -> t.memo
+          | _ ->
+            let found = Hashtbl.find_opt t.conns key in
+            (match found with Some _ -> t.memo <- found | None -> ());
+            found
+        in
+        match hit with
         | Some pcb -> (
           pcb.last_activity <- Psd_sim.Engine.now (eng t);
           pcb.keep_probes <- 0;
@@ -1036,6 +1066,7 @@ let create ~ctx ~ip ?(mss = 1460) ?(msl_ns = Psd_sim.Time.sec 30)
       keep_interval_ns;
       keep_max_probes;
       conns = Hashtbl.create 32;
+      memo = None;
       listeners = Hashtbl.create 8;
       muted = Hashtbl.create 8;
       st =
@@ -1077,6 +1108,7 @@ let connect t ?(handlers = null_handlers) ?(claim_data = true)
       pcb.snd_nxt <- Seq.add pcb.iss 1;
       pcb.snd_max <- pcb.snd_nxt;
       pcb.data_base <- Seq.add pcb.iss 1;
+      t.memo <- None;
       Hashtbl.replace t.conns key pcb;
       let flags = { Segment.no_flags with Segment.syn = true } in
       emit t ~src_port ~dst ~dst_port ~seq:pcb.iss ~ack:0 ~flags
@@ -1288,6 +1320,7 @@ let export pcb =
       pcb.delack_timer <- cancel_timer pcb.delack_timer;
       pcb.msl_timer <- cancel_timer pcb.msl_timer;
       pcb.keep_timer <- cancel_timer pcb.keep_timer;
+      t.memo <- None;
       Hashtbl.remove t.conns pcb.key;
       snap)
 
@@ -1325,6 +1358,7 @@ let import t ~handlers snap =
       pcb.fin_rcvd_seq <- snap.s_fin_rcvd_seq;
       pcb.delack_pending <- snap.s_delack_pending;
       Mbuf.concat pcb.sndq (Mbuf.of_string snap.s_sndq);
+      t.memo <- None;
       Hashtbl.replace t.conns pcb.key pcb;
       (* Re-deliver data that was buffered but not yet consumed. *)
       if String.length snap.s_undelivered > 0 then

@@ -76,17 +76,26 @@ let find_pcb t ~port ~src ~src_port =
     | None -> List.find_opt (fun p -> p.peer = None) pcbs)
 
 let input t ~(hdr : Psd_ip.Header.t) (m : Mbuf.t) =
-  let flat = Mbuf.to_bytes m in
-  let len = Bytes.length flat in
+  let len = Mbuf.length m in
   charge_in t (max 0 (len - header_size));
+  (* fast path: delivered datagrams arrive as one contiguous view, so
+     the header, checksum and payload are read in place; only a
+     reassembled multi-segment chain still flattens *)
+  let flat, base =
+    match Mbuf.contiguous m with
+    | Some (b, off, _) -> (b, off)
+    | None ->
+      Psd_util.Copies.count Psd_util.Copies.Rx_flatten len;
+      (Mbuf.to_bytes m, 0)
+  in
   if len < header_size then
     (* too short to even carry a header: malformed, not a checksum miss *)
     t.st.udp_drop_malformed <- t.st.udp_drop_malformed + 1
   else begin
-    let src_port = Codec.get_u16 flat 0 in
-    let dst_port = Codec.get_u16 flat 2 in
-    let udp_len = Codec.get_u16 flat 4 in
-    let cksum = Codec.get_u16 flat 6 in
+    let src_port = Codec.get_u16 flat base in
+    let dst_port = Codec.get_u16 flat (base + 2) in
+    let udp_len = Codec.get_u16 flat (base + 4) in
+    let cksum = Codec.get_u16 flat (base + 6) in
     (* A length field shorter than the header or longer than the IP
        payload can never checksum correctly by accident of data — it is
        a framing error, counted apart from checksum mismatches so
@@ -102,7 +111,7 @@ let input t ~(hdr : Psd_ip.Header.t) (m : Mbuf.t) =
             ~dst:hdr.Psd_ip.Header.dst ~proto:Psd_ip.Header.proto_udp
             ~len:udp_len
         in
-        let acc = Checksum.add_bytes acc flat ~off:0 ~len:udp_len in
+        let acc = Checksum.add_bytes acc flat ~off:base ~len:udp_len in
         Checksum.finish acc = 0
       end
     in
@@ -122,14 +131,16 @@ let input t ~(hdr : Psd_ip.Header.t) (m : Mbuf.t) =
           let original = Bytes.create (Psd_ip.Header.size + keep) in
           Psd_ip.Header.encode_into original ~off:0
             { hdr with Psd_ip.Header.total_len = Psd_ip.Header.size + len };
-          Bytes.blit flat 0 original Psd_ip.Header.size keep;
+          Bytes.blit flat base original Psd_ip.Header.size keep;
           hook ~src:hdr.Psd_ip.Header.src
             ~original:(Bytes.sub original 0 (Psd_ip.Header.size + keep))
         | None -> ())
       | Some pcb ->
         t.st.udp_in <- t.st.udp_in + 1;
+        (* zero-copy: the payload is a view into the delivered frame *)
         let payload =
-          Mbuf.of_bytes flat ~off:header_size ~len:(udp_len - header_size)
+          Mbuf.of_bytes_view flat ~off:(base + header_size)
+            ~len:(udp_len - header_size)
         in
         pcb.receive
           {
@@ -218,13 +229,13 @@ let send pcb ?dst m =
       Codec.set_u16 buf (off + 2) dst_port;
       Codec.set_u16 buf (off + 4) udp_len;
       Codec.set_u16 buf (off + 6) 0;
-      (* real checksum over pseudo-header + datagram *)
-      let flat = Mbuf.to_bytes m in
+      (* real checksum over pseudo-header + datagram, straight over the
+         chain's segments — no flatten *)
       let acc =
         Psd_ip.Header.pseudo_checksum ~src:(Psd_ip.Ip.addr t.ip) ~dst:dst_ip
           ~proto:Psd_ip.Header.proto_udp ~len:udp_len
       in
-      let acc = Checksum.add_bytes acc flat ~off:0 ~len:udp_len in
+      let acc = Mbuf.checksum_add m acc in
       let cksum =
         match Checksum.finish acc with 0 -> 0xffff | c -> c
       in

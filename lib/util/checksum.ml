@@ -50,6 +50,14 @@ let add_bytes acc b ~off ~len =
   if !i < stop then acc := !acc + (Bytes.get_uint8 b !i lsl 8);
   !acc
 
+(* Folding a range that begins at an odd offset of the logical word
+   stream: sum it as if even-aligned, then swap — by the same RFC 1071
+   §2.B byte-order commutation the word-at-a-time loop relies on. This
+   is what lets a checksum run over an mbuf chain whose segment
+   boundaries fall on odd bytes without copying to realign. *)
+let add_bytes_odd acc b ~off ~len =
+  acc + swap16 (fold16 (add_bytes 0 b ~off ~len))
+
 let finish acc = lnot (fold16 acc) land 0xffff
 
 let of_bytes b ~off ~len = finish (add_bytes empty b ~off ~len)

@@ -19,6 +19,12 @@ val add_bytes : acc -> Bytes.t -> off:int -> len:int -> acc
 val add_u16 : acc -> int -> acc
 (** Fold one 16-bit big-endian word into the accumulator. *)
 
+val add_bytes_odd : acc -> Bytes.t -> off:int -> len:int -> acc
+(** Like {!add_bytes}, but for a range that starts at an {e odd} byte
+    offset of the logical word stream being checksummed (RFC 1071 §2.B
+    byte-swap identity). Lets segmented buffers be summed in place even
+    when segment boundaries are odd-aligned. *)
+
 val finish : acc -> int
 (** Final one's-complement fold; the 16-bit checksum value. *)
 

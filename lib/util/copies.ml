@@ -1,0 +1,83 @@
+(* Wall-clock copy accounting: every remaining [Bytes.blit]-class data
+   copy on the packet datapath is charged to one of these sites, so the
+   placements' copy discipline (paper Section 4: SHM-IPF copies the body
+   exactly once) is measurable rather than asserted. The counters are
+   global and observational only — nothing on the virtual-time side reads
+   them — so they can never perturb simulated results. *)
+
+type site =
+  | Tx_copyin (* user data copied into mbufs at the socket layer *)
+  | Tx_retain (* send-queue range copied for (re)transmission *)
+  | Tx_frame (* mbuf chain flattened into the outgoing frame *)
+  | Tx_rpc (* send payload copied through RPC messages to the server *)
+  | Wire (* per-receiver frame copy made by the shared segment *)
+  | Rx_device (* driver copy out of device memory (full-copy rx mode) *)
+  | Rx_ipc (* per-packet message: copy into and out of the IPC msg *)
+  | Rx_ring (* packet copied into the shared-memory ring *)
+  | Rx_flatten (* non-contiguous chain flattened for header decode *)
+  | Rx_copyout (* received data copied out to the application string *)
+  | Rx_rpc (* received payload copied through RPC messages *)
+
+let site_index = function
+  | Tx_copyin -> 0
+  | Tx_retain -> 1
+  | Tx_frame -> 2
+  | Tx_rpc -> 3
+  | Wire -> 4
+  | Rx_device -> 5
+  | Rx_ipc -> 6
+  | Rx_ring -> 7
+  | Rx_flatten -> 8
+  | Rx_copyout -> 9
+  | Rx_rpc -> 10
+
+let site_name = function
+  | Tx_copyin -> "tx_copyin"
+  | Tx_retain -> "tx_retain"
+  | Tx_frame -> "tx_frame"
+  | Tx_rpc -> "tx_rpc"
+  | Wire -> "wire"
+  | Rx_device -> "rx_device"
+  | Rx_ipc -> "rx_ipc"
+  | Rx_ring -> "rx_ring"
+  | Rx_flatten -> "rx_flatten"
+  | Rx_copyout -> "rx_copyout"
+  | Rx_rpc -> "rx_rpc"
+
+let all_sites =
+  [
+    Tx_copyin; Tx_retain; Tx_frame; Tx_rpc; Wire; Rx_device; Rx_ipc;
+    Rx_ring; Rx_flatten; Rx_copyout; Rx_rpc;
+  ]
+
+let n_sites = List.length all_sites
+
+let copies_a = Array.make n_sites 0
+
+let bytes_a = Array.make n_sites 0
+
+let count site ?(n = 1) bytes =
+  let i = site_index site in
+  copies_a.(i) <- copies_a.(i) + n;
+  bytes_a.(i) <- bytes_a.(i) + bytes
+
+let copies site = copies_a.(site_index site)
+
+let bytes site = bytes_a.(site_index site)
+
+let reset () =
+  Array.fill copies_a 0 n_sites 0;
+  Array.fill bytes_a 0 n_sites 0
+
+let all () =
+  List.map (fun s -> (site_name s, copies s, bytes s)) all_sites
+
+(* The copies a received packet body undergoes between the shared wire's
+   delivery and the receiving socket buffer — the quantity the paper's
+   placements differ in. [Wire] (the simulated medium itself) and
+   [Rx_copyout] (the API's final copy into the app string, identical
+   everywhere) are excluded. *)
+let rx_datapath_sites = [ Rx_device; Rx_ipc; Rx_ring; Rx_flatten; Rx_rpc ]
+
+let rx_datapath_copies () =
+  List.fold_left (fun acc s -> acc + copies s) 0 rx_datapath_sites

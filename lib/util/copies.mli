@@ -1,0 +1,42 @@
+(** Datapath copy accounting.
+
+    Global, purely observational counters charged at every remaining
+    physical data copy ([Bytes.blit]/[Bytes.copy]/[to_string]) on the
+    packet path. They quantify the copy discipline the paper argues
+    about — SHM-IPF performs exactly one packet-body copy, the
+    server-based placement the most — without touching virtual time. *)
+
+type site =
+  | Tx_copyin  (** user data copied into mbufs at the socket layer *)
+  | Tx_retain  (** send-queue range copied for (re)transmission *)
+  | Tx_frame  (** mbuf chain flattened into the outgoing frame *)
+  | Tx_rpc  (** send payload copied through RPC messages to the server *)
+  | Wire  (** per-receiver frame copy made by the shared segment *)
+  | Rx_device  (** driver copy out of device memory (full-copy rx mode) *)
+  | Rx_ipc  (** per-packet message: copy into and out of the IPC msg *)
+  | Rx_ring  (** packet copied into the shared-memory ring *)
+  | Rx_flatten  (** non-contiguous chain flattened for header decode *)
+  | Rx_copyout  (** received data copied out to the application string *)
+  | Rx_rpc  (** received payload copied through RPC messages *)
+
+val count : site -> ?n:int -> int -> unit
+(** [count site ~n bytes] records [n] copies (default 1) moving [bytes]
+    bytes in total at [site]. *)
+
+val copies : site -> int
+
+val bytes : site -> int
+
+val reset : unit -> unit
+
+val all_sites : site list
+
+val site_name : site -> string
+
+val all : unit -> (string * int * int) list
+(** [(name, copies, bytes)] for every site, in declaration order. *)
+
+val rx_datapath_copies : unit -> int
+(** Total packet-body copies between wire delivery and the receiving
+    socket buffer (excludes the wire copy itself and the final API
+    copyout, which are identical across placements). *)

@@ -1,70 +1,114 @@
-type 'a entry = { key : int; seq : int; value : 'a }
+(* Min-heap keyed by (key, seq): seq is a monotonically increasing
+   push counter, so entries with equal keys pop in FIFO order — the
+   engine's same-instant determinism contract.
+
+   Layout notes, because this sits under every simulated event:
+   - 4-ary: children of [i] are [4i+1 .. 4i+4]. The comparator is a
+     strict total order (unique [seq] breaks every key tie), so any
+     correct heap shape yields the same pop sequence — arity is purely
+     a constant-factor choice; four-way nodes halve sift depth and
+     keep a node's children in adjacent slots.
+   - Parallel unboxed arrays: keys and seqs live in int arrays, so the
+     sift loops compare without dereferencing boxed entry records (and
+     without write barriers when they move); values are only moved,
+     never examined.
+   - Both sifts bubble a hole instead of swapping. *)
 
 type 'a t = {
-  mutable a : 'a entry array;
+  mutable keys : int array;
+  mutable seqs : int array;
+  mutable vals : 'a array;
   mutable n : int;
   mutable next_seq : int;
 }
 
-let create () = { a = [||]; n = 0; next_seq = 0 }
+let create () = { keys = [||]; seqs = [||]; vals = [||]; n = 0; next_seq = 0 }
 
-let less x y = x.key < y.key || (x.key = y.key && x.seq < y.seq)
-
-let grow h =
-  let cap = max 16 (2 * Array.length h.a) in
-  let a = Array.make cap h.a.(0) in
-  Array.blit h.a 0 a 0 h.n;
-  h.a <- a
+let grow h filler =
+  let cap = max 16 (2 * Array.length h.keys) in
+  let keys = Array.make cap 0
+  and seqs = Array.make cap 0
+  and vals = Array.make cap filler in
+  Array.blit h.keys 0 keys 0 h.n;
+  Array.blit h.seqs 0 seqs 0 h.n;
+  Array.blit h.vals 0 vals 0 h.n;
+  h.keys <- keys;
+  h.seqs <- seqs;
+  h.vals <- vals
 
 let push h ~key value =
-  let e = { key; seq = h.next_seq; value } in
-  h.next_seq <- h.next_seq + 1;
-  if h.n = Array.length h.a then
-    if h.n = 0 then h.a <- Array.make 16 e else grow h;
-  (* sift up *)
+  let seq = h.next_seq in
+  h.next_seq <- seq + 1;
+  if h.n = Array.length h.keys then grow h value;
+  let keys = h.keys and seqs = h.seqs and vals = h.vals in
+  (* hole bubble-up; the fresh element holds the largest seq, so a key
+     tie with a parent is never "less" and the key compare suffices *)
   let i = ref h.n in
   h.n <- h.n + 1;
-  h.a.(!i) <- e;
   let continue = ref true in
   while !continue && !i > 0 do
-    let parent = (!i - 1) / 2 in
-    if less h.a.(!i) h.a.(parent) then begin
-      let tmp = h.a.(parent) in
-      h.a.(parent) <- h.a.(!i);
-      h.a.(!i) <- tmp;
+    let parent = (!i - 1) / 4 in
+    if key < keys.(parent) then begin
+      keys.(!i) <- keys.(parent);
+      seqs.(!i) <- seqs.(parent);
+      vals.(!i) <- vals.(parent);
       i := parent
     end
     else continue := false
-  done
+  done;
+  keys.(!i) <- key;
+  seqs.(!i) <- seq;
+  vals.(!i) <- value
+
+let pop_min h =
+  if h.n = 0 then invalid_arg "Heap.pop_min: empty";
+  let keys = h.keys and seqs = h.seqs and vals = h.vals in
+  let top = vals.(0) in
+  let n = h.n - 1 in
+  h.n <- n;
+  if n > 0 then begin
+    (* hole bubble-down: place the displaced last element *)
+    let ek = keys.(n) and es = seqs.(n) and ev = vals.(n) in
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let base = (4 * !i) + 1 in
+      if base >= n then continue := false
+      else begin
+        let m = ref base in
+        let last = min (base + 3) (n - 1) in
+        for c = base + 1 to last do
+          if
+            keys.(c) < keys.(!m)
+            || (keys.(c) = keys.(!m) && seqs.(c) < seqs.(!m))
+          then m := c
+        done;
+        let m = !m in
+        if keys.(m) < ek || (keys.(m) = ek && seqs.(m) < es) then begin
+          keys.(!i) <- keys.(m);
+          seqs.(!i) <- seqs.(m);
+          vals.(!i) <- vals.(m);
+          i := m
+        end
+        else continue := false
+      end
+    done;
+    keys.(!i) <- ek;
+    seqs.(!i) <- es;
+    vals.(!i) <- ev
+  end;
+  top
 
 let pop h =
   if h.n = 0 then None
-  else begin
-    let top = h.a.(0) in
-    h.n <- h.n - 1;
-    if h.n > 0 then begin
-      h.a.(0) <- h.a.(h.n);
-      (* sift down *)
-      let i = ref 0 in
-      let continue = ref true in
-      while !continue do
-        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
-        let smallest = ref !i in
-        if l < h.n && less h.a.(l) h.a.(!smallest) then smallest := l;
-        if r < h.n && less h.a.(r) h.a.(!smallest) then smallest := r;
-        if !smallest <> !i then begin
-          let tmp = h.a.(!smallest) in
-          h.a.(!smallest) <- h.a.(!i);
-          h.a.(!i) <- tmp;
-          i := !smallest
-        end
-        else continue := false
-      done
-    end;
-    Some (top.key, top.value)
-  end
+  else
+    let key = h.keys.(0) in
+    Some (key, pop_min h)
 
-let peek_key h = if h.n = 0 then None else Some h.a.(0).key
+let peek_key h = if h.n = 0 then None else Some h.keys.(0)
+
+(* allocation-free peek for hot paths; empty heap reads as +inf *)
+let min_key h = if h.n = 0 then max_int else h.keys.(0)
 
 let size h = h.n
 
@@ -72,4 +116,8 @@ let is_empty h = h.n = 0
 
 let clear h =
   h.n <- 0;
-  h.a <- [||]
+  h.keys <- [||];
+  h.seqs <- [||];
+  h.vals <- [||]
+
+let pushes h = h.next_seq

@@ -15,8 +15,20 @@ val pop : 'a t -> (int * 'a) option
 
 val peek_key : 'a t -> int option
 
+(** [min_key h] is the smallest key, or [max_int] when empty.
+    Allocation-free variant of {!peek_key} for hot paths. *)
+val min_key : 'a t -> int
+
+(** [pop_min h] removes and returns the minimum entry's value without
+    allocating. Raises [Invalid_argument] on an empty heap; pair with
+    {!min_key} or {!is_empty}. *)
+val pop_min : 'a t -> 'a
+
 val size : 'a t -> int
 
 val is_empty : 'a t -> bool
 
 val clear : 'a t -> unit
+
+val pushes : 'a t -> int
+(** Total number of pushes over the heap's lifetime (diagnostics). *)

@@ -1,0 +1,79 @@
+open Psd_core
+
+(* A one-way UDP blast with the copy counters reset at the start, so
+   every Bytes.blit the datapath performs is attributable per-packet.
+   UDP keeps the wire unidirectional (no acks polluting the counters),
+   which is what makes "copies per received packet" well-defined. *)
+
+type result = {
+  config : Psd_cost.Config.t;
+  packets : int;  (** datagrams delivered to the application *)
+  payload_bytes : int;
+  sites : (string * int * int) list;  (** site, copies, bytes *)
+  rx_body_copies : int;
+      (** receive-datapath payload copies (device, IPC, ring, flatten,
+          RPC) — the number the paper's single-copy argument is about *)
+}
+
+let run ?(count = 200) ?(size = 1024) config =
+  Psd_util.Copies.reset ();
+  let eng = Psd_sim.Engine.create () in
+  let segment = Psd_link.Segment.create eng () in
+  let sys_a =
+    System.create ~eng ~segment ~config ~addr:"10.0.0.1" ~name:"cm-tx" ()
+  in
+  let sys_b =
+    System.create ~eng ~segment ~config ~addr:"10.0.0.2" ~name:"cm-rx" ()
+  in
+  let got = ref 0 in
+  let got_bytes = ref 0 in
+  let rapp = System.app sys_b ~name:"cm-sink" in
+  Psd_sim.Engine.spawn eng ~name:"cm-sink" (fun () ->
+      let s = Sockets.dgram rapp in
+      (match Sockets.bind s ~port:9 () with
+      | Ok _ -> ()
+      | Error e -> failwith e);
+      let rec loop () =
+        match Sockets.recvfrom s ~max:65536 with
+        | Ok (d, _) ->
+          incr got;
+          got_bytes := !got_bytes + String.length d;
+          loop ()
+        | Error e -> failwith ("copymeter sink: " ^ e)
+      in
+      loop ());
+  let sapp = System.app sys_a ~name:"cm-blast" in
+  Psd_sim.Engine.spawn eng ~name:"cm-blast" (fun () ->
+      let s = Sockets.dgram sapp in
+      (match Sockets.bind s () with Ok _ -> () | Error e -> failwith e);
+      let payload = String.init size (fun i -> Char.chr (i land 0xff)) in
+      let dst = (System.addr sys_b, 9) in
+      for _ = 1 to count do
+        match Sockets.send s ~dst payload with
+        | Ok _ -> ()
+        | Error e -> failwith ("copymeter blast: " ^ e)
+      done);
+  Psd_sim.Engine.run_for eng (Psd_sim.Time.sec 60);
+  if !got = 0 then
+    failwith
+      (Printf.sprintf "copymeter[%s]: no datagrams arrived"
+         config.Psd_cost.Config.label);
+  {
+    config;
+    packets = !got;
+    payload_bytes = !got_bytes;
+    sites = Psd_util.Copies.all ();
+    rx_body_copies = Psd_util.Copies.rx_datapath_copies ();
+  }
+
+let pp fmt r =
+  Format.fprintf fmt "%-36s %4d pkts  %.2f rx body copies/pkt@."
+    r.config.Psd_cost.Config.label r.packets
+    (float_of_int r.rx_body_copies /. float_of_int r.packets);
+  List.iter
+    (fun (site, copies, bytes) ->
+      if copies > 0 then
+        Format.fprintf fmt "    %-12s %6d copies  %9d bytes  (%.2f/pkt)@."
+          site copies bytes
+          (float_of_int copies /. float_of_int r.packets))
+    r.sites

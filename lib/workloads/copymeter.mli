@@ -1,0 +1,22 @@
+(** Copies-per-packet meter: a one-way UDP blast under a placement with
+    the {!Psd_util.Copies} counters reset first, so each remaining
+    [Bytes.blit] in the datapath is attributed to a boundary site and
+    normalised per delivered datagram. This is the measurement behind
+    the paper's single-copy claim for the SHM-IPF delivery path. *)
+
+type result = {
+  config : Psd_cost.Config.t;
+  packets : int;  (** datagrams delivered to the application *)
+  payload_bytes : int;
+  sites : (string * int * int) list;  (** site, copies, bytes *)
+  rx_body_copies : int;
+      (** receive-datapath payload copies (device, IPC, ring, flatten,
+          RPC) across the whole run *)
+}
+
+val run : ?count:int -> ?size:int -> Psd_cost.Config.t -> result
+(** [run config] blasts [count] (default 200) datagrams of [size]
+    (default 1024) bytes from one host to another and reports the copy
+    counters. Raises if nothing arrives. *)
+
+val pp : Format.formatter -> result -> unit

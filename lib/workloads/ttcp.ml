@@ -36,6 +36,14 @@ type result = {
   recovery : recovery;
 }
 
+(* The stream's invariant is byte-at-offset = offset mod 256, so any
+   received chunk must equal a window of this repeating table starting at
+   (offset mod 256). One memcmp per chunk replaces the old per-byte
+   closure scan that dominated receiver wall-clock; the byte-level walk
+   below runs only on mismatch, to name the first corrupt byte. *)
+let pattern =
+  String.init (65536 + 256) (fun i -> Char.chr (i land 0xff))
+
 let run ?plat ?(machine = Paper.Dec) ?(mb = 16) ?rcv_buf ?delack_ns ?(seed = 7)
     ?fault config =
   let plat =
@@ -95,16 +103,23 @@ let run ?plat ?(machine = Paper.Dec) ?(mb = 16) ?rcv_buf ?delack_ns ?(seed = 7)
             (* End-to-end integrity: every byte must equal its stream
                offset mod 256, so any corruption that slipped past the
                checksums (or any reassembly bug) is caught here. *)
-            String.iteri
-              (fun i c ->
-                let off = !received + i in
-                if Char.code c <> off land 0xff then
-                  failwith
-                    (Printf.sprintf
-                       "ttcp[%s]: payload corrupt at byte %d (got %#x)"
-                       config.Psd_cost.Config.label off (Char.code c)))
-              d;
-            received := !received + String.length d;
+            let n = String.length d in
+            if
+              n > 0
+              && not
+                   (String.equal d
+                      (String.sub pattern (!received land 0xff) n))
+            then
+              String.iteri
+                (fun i c ->
+                  let off = !received + i in
+                  if Char.code c <> off land 0xff then
+                    failwith
+                      (Printf.sprintf
+                         "ttcp[%s]: payload corrupt at byte %d (got %#x)"
+                         config.Psd_cost.Config.label off (Char.code c)))
+                d;
+            received := !received + n;
             drain ()
           | Error e -> failwith ("ttcp receiver: " ^ e)
         in

@@ -142,6 +142,46 @@ let test_pktchan_shm_drops_when_full () =
   Alcotest.(check int) "kept ring capacity" 2 (Pktchan.queued ch);
   Alcotest.(check int) "dropped the rest" 3 (Pktchan.dropped ch)
 
+let test_pktchan_shm_tail_drop_preserves_queue () =
+  (* Overflow must tail-drop: the packets already in the ring are the
+     oldest deliveries, byte-for-byte, never overwritten by later ones —
+     and with no receiver blocked the kernel never pays a wakeup. *)
+  let eng, host = make_host () in
+  let ch =
+    Pktchan.create host ~kind:(Pktchan.Shm 2) ~deliver_fixed:0
+      ~deliver_per_byte:0
+  in
+  Psd_sim.Engine.spawn eng (fun () ->
+      List.iter
+        (fun s -> Pktchan.deliver ch (Bytes.of_string s))
+        [ "a"; "b"; "c"; "d"; "e" ]);
+  Psd_sim.Engine.run eng;
+  Alcotest.(check int) "dropped the overflow" 3 (Pktchan.dropped ch);
+  Alcotest.(check int) "no wakeups while receiver not blocked" 0
+    (Pktchan.wakeups ch);
+  let kept = List.map Bytes.to_string (Pktchan.drain ch) in
+  Alcotest.(check (list string)) "oldest survive, in order" [ "a"; "b" ] kept;
+  Alcotest.(check int) "ring empty after drain" 0 (Pktchan.queued ch)
+
+let test_pktchan_recv_batch_takes_train () =
+  let eng, host = make_host () in
+  let ch =
+    Pktchan.create host ~kind:(Pktchan.Shm 8) ~deliver_fixed:0
+      ~deliver_per_byte:0
+  in
+  let batch = ref [] in
+  Psd_sim.Engine.spawn eng (fun () ->
+      List.iter
+        (fun s -> Pktchan.deliver ch (Bytes.of_string s))
+        [ "x"; "y"; "z" ]);
+  Psd_sim.Engine.spawn eng (fun () ->
+      Psd_sim.Engine.sleep eng (Psd_sim.Time.us 10);
+      batch := List.map Bytes.to_string (Pktchan.recv_batch ch));
+  Psd_sim.Engine.run eng;
+  Alcotest.(check (list string)) "whole train in one call" [ "x"; "y"; "z" ]
+    !batch;
+  Alcotest.(check int) "queued train needs no wakeup" 0 (Pktchan.wakeups ch)
+
 (* --- Netdev ------------------------------------------------------------- *)
 
 let frame_to dst_mac src_mac =
@@ -249,6 +289,10 @@ let () =
             test_pktchan_shm_batches_wakeups;
           Alcotest.test_case "shm overflow" `Quick
             test_pktchan_shm_drops_when_full;
+          Alcotest.test_case "shm tail-drop" `Quick
+            test_pktchan_shm_tail_drop_preserves_queue;
+          Alcotest.test_case "recv_batch train" `Quick
+            test_pktchan_recv_batch_takes_train;
         ] );
       ( "netdev",
         [

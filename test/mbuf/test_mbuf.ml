@@ -115,6 +115,155 @@ let test_fold_ranges_checksum_consistency () =
   in
   check_int "ranges cover payload" (String.length payload) count
 
+(* --- storage selection (small mbuf vs cluster) ------------------------- *)
+
+let test_small_mbuf_for_small_payload () =
+  (* headroom + len ≤ mlen must yield exactly one small mbuf whose
+     headroom the TCP/IP/link prepends then reuse without new segments *)
+  let len = Mbuf.mlen - Mbuf.default_headroom in
+  let m = Mbuf.of_string (String.make len 'p') in
+  check_int "one segment" 1 (Mbuf.seg_count m);
+  let buf, off = Mbuf.prepend m Mbuf.default_headroom in
+  Bytes.fill buf off Mbuf.default_headroom 'h';
+  check_int "headers fit in headroom" 1 (Mbuf.seg_count m);
+  check_int "length" Mbuf.mlen (Mbuf.length m)
+
+let test_cluster_chunk_boundaries () =
+  let one = Mbuf.of_bytes (Bytes.make Mbuf.cluster_size 'x') ~off:0
+      ~len:Mbuf.cluster_size
+  in
+  check_int "exactly one cluster" 1 (Mbuf.seg_count one);
+  let two = Mbuf.of_bytes (Bytes.make (Mbuf.cluster_size + 1) 'x') ~off:0
+      ~len:(Mbuf.cluster_size + 1)
+  in
+  check_int "one byte over spills" 2 (Mbuf.seg_count two)
+
+(* --- differential suite: view-based ops vs a copying reference --------- *)
+
+(* A multi-segment chain of zero-copy views over one shared buffer, cut
+   at arbitrary (frequently odd) offsets — the shape the receive path
+   builds — checked against plain string arithmetic. *)
+let chain_of_cuts s cuts =
+  let n = String.length s in
+  let b = Bytes.of_string s in
+  let cuts =
+    List.sort_uniq compare (List.filter (fun c -> c > 0 && c < n) cuts)
+  in
+  let m = Mbuf.empty () in
+  let rec go off = function
+    | [] -> if n - off >= 0 then Mbuf.concat m (Mbuf.of_bytes_view b ~off ~len:(n - off))
+    | c :: rest ->
+      Mbuf.concat m (Mbuf.of_bytes_view b ~off ~len:(c - off));
+      go c rest
+  in
+  go 0 cuts;
+  (m, b)
+
+let chain_gen =
+  QCheck.(pair (string_of_size Gen.(0 -- 3000)) (list_of_size Gen.(0 -- 8) small_nat))
+
+let prop_view_roundtrip =
+  QCheck.Test.make ~name:"view: chain of views = original" ~count:200
+    chain_gen
+    (fun (s, cuts) ->
+      let m, _ = chain_of_cuts s cuts in
+      Mbuf.to_string m = s)
+
+let prop_view_split_partition =
+  QCheck.Test.make ~name:"view: split partitions, concat restores"
+    ~count:200
+    QCheck.(pair chain_gen small_nat)
+    (fun ((s, cuts), n) ->
+      let n = n mod (String.length s + 1) in
+      let m, _ = chain_of_cuts s cuts in
+      let head = Mbuf.split m n in
+      let parts_ok =
+        Mbuf.to_string head = String.sub s 0 n
+        && Mbuf.to_string m = String.sub s n (String.length s - n)
+      in
+      Mbuf.concat head m;
+      parts_ok && Mbuf.to_string head = s)
+
+let prop_sub_view_matches_sub =
+  QCheck.Test.make ~name:"view: sub_view = String.sub, non-destructive"
+    ~count:200
+    QCheck.(triple chain_gen small_nat small_nat)
+    (fun ((s, cuts), a, b) ->
+      let len_s = String.length s in
+      let off = if len_s = 0 then 0 else a mod len_s in
+      let len = b mod (len_s - off + 1) in
+      let m, _ = chain_of_cuts s cuts in
+      Mbuf.to_string (Mbuf.sub_view m ~off ~len) = String.sub s off len
+      && Mbuf.to_string m = s)
+
+let prop_view_trim =
+  QCheck.Test.make ~name:"view: trim_front/back = String.sub" ~count:200
+    QCheck.(triple chain_gen small_nat small_nat)
+    (fun ((s, cuts), f, bk) ->
+      let len_s = String.length s in
+      let f = if len_s = 0 then 0 else f mod (len_s + 1) in
+      let bk = bk mod (len_s - f + 1) in
+      let m, _ = chain_of_cuts s cuts in
+      Mbuf.trim_front m f;
+      Mbuf.trim_back m bk;
+      Mbuf.to_string m = String.sub s f (len_s - f - bk))
+
+let prop_view_copy_range =
+  QCheck.Test.make ~name:"view: copy_range = String.sub" ~count:200
+    QCheck.(triple chain_gen small_nat small_nat)
+    (fun ((s, cuts), a, b) ->
+      let len_s = String.length s in
+      let off = if len_s = 0 then 0 else a mod len_s in
+      let len = b mod (len_s - off + 1) in
+      let m, _ = chain_of_cuts s cuts in
+      Mbuf.to_string (Mbuf.copy_range m ~off ~len) = String.sub s off len)
+
+let prop_chain_checksum_equals_flat =
+  QCheck.Test.make
+    ~name:"view: segment-wise checksum = flat checksum" ~count:500
+    chain_gen
+    (fun (s, cuts) ->
+      let m, _ = chain_of_cuts s cuts in
+      let flat = Bytes.of_string s in
+      let chain_ck =
+        Psd_util.Checksum.finish (Mbuf.checksum_add m Psd_util.Checksum.empty)
+      in
+      chain_ck
+      = Psd_util.Checksum.of_bytes flat ~off:0 ~len:(String.length s))
+
+let prop_prepend_never_writes_shared =
+  QCheck.Test.make
+    ~name:"view: prepend never mutates the viewed buffer" ~count:200
+    QCheck.(pair (string_of_size Gen.(1 -- 500)) Gen.(1 -- 64 |> fun g -> make g))
+    (fun (s, hdr) ->
+      (* view into the middle of a buffer: bytes before [off] look like
+         headroom, but the segment is shared, so prepend must not reuse
+         them *)
+      let b = Bytes.of_string ("PREFIX__" ^ s) in
+      let before = Bytes.to_string b in
+      let m = Mbuf.of_bytes_view b ~off:8 ~len:(String.length s) in
+      let buf, off = Mbuf.prepend m hdr in
+      Bytes.fill buf off hdr 'Z';
+      Bytes.to_string b = before
+      && Mbuf.to_string m = String.make hdr 'Z' ^ s)
+
+let prop_split_isolates_halves =
+  QCheck.Test.make
+    ~name:"view: prepend after split never corrupts the other half"
+    ~count:200
+    QCheck.(pair (string_of_size Gen.(2 -- 2000)) small_nat)
+    (fun (s, n) ->
+      let n = 1 + (n mod (String.length s - 1)) in
+      let m = Mbuf.of_string s in
+      let head = Mbuf.split m n in
+      let buf, off = Mbuf.prepend m 16 in
+      Bytes.fill buf off 16 'Z';
+      let buf2, off2 = Mbuf.prepend head 16 in
+      Bytes.fill buf2 off2 16 'Y';
+      Mbuf.to_string head = String.make 16 'Y' ^ String.sub s 0 n
+      && Mbuf.to_string m
+         = String.make 16 'Z' ^ String.sub s n (String.length s - n))
+
 let prop_roundtrip =
   QCheck.Test.make ~name:"mbuf: of_string/to_string roundtrip" ~count:200
     QCheck.(string_of_size Gen.(0 -- 5000))
@@ -177,6 +326,10 @@ let () =
           Alcotest.test_case "get_u8" `Quick test_get_u8;
           Alcotest.test_case "fold_ranges" `Quick
             test_fold_ranges_checksum_consistency;
+          Alcotest.test_case "small mbuf" `Quick
+            test_small_mbuf_for_small_payload;
+          Alcotest.test_case "cluster boundaries" `Quick
+            test_cluster_chunk_boundaries;
         ]
         @ List.map QCheck_alcotest.to_alcotest
             [
@@ -185,4 +338,16 @@ let () =
               prop_copy_range_matches_sub;
               prop_split_partition;
             ] );
+      ( "views",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_view_roundtrip;
+            prop_view_split_partition;
+            prop_sub_view_matches_sub;
+            prop_view_trim;
+            prop_view_copy_range;
+            prop_chain_checksum_equals_flat;
+            prop_prepend_never_writes_shared;
+            prop_split_isolates_halves;
+          ] );
     ]

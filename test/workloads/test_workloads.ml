@@ -122,6 +122,64 @@ let test_clean_wire_reports_no_faults () =
   Alcotest.(check int) "same duration as no policy at all"
     baseline.W.Ttcp.elapsed_ns r.W.Ttcp.elapsed_ns
 
+(* --- copy accounting --------------------------------------------------- *)
+
+let site_copies r name =
+  match
+    List.find_opt (fun (n, _, _) -> n = name) r.W.Copymeter.sites
+  with
+  | Some (_, copies, _) -> copies
+  | None -> Alcotest.failf "unknown copy site %s" name
+
+let test_shm_ipf_single_body_copy () =
+  (* The paper's central memory claim: with SHM-IPF delivery the receive
+     datapath touches packet bytes exactly once (device memory → shared
+     ring); no separate device copy, no IPC message, no flatten, no RPC
+     marshalling. The ring copy count may exceed the datagram count only
+     by the handful of ARP frames the blast needs. *)
+  let count = 100 in
+  let r = W.Copymeter.run ~count Cfg.library_shm_ipf in
+  Alcotest.(check int) "no device-to-kernel copy" 0
+    (site_copies r "rx_device");
+  Alcotest.(check int) "no per-packet IPC message" 0
+    (site_copies r "rx_ipc");
+  Alcotest.(check int) "no reassembly flatten" 0 (site_copies r "rx_flatten");
+  Alcotest.(check int) "no RPC marshalling" 0 (site_copies r "rx_rpc");
+  let ring = site_copies r "rx_ring" in
+  "exactly one body copy per packet (± ARP frames)"
+  => (ring >= r.W.Copymeter.packets && ring <= r.W.Copymeter.packets + 8);
+  Alcotest.(check int) "datapath total is the ring copy"
+    ring r.W.Copymeter.rx_body_copies
+
+let test_copies_ordering_across_placements () =
+  let per config =
+    let r = W.Copymeter.run ~count:100 config in
+    float_of_int r.W.Copymeter.rx_body_copies
+    /. float_of_int r.W.Copymeter.packets
+  in
+  let kernel = per Cfg.mach25_kernel in
+  let server = per Cfg.ux_server in
+  let ipc = per Cfg.library_ipc in
+  let shm = per Cfg.library_shm in
+  let ipf = per Cfg.library_shm_ipf in
+  "server placement copies the most" => (server > ipc);
+  "ipc beats server, loses to shm" => (ipc > shm);
+  "shm still pays the device copy" => (shm > ipf);
+  "shm-ipf matches the in-kernel copy count" => (ipf <= kernel +. 0.01)
+
+let test_shm_ipf_allocation_guard () =
+  (* Steady-state receive must not allocate per payload byte: the whole
+     1MB simulation (engine, fibers, views, socket strings) stays under
+     a fixed minor-heap budget per data segment. Measured ~3.6k words;
+     the bound leaves ~65% headroom so only a real regression (e.g. a
+     reintroduced per-segment flatten) trips it. *)
+  let w0 = Gc.minor_words () in
+  let r = W.Ttcp.run ~mb:1 Cfg.library_shm_ipf in
+  let w1 = Gc.minor_words () in
+  let per_seg = (w1 -. w0) /. float_of_int r.W.Ttcp.segs_out in
+  if per_seg >= 6000. then
+    Alcotest.failf "allocation regression: %.0f minor words/segment" per_seg
+
 let () =
   Alcotest.run "psd_workloads"
     [
@@ -139,6 +197,15 @@ let () =
           Alcotest.test_case "latency monotone" `Quick
             test_protolat_monotone_in_size;
           Alcotest.test_case "table structs" `Quick test_tables_structs;
+        ] );
+      ( "copies",
+        [
+          Alcotest.test_case "shm-ipf single body copy" `Quick
+            test_shm_ipf_single_body_copy;
+          Alcotest.test_case "placement ordering" `Quick
+            test_copies_ordering_across_placements;
+          Alcotest.test_case "allocation guard" `Quick
+            test_shm_ipf_allocation_guard;
         ] );
       ( "soak",
         [
