@@ -283,9 +283,41 @@ let copies_cmd =
   Cmd.v
     (Cmd.info "copies"
        ~doc:"Count the data-touching copies each placement performs per \
-             packet (the measurement behind the single-copy claim for \
-             the SHM-IPF delivery path).")
+             packet, transmit and receive (the measurement behind the \
+             single-copy claim for the SHM-IPF datapath: one tx gather, \
+             one rx delivery copy).")
     Term.(const run $ count_arg $ size_arg)
+
+let predict_cmd =
+  let mb_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "mb" ] ~docv:"MB" ~doc:"Megabytes per transfer.")
+  in
+  let run mb =
+    Format.printf
+      "@.=== TCP header prediction (ttcp bulk transfer, %d MB) ===@.@." mb;
+    Format.printf "%-36s %10s %10s %9s@." "" "hits" "misses" "hit rate";
+    List.iter
+      (fun config ->
+        let r = W.Ttcp.run ~mb config in
+        let hit = r.W.Ttcp.recovery.W.Ttcp.predict_hit in
+        let miss = r.W.Ttcp.recovery.W.Ttcp.predict_miss in
+        let rate =
+          if hit + miss = 0 then 0.
+          else float_of_int hit /. float_of_int (hit + miss)
+        in
+        Format.printf "%-36s %10d %10d %8.1f%%@."
+          config.Psd_cost.Config.label hit miss (100. *. rate))
+      Cfg.decstation_rows
+  in
+  Cmd.v
+    (Cmd.info "predict"
+       ~doc:"Header-prediction fast-path hit rate per placement on the \
+             steady-state ttcp bulk transfer (both hosts' stacks \
+             summed). The fast path is observational: virtual-time \
+             results are identical with it on or off.")
+    Term.(const run $ mb_arg)
 
 let all_cmd =
   let run mb rounds =
@@ -329,6 +361,7 @@ let main =
       series_cmd;
       trace_cmd;
       copies_cmd;
+      predict_cmd;
       all_cmd;
     ]
 

@@ -38,18 +38,22 @@ let query t ip =
       target_ip = ip;
     }
 
+(* The retry must run in a fiber: query ends in Netdev.transmit, which
+   charges cpu time (a Sleep effect), and raw timer events have no
+   effect handler. Mirrors the tcp timer idiom. *)
 let rec arm_retry t ip w =
   w.cancel <-
     Psd_sim.Engine.after t.eng t.retry_interval_ns (fun () ->
-        if w.tries_left > 0 then begin
-          w.tries_left <- w.tries_left - 1;
-          query t ip;
-          arm_retry t ip w
-        end
-        else begin
-          Hashtbl.remove t.pending ip;
-          List.iter (fun k -> k None) (List.rev w.continuations)
-        end)
+        Psd_sim.Engine.spawn t.eng ~name:"arp-retry" (fun () ->
+            if w.tries_left > 0 then begin
+              w.tries_left <- w.tries_left - 1;
+              query t ip;
+              arm_retry t ip w
+            end
+            else begin
+              Hashtbl.remove t.pending ip;
+              List.iter (fun k -> k None) (List.rev w.continuations)
+            end))
 
 let resolve t ip k =
   match Cache.lookup t.cache ip with

@@ -495,6 +495,21 @@ let charge_app_overhead s =
   let plat = Psd_mach.Host.plat s.a.host in
   Ctx.charge s.a.call_ctx Phase.Control plat.Platform.app_call_overhead
 
+(* Physical capture of user send data into the protocol stack. The
+   in-kernel placement really crosses an address space, so it keeps the
+   user->kernel copyin ([Tx_copyin]); a library stack shares the user's
+   address space and OCaml strings are immutable, so the payload is
+   captured as a zero-copy view and the only body copy left on the send
+   path is the frame gather ([Tx_frame]). Virtual time is charged by
+   [charge_entry] from the byte count either way — this choice is
+   purely physical. *)
+let user_payload a data ~off ~len =
+  if in_kernel a then begin
+    Psd_util.Copies.count Psd_util.Copies.Tx_copyin len;
+    Psd_mbuf.Mbuf.of_bytes (Bytes.unsafe_of_string data) ~off ~len
+  end
+  else Psd_mbuf.Mbuf.of_bytes_view (Bytes.unsafe_of_string data) ~off ~len
+
 let send s ?dst data =
   let len = String.length data in
   charge_app_overhead s;
@@ -510,9 +525,7 @@ let send s ?dst data =
       else if space <= 0 then Error ewouldblock
       else begin
         let n = min space len in
-        Psd_util.Copies.count Psd_util.Copies.Tx_copyin n;
-        Psd_tcp.Tcp.send pcb
-          (Psd_mbuf.Mbuf.of_bytes (Bytes.unsafe_of_string data) ~off:0 ~len:n);
+        Psd_tcp.Tcp.send pcb (user_payload s.a data ~off:0 ~len:n);
         Ok n
       end
     | Ltcp (pcb, stack) ->
@@ -532,12 +545,7 @@ let send s ?dst data =
             Error (Option.value s.conn_err ~default:"error")
           else begin
             let n = min space (len - off) in
-            (* single user→mbuf copy: of_bytes reads the range in place
-               instead of materialising a String.sub first *)
-            Psd_util.Copies.count Psd_util.Copies.Tx_copyin n;
-            Psd_tcp.Tcp.send pcb
-              (Psd_mbuf.Mbuf.of_bytes (Bytes.unsafe_of_string data) ~off
-                 ~len:n);
+            Psd_tcp.Tcp.send pcb (user_payload s.a data ~off ~len:n);
             push (off + n)
           end
         end
@@ -556,11 +564,10 @@ let send s ?dst data =
       match pending with
       | Some e -> Error e
       | None ->
-      Psd_util.Copies.count Psd_util.Copies.Tx_copyin len;
       match
         Psd_udp.Udp.send pcb
           ?dst:(Option.map (fun (ip, p) -> (ip, p)) dst)
-          (Psd_mbuf.Mbuf.of_string data)
+          (user_payload s.a data ~off:0 ~len)
       with
       | Ok () -> Ok len
       | Error `No_destination -> Error "destination required"

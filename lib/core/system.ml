@@ -14,6 +14,7 @@ type t = {
   mutable app_stacks : Netstack.t list;
   mutable ctxs : Ctx.t list; (* every context on this host *)
   mutable next_app_seq : int;
+  mutable tcp_predict : bool; (* applied to stacks created later too *)
   rcv_buf : int option;
   delack_ns : int option;
   fault : Psd_link.Fault.t option;
@@ -73,6 +74,7 @@ let create ~eng ~segment ~config ?plat ?rcv_buf ?delack_ns ?fault ~addr
       app_stacks = [];
       ctxs = [ Psd_mach.Host.kernel_ctx host ];
       next_app_seq = 1;
+      tcp_predict = true;
       rcv_buf;
       delack_ns;
       fault;
@@ -191,6 +193,7 @@ let rec app t ~name =
           ?delack_ns:t.delack_ns ()
       in
       t.app_stacks <- stack :: t.app_stacks;
+      Psd_tcp.Tcp.set_predict (Netstack.tcp stack) t.tcp_predict;
       let err_fwd = ref (fun _ _ -> ()) in
       let app_ref =
         Os_server.register_app server ~task ~sink:(Netstack.sink stack)
@@ -247,3 +250,9 @@ let reass_timed_out t =
     0 (stacks t)
 
 let set_breakdown t b = List.iter (fun ctx -> ctx.Ctx.breakdown <- b) t.ctxs
+
+let set_tcp_predict t v =
+  t.tcp_predict <- v;
+  List.iter
+    (fun s -> Psd_tcp.Tcp.set_predict (Netstack.tcp s) v)
+    (stacks t)

@@ -119,7 +119,10 @@ let output t ?(ttl = 64) ?(dont_frag = false) ?src ~proto ~dst payload =
           if off < len then begin
             let this_len = min chunk (len - off) in
             let more = off + this_len < len in
-            let frag = Mbuf.copy_range payload ~off ~len:this_len in
+            (* each fragment is a zero-copy window onto the datagram;
+               the per-fragment header prepend allocates its own mbuf,
+               so fragments never scribble on each other *)
+            let frag = Mbuf.sub_view payload ~off ~len:this_len in
             let hdr =
               {
                 Header.src;

@@ -73,6 +73,8 @@ type stats = {
   mutable drop_checksum : int;
   mutable drop_malformed : int;
   mutable drop_no_pcb : int;
+  mutable predict_hit : int;
+  mutable predict_miss : int;
 }
 
 type conn_key = { lport : int; rip : Psd_ip.Addr.t; rport : int }
@@ -162,10 +164,15 @@ and t = {
   mutable memo : pcb option;
   listeners : (int, listener) Hashtbl.t;
   muted : (conn_key, int) Hashtbl.t; (* key -> expiry; migration quench *)
+  (* header-prediction fast path enabled (observational knob: on or
+     off, every virtual-time outcome is identical — see fast_synchronized) *)
+  mutable predict : bool;
   st : stats;
 }
 
 let stats t = t.st
+
+let set_predict t v = t.predict <- v
 
 let active_pcbs t = Hashtbl.length t.conns
 
@@ -475,12 +482,15 @@ and output t pcb ~force =
         in
         if should_send_data || (fin_to_send && usable >= 0) then begin
           let payload =
-            if len > 0 then begin
-              (* data must survive on the send queue until acked, so the
-                 wire gets a copy (BSD m_copym semantics) *)
-              Psd_util.Copies.count Psd_util.Copies.Tx_retain len;
-              Mbuf.copy_range pcb.sndq ~off ~len
-            end
+            if len > 0 then
+              (* data must survive on the send queue until acked, but
+                 the wire does not need its own bytes: a shared view of
+                 the queued range is enough (both sides are immutable
+                 until the ack drops the range), so first transmission
+                 and retransmission alike emit without a [Tx_retain]
+                 copy. The single physical copy happens at the frame
+                 gather ([Tx_frame]). *)
+              Mbuf.sub_view pcb.sndq ~off ~len
             else Mbuf.empty ()
           in
           let flags =
@@ -970,6 +980,71 @@ let handle_synchronized t pcb (seg : Segment.t) payload =
     end
   end
 
+(* --- header prediction (Van Jacobson fast path) -------------------- *)
+
+(* The segment qualifies when every conditional branch of
+   [handle_synchronized] that could do work before ACK processing is
+   provably a no-op: connection in steady state, no control flags (PSH
+   is allowed — like BSD's prediction mask, and nothing in this input
+   path reads it), exactly the next expected sequence (left trim
+   [todrop] = 0), nothing queued for reassembly, and the payload inside
+   the receive window (right trim [excess] <= 0). *)
+let predicted pcb (seg : Segment.t) payload =
+  let f = seg.Segment.flags in
+  pcb.state = Established
+  && f.Segment.ack
+  && (not f.Segment.syn)
+  && (not f.Segment.fin)
+  && (not f.Segment.rst)
+  && (not f.Segment.urg)
+  && seg.Segment.seq = pcb.rcv_nxt
+  && pcb.reass = []
+  && Mbuf.length payload <= rcv_window pcb
+
+(* Straight-line copy of the branches of [handle_synchronized] that
+   remain live under [predicted]: shared ACK processing, the window
+   update, the in-order data append with delayed-ack logic, and the
+   common tail. Every line is verbatim from the slow path, so a hit
+   computes the identical pcb state, emits the identical segments, and
+   charges the identical virtual time — the fast path is a control-flow
+   shortcut, not a semantic change. *)
+let fast_synchronized t pcb (seg : Segment.t) payload =
+  let seq = seg.Segment.seq in
+  let continue_ = process_ack t pcb seg in
+  if continue_ && not pcb.dead then begin
+    (* window update *)
+    if
+      Seq.lt pcb.snd_wl1 seq
+      || (pcb.snd_wl1 = seq && Seq.leq pcb.snd_wl2 seg.Segment.ack)
+    then begin
+      let opened = seg.Segment.window > pcb.snd_wnd in
+      pcb.snd_wnd <- seg.Segment.window;
+      pcb.snd_wl1 <- seq;
+      pcb.snd_wl2 <- seg.Segment.ack;
+      if opened then pcb.persist_timer <- cancel_timer pcb.persist_timer
+    end;
+    let seg_len = Mbuf.length payload in
+    if seg_len > 0 then begin
+      (* in-order segment, nothing queued: append *)
+      pcb.rcv_nxt <- Seq.add pcb.rcv_nxt seg_len;
+      pcb.rcv_buffered <- pcb.rcv_buffered + seg_len;
+      t.st.bytes_in <- t.st.bytes_in + seg_len;
+      deliver_data pcb payload;
+      (* ack every other segment; delay otherwise *)
+      if pcb.delack_pending then pcb.ack_now <- true
+      else begin
+        pcb.delack_pending <- true;
+        arm_delack t pcb
+      end
+    end;
+    process_fin_if_ready t pcb;
+    if not pcb.dead then begin
+      if pcb.ack_now then send_ack t pcb;
+      output t pcb ~force:false
+    end
+  end
+  else if pcb.ack_now && not pcb.dead then send_ack t pcb
+
 let input t ~(hdr : Psd_ip.Header.t) (m : Mbuf.t) =
   Psd_sim.Lock.with_lock t.lock (fun () ->
       let seg_len = Mbuf.length m in
@@ -1017,7 +1092,15 @@ let input t ~(hdr : Psd_ip.Header.t) (m : Mbuf.t) =
           match pcb.state with
           | Syn_sent -> handle_syn_sent t pcb seg payload
           | Closed | Listen -> ()
-          | _ -> handle_synchronized t pcb seg payload)
+          | _ ->
+            if t.predict && predicted pcb seg payload then begin
+              t.st.predict_hit <- t.st.predict_hit + 1;
+              fast_synchronized t pcb seg payload
+            end
+            else begin
+              if t.predict then t.st.predict_miss <- t.st.predict_miss + 1;
+              handle_synchronized t pcb seg payload
+            end)
         | None ->
           (* a migrating connection's segments must be dropped silently —
              even when a listener still covers the port, or the stack
@@ -1069,6 +1152,7 @@ let create ~ctx ~ip ?(mss = 1460) ?(msl_ns = Psd_sim.Time.sec 30)
       memo = None;
       listeners = Hashtbl.create 8;
       muted = Hashtbl.create 8;
+      predict = true;
       st =
         {
           segs_out = 0;
@@ -1084,6 +1168,8 @@ let create ~ctx ~ip ?(mss = 1460) ?(msl_ns = Psd_sim.Time.sec 30)
           drop_checksum = 0;
           drop_malformed = 0;
           drop_no_pcb = 0;
+          predict_hit = 0;
+          predict_miss = 0;
         };
     }
   in

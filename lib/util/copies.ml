@@ -81,3 +81,14 @@ let rx_datapath_sites = [ Rx_device; Rx_ipc; Rx_ring; Rx_flatten; Rx_rpc ]
 
 let rx_datapath_copies () =
   List.fold_left (fun acc s -> acc + copies s) 0 rx_datapath_sites
+
+(* The copies a transmitted packet body undergoes between the user's
+   send buffer and the wire. Unlike the rx direction, the final gather
+   into the outgoing frame ([Tx_frame]) is included: it is the one
+   unavoidable body copy of the zero-copy send path, so "SHM-IPF tx = 1"
+   means exactly the frame gather and nothing else. [Wire] stays
+   excluded (the medium itself, identical everywhere). *)
+let tx_datapath_sites = [ Tx_copyin; Tx_retain; Tx_frame; Tx_rpc ]
+
+let tx_datapath_copies () =
+  List.fold_left (fun acc s -> acc + copies s) 0 tx_datapath_sites

@@ -40,3 +40,10 @@ val rx_datapath_copies : unit -> int
 (** Total packet-body copies between wire delivery and the receiving
     socket buffer (excludes the wire copy itself and the final API
     copyout, which are identical across placements). *)
+
+val tx_datapath_copies : unit -> int
+(** Total packet-body copies between the user's send buffer and the
+    wire ([Tx_copyin] + [Tx_retain] + [Tx_frame] + [Tx_rpc]). The frame
+    gather is included: it is the single body copy the zero-copy send
+    path is allowed, so a placement whose tx count is 1 touched the
+    payload only while writing the outgoing frame. *)

@@ -8,11 +8,15 @@ open Psd_core
 type result = {
   config : Psd_cost.Config.t;
   packets : int;  (** datagrams delivered to the application *)
+  sent : int;  (** datagrams submitted by the blaster *)
   payload_bytes : int;
   sites : (string * int * int) list;  (** site, copies, bytes *)
   rx_body_copies : int;
       (** receive-datapath payload copies (device, IPC, ring, flatten,
           RPC) — the number the paper's single-copy argument is about *)
+  tx_body_copies : int;
+      (** transmit-datapath payload copies (copyin, retain, frame
+          gather, RPC) — 1 on a zero-copy send path: only the gather *)
 }
 
 let run ?(count = 200) ?(size = 1024) config =
@@ -61,19 +65,30 @@ let run ?(count = 200) ?(size = 1024) config =
   {
     config;
     packets = !got;
+    sent = count;
     payload_bytes = !got_bytes;
     sites = Psd_util.Copies.all ();
     rx_body_copies = Psd_util.Copies.rx_datapath_copies ();
+    tx_body_copies = Psd_util.Copies.tx_datapath_copies ();
   }
 
 let pp fmt r =
-  Format.fprintf fmt "%-36s %4d pkts  %.2f rx body copies/pkt@."
+  (* tx normalises by submitted datagrams, rx by delivered ones: under
+     the server placement a few datagrams die in flight, and each
+     direction's copies happen on its own side of the loss *)
+  Format.fprintf fmt "%-36s %4d pkts  %.2f tx + %.2f rx body copies/pkt@."
     r.config.Psd_cost.Config.label r.packets
+    (float_of_int r.tx_body_copies /. float_of_int r.sent)
     (float_of_int r.rx_body_copies /. float_of_int r.packets);
   List.iter
     (fun (site, copies, bytes) ->
       if copies > 0 then
+        let denom =
+          if String.length site >= 3 && String.sub site 0 3 = "tx_" then
+            r.sent
+          else r.packets
+        in
         Format.fprintf fmt "    %-12s %6d copies  %9d bytes  (%.2f/pkt)@."
           site copies bytes
-          (float_of_int copies /. float_of_int r.packets))
+          (float_of_int copies /. float_of_int denom))
     r.sites

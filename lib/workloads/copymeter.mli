@@ -7,11 +7,16 @@
 type result = {
   config : Psd_cost.Config.t;
   packets : int;  (** datagrams delivered to the application *)
+  sent : int;  (** datagrams submitted by the blaster *)
   payload_bytes : int;
   sites : (string * int * int) list;  (** site, copies, bytes *)
   rx_body_copies : int;
       (** receive-datapath payload copies (device, IPC, ring, flatten,
           RPC) across the whole run *)
+  tx_body_copies : int;
+      (** transmit-datapath payload copies (copyin, retain, frame
+          gather, RPC) across the whole run; a zero-copy send path
+      performs exactly one per datagram — the frame gather *)
 }
 
 val run : ?count:int -> ?size:int -> Psd_cost.Config.t -> result

@@ -9,6 +9,8 @@ type recovery = {
   drop_malformed : int;
   reass_timed_out : int;
   injected : int;
+  predict_hit : int;
+  predict_miss : int;
 }
 
 let pp_recovery fmt r =
@@ -45,7 +47,7 @@ let pattern =
   String.init (65536 + 256) (fun i -> Char.chr (i land 0xff))
 
 let run ?plat ?(machine = Paper.Dec) ?(mb = 16) ?rcv_buf ?delack_ns ?(seed = 7)
-    ?fault config =
+    ?fault ?(predict = true) config =
   let plat =
     Option.value plat
       ~default:
@@ -81,6 +83,10 @@ let run ?plat ?(machine = Paper.Dec) ?(mb = 16) ?rcv_buf ?delack_ns ?(seed = 7)
     System.create ~eng ~segment ~config ~plat ~rcv_buf ?delack_ns
       ~addr:"10.0.0.2" ~name:"receiver" ()
   in
+  if not predict then begin
+    System.set_tcp_predict sys_a false;
+    System.set_tcp_predict sys_b false
+  end;
   let total = mb * 1024 * 1024 in
   let received = ref 0 in
   let t_start = ref 0 and t_end = ref 0 in
@@ -177,6 +183,8 @@ let run ?plat ?(machine = Paper.Dec) ?(mb = 16) ?rcv_buf ?delack_ns ?(seed = 7)
         (match wire_fault with
         | None -> 0
         | Some f -> Psd_link.Fault.injected (Psd_link.Fault.stats f));
+      predict_hit = sum (fun st -> st.Psd_tcp.Tcp.predict_hit);
+      predict_miss = sum (fun st -> st.Psd_tcp.Tcp.predict_miss);
     }
   in
   {

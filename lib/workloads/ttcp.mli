@@ -10,6 +10,12 @@ type recovery = {
   drop_malformed : int;  (** TCP segments dropped for broken framing *)
   reass_timed_out : int;  (** IP fragment datagrams that timed out *)
   injected : int;  (** wire faults injected (0 when no policy given) *)
+  predict_hit : int;
+      (** segments taken by the TCP header-prediction fast path, both
+          hosts (not printed by {!pp_recovery}: the fast path is
+          observational and the recovery printout is a recorded
+          baseline) *)
+  predict_miss : int;  (** segments that fell through to the slow path *)
 }
 (** How the transfer recovered from injected wire faults, summed over
     both hosts' stacks. All-zero (except possibly [dup_acks_in]) on a
@@ -37,6 +43,7 @@ val run :
   ?delack_ns:int ->
   ?seed:int ->
   ?fault:Psd_link.Fault.policy ->
+  ?predict:bool ->
   Psd_cost.Config.t ->
   result
 (** Build a fresh two-host simulation in the given configuration and
@@ -45,6 +52,9 @@ val run :
     wire-level fault-injection policy on the shared segment (both
     directions suffer); the payload is patterned and verified end to
     end, so [run] raises if recovery ever delivers wrong bytes. A null
-    policy (or none) leaves the run bit-identical to the seed. *)
+    policy (or none) leaves the run bit-identical to the seed.
+    [predict] (default [true]) toggles the header-prediction fast path
+    on both hosts; either setting produces the same result record up to
+    the [predict_hit]/[predict_miss] counters. *)
 
 val pp : Format.formatter -> result -> unit

@@ -167,6 +167,29 @@ let test_copies_ordering_across_placements () =
   "shm still pays the device copy" => (shm > ipf);
   "shm-ipf matches the in-kernel copy count" => (ipf <= kernel +. 0.01)
 
+let test_tx_copies_per_placement () =
+  (* Transmit-side copy discipline: the frame gather is the single body
+     copy every placement pays; the in-kernel placements add the real
+     user->kernel copyin, the server placement adds the three RPC
+     message passes plus its own socket copyin, and no placement copies
+     to retain the send queue (first transmission and retransmission
+     both emit shared views). tx counts are exact — ARP traffic never
+     carries payload through these sites. *)
+  let sent = 100 in
+  let tx_per config =
+    let r = W.Copymeter.run ~count:sent config in
+    Alcotest.(check int) "no retain copy" 0 (site_copies r "tx_retain");
+    Alcotest.(check int) "tx gather once per datagram" sent
+      (site_copies r "tx_frame");
+    r.W.Copymeter.tx_body_copies / r.W.Copymeter.sent
+  in
+  Alcotest.(check int) "kernel: copyin + gather" 2 (tx_per Cfg.mach25_kernel);
+  Alcotest.(check int) "server: 3 rpc + copyin + gather" 5
+    (tx_per Cfg.ux_server);
+  Alcotest.(check int) "library-ipc: gather only" 1 (tx_per Cfg.library_ipc);
+  Alcotest.(check int) "library-shm: gather only" 1 (tx_per Cfg.library_shm);
+  Alcotest.(check int) "shm-ipf: gather only" 1 (tx_per Cfg.library_shm_ipf)
+
 let test_shm_ipf_allocation_guard () =
   (* Steady-state receive must not allocate per payload byte: the whole
      1MB simulation (engine, fibers, views, socket strings) stays under
@@ -179,6 +202,103 @@ let test_shm_ipf_allocation_guard () =
   let per_seg = (w1 -. w0) /. float_of_int r.W.Ttcp.segs_out in
   if per_seg >= 6000. then
     Alcotest.failf "allocation regression: %.0f minor words/segment" per_seg
+
+let test_send_path_allocation_guard () =
+  (* Send-side counterpart: with the transmit path zero-copy, a data
+     segment's sender-side work (sndq view, header prepends, checksum,
+     frame gather) allocates records and one frame — never payload-sized
+     scratch. Measured ~3.1k words/segment whole-simulation; the bound
+     is set so reintroducing a per-segment payload copy on the send
+     path (copyin ~260 words + retain ~270 words per MSS) plus noise
+     trips it, while leaving headroom over the measurement. *)
+  let w0 = Gc.minor_words () in
+  let r = W.Ttcp.run ~mb:1 Cfg.library_shm in
+  let w1 = Gc.minor_words () in
+  let per_seg = (w1 -. w0) /. float_of_int r.W.Ttcp.segs_out in
+  if per_seg >= 5000. then
+    Alcotest.failf "send-path allocation regression: %.0f minor words/segment"
+      per_seg
+
+(* --- header prediction ------------------------------------------------- *)
+
+let hit_rate (rc : W.Ttcp.recovery) =
+  let hit = rc.W.Ttcp.predict_hit and miss = rc.W.Ttcp.predict_miss in
+  if hit + miss = 0 then 0.
+  else float_of_int hit /. float_of_int (hit + miss)
+
+(* recovery records with the observational prediction counters blanked,
+   for comparing predict-on against predict-off runs *)
+let strip_predict (rc : W.Ttcp.recovery) =
+  { rc with W.Ttcp.predict_hit = 0; predict_miss = 0 }
+
+let test_predict_hit_rate () =
+  (* Steady-state bulk transfer is the fast path's home turf: nearly
+     every synchronized-state segment (in-order data toward the
+     receiver, pure acks toward the sender) must be predicted. The
+     acceptance bar is 80%; the observed rate is ~99%. *)
+  List.iter
+    (fun config ->
+      let r = W.Ttcp.run ~mb:2 config in
+      let rc = r.W.Ttcp.recovery in
+      "prediction exercised" => (rc.W.Ttcp.predict_hit > 0);
+      let rate = hit_rate rc in
+      if rate < 0.8 then
+        Alcotest.failf "hit rate %.1f%% < 80%% on %s" (100. *. rate)
+          config.Psd_cost.Config.label)
+    [ Cfg.mach25_kernel; Cfg.library_shm_ipf ]
+
+let test_predict_differential_clean () =
+  (* The knob is observational: a clean-wire run with prediction off is
+     bit-identical in virtual time, throughput, and every recovery
+     counter; only the hit/miss counters differ (and are all zero when
+     disabled). *)
+  let on = W.Ttcp.run ~mb:2 Cfg.library_shm_ipf in
+  let off = W.Ttcp.run ~mb:2 ~predict:false Cfg.library_shm_ipf in
+  Alcotest.(check int) "same virtual duration" on.W.Ttcp.elapsed_ns
+    off.W.Ttcp.elapsed_ns;
+  Alcotest.(check int) "same segments" on.W.Ttcp.segs_out off.W.Ttcp.segs_out;
+  "same recovery counters"
+  => (strip_predict on.W.Ttcp.recovery = strip_predict off.W.Ttcp.recovery);
+  Alcotest.(check int) "prediction disabled counts nothing" 0
+    (off.W.Ttcp.recovery.W.Ttcp.predict_hit
+    + off.W.Ttcp.recovery.W.Ttcp.predict_miss)
+
+(* Differential property, mirroring the PR 1 BPF engine-equivalence
+   suite: under arbitrary wire-fault regimes (loss, duplication,
+   reordering, corruption — exercising the out-of-order, dup-ack, and
+   retransmission slow paths the predicate must correctly refuse) a
+   predict-on run and a predict-off run of the same seed produce the
+   same virtual time, the same emitted-segment count, and the same
+   recovery counters. [Ttcp.run] additionally pattern-verifies every
+   delivered byte, so payload integrity is checked inside the property. *)
+let prop_predict_differential =
+  QCheck.Test.make ~name:"ttcp: fast path == slow path under chaos" ~count:8
+    QCheck.(
+      triple (int_bound 1000) (int_range 0 3)
+        (QCheck.make
+           Gen.(oneofl [ `Chaos 0.005; `Chaos 0.02; `Drop 0.03; `None ])))
+    (fun (seed, cfg_i, kind) ->
+      let config =
+        List.nth
+          [
+            Cfg.mach25_kernel; Cfg.library_ipc; Cfg.library_shm;
+            Cfg.library_shm_ipf;
+          ]
+          cfg_i
+      in
+      let fault =
+        match kind with
+        | `Chaos r -> Psd_link.Fault.chaos r
+        | `Drop r -> Psd_link.Fault.drop_only r
+        | `None -> Psd_link.Fault.none
+      in
+      let on = W.Ttcp.run ~mb:1 ~seed ~fault config in
+      let off = W.Ttcp.run ~mb:1 ~seed ~fault ~predict:false config in
+      on.W.Ttcp.elapsed_ns = off.W.Ttcp.elapsed_ns
+      && on.W.Ttcp.segs_out = off.W.Ttcp.segs_out
+      && on.W.Ttcp.kb_per_sec = off.W.Ttcp.kb_per_sec
+      && strip_predict on.W.Ttcp.recovery
+         = strip_predict off.W.Ttcp.recovery)
 
 let () =
   Alcotest.run "psd_workloads"
@@ -204,8 +324,19 @@ let () =
             test_shm_ipf_single_body_copy;
           Alcotest.test_case "placement ordering" `Quick
             test_copies_ordering_across_placements;
+          Alcotest.test_case "tx per placement" `Quick
+            test_tx_copies_per_placement;
           Alcotest.test_case "allocation guard" `Quick
             test_shm_ipf_allocation_guard;
+          Alcotest.test_case "send-path allocation guard" `Quick
+            test_send_path_allocation_guard;
+        ] );
+      ( "predict",
+        [
+          Alcotest.test_case "hit rate >= 80%" `Quick test_predict_hit_rate;
+          Alcotest.test_case "clean-wire differential" `Quick
+            test_predict_differential_clean;
+          QCheck_alcotest.to_alcotest prop_predict_differential;
         ] );
       ( "soak",
         [
