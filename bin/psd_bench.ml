@@ -319,6 +319,101 @@ let predict_cmd =
              results are identical with it on or off.")
     Term.(const run $ mb_arg)
 
+let scale_cmd =
+  let conns_arg =
+    Arg.(
+      value
+      & opt (list int) [ 1_000; 10_000; 100_000 ]
+      & info [ "conns" ] ~docv:"N,N,..."
+          ~doc:"Concurrent-connection counts to sweep.")
+  in
+  let spacing_arg =
+    Arg.(
+      value & opt int 2000
+      & info [ "spacing-us" ] ~docv:"US"
+          ~doc:"Microseconds between consecutive connects.")
+  in
+  let hold_arg =
+    Arg.(
+      value & opt int 5
+      & info [ "hold-s" ] ~docv:"S"
+          ~doc:"Seconds every connection stays open past the ramp, so \
+                all of them overlap at the sampling point.")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 11
+      & info [ "seed" ] ~docv:"SEED" ~doc:"Simulation seed.")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt string "BENCH_scale.json"
+      & info [ "out" ] ~docv:"PATH" ~doc:"Where to write the JSON report.")
+  in
+  let emit_json path spacing_us hold_s seed points =
+    let oc = open_out path in
+    let p fmt = Printf.fprintf oc fmt in
+    p "{\n";
+    p "  \"benchmark\": \"scale\",\n";
+    p "  \"config\": {\n";
+    p "    \"platform\": \"%s\",\n" Cfg.mach25_kernel.Cfg.label;
+    p "    \"spacing_us\": %d,\n" spacing_us;
+    p "    \"hold_s\": %d,\n" hold_s;
+    p "    \"seed\": %d\n" seed;
+    p "  },\n";
+    p "  \"points\": [\n";
+    let n = List.length points in
+    List.iteri
+      (fun i (r : W.Scale.result) ->
+        p "    {\n";
+        p "      \"conns\": %d,\n" r.W.Scale.conns;
+        p "      \"hosts\": %d,\n" r.W.Scale.hosts;
+        p "      \"echoed\": %d,\n" r.W.Scale.echoed;
+        p "      \"failed\": %d,\n" r.W.Scale.failed;
+        p "      \"peak_pcbs\": %d,\n" r.W.Scale.peak_pcbs;
+        p "      \"bytes_per_conn\": %.0f,\n" r.W.Scale.bytes_per_conn;
+        p "      \"bytes_per_pcb\": %.0f,\n" r.W.Scale.bytes_per_pcb;
+        p "      \"events\": %d,\n" r.W.Scale.events;
+        p "      \"virtual_s\": %.3f,\n"
+          (float_of_int r.W.Scale.virtual_ns /. 1e9);
+        p "      \"wall_s\": %.3f,\n" r.W.Scale.wall_s;
+        p "      \"events_per_wall_s\": %.0f,\n" r.W.Scale.events_per_wall_s;
+        p "      \"wall_ms_per_sim_s\": %.1f,\n" r.W.Scale.wall_ms_per_sim_s;
+        p "      \"rexmt_segs\": %d,\n" r.W.Scale.rexmt_segs;
+        p "      \"final_pcbs\": %d\n" r.W.Scale.final_pcbs;
+        p "    }%s\n" (if i = n - 1 then "" else ","))
+      points;
+    p "  ]\n";
+    p "}\n";
+    close_out oc
+  in
+  let run conns spacing_us hold_s seed out =
+    Format.printf "@.=== Control-plane scale sweep (%s) ===@.@."
+      Cfg.mach25_kernel.Cfg.label;
+    let points =
+      List.map
+        (fun c ->
+          let r =
+            W.Scale.run ~conns:c
+              ~spacing_ns:(Psd_sim.Time.us spacing_us)
+              ~hold_ns:(Psd_sim.Time.sec hold_s) ~seed ()
+          in
+          Format.printf "%a@." W.Scale.pp r;
+          r)
+        conns
+    in
+    emit_json out spacing_us hold_s seed points;
+    Format.printf "@.wrote %s@." out
+  in
+  Cmd.v
+    (Cmd.info "scale"
+       ~doc:"Sweep concurrent TCP connection count (default 1k, 10k, \
+             100k) through the gateway topology and report memory per \
+             connection, events/sec, and wall-clock per simulated \
+             second into BENCH_scale.json.")
+    Term.(const run $ conns_arg $ spacing_arg $ hold_arg $ seed_arg $ out_arg)
+
 let all_cmd =
   let run mb rounds =
     W.Tables.figure1 ();
@@ -362,6 +457,7 @@ let main =
       trace_cmd;
       copies_cmd;
       predict_cmd;
+      scale_cmd;
       all_cmd;
     ]
 

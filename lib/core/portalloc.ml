@@ -1,13 +1,29 @@
 type t = {
   used : (int, unit) Hashtbl.t;
   ephemeral_base : int;
+  (* Watermark cursor: ports in [ephemeral_base, next) have been handed
+     out (or skipped over a reservation) at least once; ports >= next
+     are virgin. Fresh allocation bumps the watermark — identical to
+     the old linear scan's pre-wraparound behavior, but with no rescans
+     of the in-use prefix. *)
   mutable next : int;
+  (* Released ephemeral ports below the watermark, recycled FIFO once
+     the virgin space is exhausted (where the old scan would wrap).
+     Entries may be stale (re-reserved since release); [alloc] skips
+     and discards those, and [release] re-enqueues, so each port has at
+     most one *valid* entry at a time. *)
+  free : int Queue.t;
 }
 
 let max_port = 65535
 
 let create ?(ephemeral_base = 1024) () =
-  { used = Hashtbl.create 32; ephemeral_base; next = ephemeral_base }
+  {
+    used = Hashtbl.create 32;
+    ephemeral_base;
+    next = ephemeral_base;
+    free = Queue.create ();
+  }
 
 let in_use t port = Hashtbl.mem t.used port
 
@@ -20,22 +36,33 @@ let reserve t port =
   end
 
 let alloc_ephemeral t =
-  let start = t.next in
-  let rec scan p ~wrapped =
-    if p > max_port then
-      if wrapped then failwith "Portalloc: namespace exhausted"
-      else scan t.ephemeral_base ~wrapped:true
-    else if (not (in_use t p)) && (not wrapped || p < start) then begin
-      Hashtbl.replace t.used p ();
-      t.next <- (if p >= max_port then t.ephemeral_base else p + 1);
-      p
+  let rec fresh () =
+    if t.next > max_port then recycle ()
+    else begin
+      let p = t.next in
+      t.next <- p + 1;
+      if in_use t p then fresh ()
+      else begin
+        Hashtbl.replace t.used p ();
+        p
+      end
     end
-    else if wrapped && p >= start then
-      failwith "Portalloc: namespace exhausted"
-    else scan (p + 1) ~wrapped
+  and recycle () =
+    match Queue.take_opt t.free with
+    | None -> failwith "Portalloc: namespace exhausted"
+    | Some p ->
+      if in_use t p then recycle ()
+      else begin
+        Hashtbl.replace t.used p ();
+        p
+      end
   in
-  scan start ~wrapped:false
+  fresh ()
 
-let release t port = Hashtbl.remove t.used port
+let release t port =
+  if Hashtbl.mem t.used port then begin
+    Hashtbl.remove t.used port;
+    if port >= t.ephemeral_base && port < t.next then Queue.add port t.free
+  end
 
 let count t = Hashtbl.length t.used

@@ -14,7 +14,9 @@ val reserve : t -> int -> (unit, [ `In_use ]) result
 (** Claim a specific port. *)
 
 val alloc_ephemeral : t -> int
-(** Claim the next free ephemeral port.
+(** Claim the next free ephemeral port: amortised O(1) — a rising
+    watermark while virgin ports remain (same order the old linear
+    scan produced), then FIFO recycling of released ports.
     @raise Failure if the namespace is exhausted. *)
 
 val release : t -> int -> unit

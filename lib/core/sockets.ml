@@ -13,7 +13,14 @@ type app = {
   kernel_tcp_ports : Portalloc.t option;
   kernel_udp_ports : Portalloc.t option;
   local_cond : Psd_sim.Cond.t; (* any local socket changed readiness *)
+  (* [sockets] may contain closed entries: [close] only marks and
+     counts them, and the list is compacted once half of it is dead —
+     amortised O(1) per close where eager filtering made closing n
+     sockets O(n²). Every iteration over [sockets] must skip closed
+     entries. *)
   mutable sockets : t list;
+  mutable n_socks : int; (* length of [sockets], dead included *)
+  mutable dead_socks : int; (* closed entries awaiting compaction *)
   mutable forker : (name:string -> app) option;
   mutable next_local_sid : int;
 }
@@ -188,6 +195,7 @@ let make_socket a knd sid =
   Psd_socket.Sockbuf.on_change s.rcv (fun () -> signal_local a);
   Psd_socket.Dgramq.on_change s.dq (fun () -> signal_local a);
   a.sockets <- s :: a.sockets;
+  a.n_socks <- a.n_socks + 1;
   s
 
 let fresh_local_sid a =
@@ -420,7 +428,12 @@ let listen s ?(backlog = 5) () =
     | Some (_, port) ->
       let stack = kstack s.a in
       let listener = Psd_tcp.Tcp.listen (Netstack.tcp stack) ~port ~backlog () in
-      Psd_tcp.Tcp.on_ready listener (fun () -> signal_local s.a);
+      (* wake acceptors on this socket's own condition so an incoming
+         connection resumes only them, not every app-wide waiter; the
+         app-wide signal stays for select() *)
+      Psd_tcp.Tcp.on_ready listener (fun () ->
+          Psd_sim.Cond.broadcast s.conn;
+          signal_local s.a);
       s.loc <- Llisten (listener, stack);
       Ok ()
   end
@@ -441,7 +454,7 @@ let accept s =
       Error ewouldblock
     | Llisten (listener, stack) ->
       let pcb =
-        Psd_sim.Cond.until s.a.local_cond (fun () ->
+        Psd_sim.Cond.until s.conn (fun () ->
             Psd_tcp.Tcp.accept_ready listener)
       in
       let s' = make_socket s.a S.Stream (fresh_local_sid s.a) in
@@ -699,7 +712,13 @@ let select ?timeout_ns socks =
 let close s =
   if not s.closed then begin
     s.closed <- true;
-    s.a.sockets <- List.filter (fun s' -> s' != s) s.a.sockets;
+    let a = s.a in
+    a.dead_socks <- a.dead_socks + 1;
+    if a.dead_socks > 16 && 2 * a.dead_socks >= a.n_socks then begin
+      a.sockets <- List.filter (fun s' -> not s'.closed) a.sockets;
+      a.n_socks <- List.length a.sockets;
+      a.dead_socks <- 0
+    end;
     if in_kernel s.a then begin
       charge_trap s.a;
       (match s.loc with
@@ -748,8 +767,11 @@ let fork a ~name =
   if not (in_kernel a) then
     List.iter
       (fun s ->
-        match s.loc with
-        | Ltcp (pcb, stack) when Psd_tcp.Tcp.state pcb <> Psd_tcp.Tcp.Closed
+        if s.closed then ()
+        else
+          match s.loc with
+          | Ltcp (pcb, stack)
+            when Psd_tcp.Tcp.state pcb <> Psd_tcp.Tcp.Closed
           ->
           let snap = Psd_tcp.Tcp.export pcb in
           (match s.rem with
@@ -790,12 +812,16 @@ let exit a =
   (* abort library-resident connections: RSTs go to the peers *)
   List.iter
     (fun s ->
-      match s.loc with
-      | Ltcp (pcb, _) -> Psd_tcp.Tcp.abort pcb
-      | Ludp (pcb, stack) -> Psd_udp.Udp.close (Netstack.udp stack) pcb
-      | _ -> ())
+      if s.closed then ()
+      else
+        match s.loc with
+        | Ltcp (pcb, _) -> Psd_tcp.Tcp.abort pcb
+        | Ludp (pcb, stack) -> Psd_udp.Udp.close (Netstack.udp stack) pcb
+        | _ -> ())
     a.sockets;
   a.sockets <- [];
+  a.n_socks <- 0;
+  a.dead_socks <- 0;
   Psd_mach.Task.exit a.task
 
 (* ------------------------------------------------------------------ *)
@@ -816,6 +842,8 @@ let make_app ~host ~config ~task ~stack ~call_ctx ~server ~server_app_id
     kernel_udp_ports;
     local_cond = Psd_sim.Cond.create (Psd_mach.Host.eng host);
     sockets = [];
+    n_socks = 0;
+    dead_socks = 0;
     forker = None;
     next_local_sid = -1;
   }
@@ -837,7 +865,10 @@ let shutdown s =
     | _ -> Error "protocol error")
   | _ -> Error "not connected"
 
-let fork_inherited a = List.rev a.sockets
+let fork_inherited a =
+  List.rev (List.filter (fun s -> not s.closed) a.sockets)
 
 let deliver_soft_error a sid msg =
-  List.iter (fun s -> if s.sid = sid then s.soft_err <- Some msg) a.sockets
+  List.iter
+    (fun s -> if s.sid = sid && not s.closed then s.soft_err <- Some msg)
+    a.sockets

@@ -1,6 +1,14 @@
 type t = {
   mutable now : int;
   events : (unit -> unit) Psd_util.Heap.t;
+  (* Re-armable protocol timers live on a hierarchical timing wheel
+     instead of the heap: O(1) cancel/re-arm, and a cancelled timer
+     leaves no dead entry behind (a cancelled [after] stays in the heap
+     until its deadline as a no-op). Heap and wheel share [next_seq],
+     so (key, seq) totally orders events across both queues and
+     dispatch order is identical to a single-queue engine. *)
+  timers : (unit -> unit) Wheel.t;
+  mutable next_seq : int;
   rng : Psd_util.Rng.t;
   mutable alive : int;
   mutable failures : exn list; (* newest first; reversed when read *)
@@ -9,6 +17,8 @@ type t = {
 }
 
 type cancel = unit -> unit
+
+type timer = { mutable tnode : (unit -> unit) Wheel.node option }
 
 type _ Effect.t += Suspend : ((unit -> unit) -> unit) -> unit Effect.t
 
@@ -25,6 +35,8 @@ let create ?(seed = 42) () =
   {
     now = 0;
     events = Psd_util.Heap.create ();
+    timers = Wheel.create ~dummy:(fun () -> ()) ();
+    next_seq = 0;
     rng = Psd_util.Rng.create ~seed;
     alive = 0;
     failures = [];
@@ -36,14 +48,41 @@ let now t = t.now
 
 let rng t = t.rng
 
+let alloc_seq t =
+  let s = t.next_seq in
+  t.next_seq <- s + 1;
+  s
+
 let schedule t dt f =
   if dt < 0 then invalid_arg "Engine.schedule: negative delay";
-  Psd_util.Heap.push t.events ~key:(t.now + dt) f
+  Psd_util.Heap.push_seq t.events ~key:(t.now + dt) ~seq:(alloc_seq t) f
 
 let after t dt f =
   let cancelled = ref false in
   schedule t dt (fun () -> if not !cancelled then f ());
   fun () -> cancelled := true
+
+let timer () = { tnode = None }
+
+let timer_arm t tm dt f =
+  if dt < 0 then invalid_arg "Engine.timer_arm: negative delay";
+  let key = t.now + dt in
+  (* One seq per arm, exactly like the heap push [after] would do, so
+     interleavings with heap events are unchanged. *)
+  let seq = alloc_seq t in
+  match tm.tnode with
+  | Some n ->
+    Wheel.cancel t.timers n;
+    Wheel.reinsert t.timers n ~key ~seq f
+  | None -> tm.tnode <- Some (Wheel.insert t.timers ~key ~seq f)
+
+let timer_cancel t tm =
+  match tm.tnode with
+  | Some n -> Wheel.cancel t.timers n
+  | None -> ()
+
+let timer_armed tm =
+  match tm.tnode with Some n -> Wheel.active n | None -> false
 
 let suspend t register =
   ignore t;
@@ -62,8 +101,11 @@ let sleep t dt =
      identical and skips two heap operations and two effect
      stack-switches.  ~70% of steady-state events are these
      uncontended cost-charge sleeps. *)
-  if target <= t.horizon && Psd_util.Heap.min_key t.events > target then
-    t.now <- target
+  if
+    target <= t.horizon
+    && Psd_util.Heap.min_key t.events > target
+    && Wheel.min_key t.timers > target
+  then t.now <- target
   else Effect.perform (Sleep dt)
 
 let spawn t ?name f =
@@ -108,12 +150,28 @@ let spawn t ?name f =
   t.alive <- t.alive + 1;
   schedule t 0 body
 
+(* Next event across both queues is the (key, seq) minimum; the shared
+   seq counter makes the comparison a strict total order. *)
+let next_key t = min (Psd_util.Heap.min_key t.events) (Wheel.min_key t.timers)
+
 let step t =
-  if Psd_util.Heap.is_empty t.events then false
+  let hk = Psd_util.Heap.min_key t.events in
+  let wk = Wheel.min_key t.timers in
+  if hk = max_int && wk = max_int then false
   else begin
-    t.now <- Psd_util.Heap.min_key t.events;
-    let f = Psd_util.Heap.pop_min t.events in
-    f ();
+    if
+      wk < hk
+      || (wk = hk && Wheel.min_seq t.timers < Psd_util.Heap.min_seq t.events)
+    then begin
+      t.now <- wk;
+      let f = Wheel.pop_min t.timers in
+      f ()
+    end
+    else begin
+      t.now <- hk;
+      let f = Psd_util.Heap.pop_min t.events in
+      f ()
+    end;
     true
   end
 
@@ -135,8 +193,8 @@ let run_until t stop =
   let saved = t.horizon in
   t.horizon <- stop;
   while
-    (not (Psd_util.Heap.is_empty t.events))
-    && Psd_util.Heap.min_key t.events <= stop
+    let nk = next_key t in
+    nk <> max_int && nk <= stop
   do
     ignore (step t)
   done;
@@ -157,4 +215,5 @@ let trace t msg =
   | Some sink -> sink ~time:t.now msg
   | None -> ()
 
-let events_scheduled t = Psd_util.Heap.pushes t.events
+(* heap pushes + wheel arms: one seq is allocated per scheduled event *)
+let events_scheduled t = t.next_seq

@@ -49,6 +49,31 @@ val after : t -> int -> (unit -> unit) -> cancel
 (** Like {!schedule} but cancellable — the shape used for protocol
     timers (retransmit, delayed ACK, 2MSL...). *)
 
+type timer
+(** A re-armable timer slot backed by the engine's hierarchical timing
+    wheel. Functionally equivalent to keeping an {!after} cancel token
+    in a mutable slot, but arm/cancel/re-arm are O(1), cancellation
+    frees the entry immediately (a cancelled {!after} lingers in the
+    event queue as a no-op until its deadline), and re-arming reuses
+    the wheel node so steady-state timer traffic does not allocate.
+    Dispatch order is identical either way: wheel entries carry the
+    same (time, sequence) pair a heap push would have been given. *)
+
+val timer : unit -> timer
+(** A fresh, unarmed timer slot. *)
+
+val timer_arm : t -> timer -> int -> (unit -> unit) -> unit
+(** [timer_arm t tm dt f] fires [f] once, [dt] nanoseconds from now
+    ([f] must not block; spawn a fiber for blocking work). If [tm] is
+    already armed it is rescheduled — equivalent to cancelling the old
+    {!after} and creating a new one. *)
+
+val timer_cancel : t -> timer -> unit
+(** Disarm; idempotent, no-op after firing. *)
+
+val timer_armed : timer -> bool
+(** Whether the timer is armed and has not yet fired. *)
+
 val run : t -> unit
 (** Dispatch events until none remain.
     @raise Failure if any fiber raised; the first exception's message is

@@ -108,11 +108,11 @@ type pcb = {
   mutable rto : int;
   mutable nrexmt : int;
   mutable rtt_timing : (Seq.t * int) option;
-  mutable rexmt_timer : Psd_sim.Engine.cancel option;
-  mutable persist_timer : Psd_sim.Engine.cancel option;
-  mutable delack_timer : Psd_sim.Engine.cancel option;
-  mutable msl_timer : Psd_sim.Engine.cancel option;
-  mutable keep_timer : Psd_sim.Engine.cancel option;
+  (* Wheel-backed timer slots, indexed by [tm_rexmt .. tm_keep];
+     [tm_pending] bit [slot] mirrors what the former per-slot
+     [cancel option] field held ([Some _] = bit set). *)
+  timers : Psd_sim.Engine.timer array;
+  mutable tm_pending : int;
   mutable keepalive : bool;
   mutable last_activity : int;
   mutable keep_probes : int;
@@ -134,10 +134,14 @@ type pcb = {
 }
 
 and listener = {
+  (* accept queue and half-open count are both O(1) per event: the
+     backlog check on each SYN must not scan the connection table, and
+     accept must not rebuild a list *)
   l_t : t;
   l_port : int;
   l_backlog : int;
-  mutable l_queue : pcb list;
+  l_queue : pcb Queue.t;
+  mutable l_half_open : int; (* children in [Syn_received] pointing here *)
   mutable l_ready_cb : unit -> unit;
   mutable l_closed : bool;
 }
@@ -203,9 +207,47 @@ let set_state pcb s =
 
 let eng t = t.ctx.Ctx.eng
 
-let cancel_timer slot =
-  (match slot with Some c -> c () | None -> ());
-  None
+(* ----------------------------------------------------------------- *)
+(* timer slots
+
+   The five per-PCB timers share one wheel-backed slot mechanism:
+   [set_timer] arms slot [i] (cancelling any previous arm) to run its
+   body in a fresh fiber under the instance lock — the exact shape the
+   five hand-rolled [Engine.after]+[spawn] blocks used to have.
+
+   [tm_pending] deliberately tracks the *protocol's* view of each slot
+   rather than the wheel node's linked state: the old code cleared the
+   [cancel option] field at the top of the fire body (inside the lock),
+   leaving a window between pop and body in which a concurrent re-arm
+   installs a fresh token that the body's clear then discards without
+   cancelling. Each fire body clears its bit at the same point the old
+   code assigned [None], so that window — and every spurious re-fire it
+   allows — is reproduced bit-for-bit. *)
+
+let tm_rexmt = 0
+let tm_persist = 1
+let tm_delack = 2
+let tm_msl = 3
+let tm_keep = 4
+let tm_count = 5
+
+let tm_names =
+  [| "tcp-rexmt"; "tcp-persist"; "tcp-delack"; "tcp-2msl"; "tcp-keep" |]
+
+let timer_pending pcb slot = pcb.tm_pending land (1 lsl slot) <> 0
+
+let clear_pending pcb slot =
+  pcb.tm_pending <- pcb.tm_pending land lnot (1 lsl slot)
+
+let stop_timer t pcb slot =
+  clear_pending pcb slot;
+  Psd_sim.Engine.timer_cancel (eng t) pcb.timers.(slot)
+
+let set_timer t pcb slot dt body =
+  pcb.tm_pending <- pcb.tm_pending lor (1 lsl slot);
+  Psd_sim.Engine.timer_arm (eng t) pcb.timers.(slot) dt (fun () ->
+      Psd_sim.Engine.spawn (eng t) ~name:tm_names.(slot) (fun () ->
+          Psd_sim.Lock.with_lock t.lock body))
 
 let fin_seq pcb = Seq.add pcb.data_base (Mbuf.length pcb.sndq)
 
@@ -298,13 +340,23 @@ let deliver_fin pcb =
   if pcb.handlers_set then pcb.handlers.deliver_fin ()
   else pcb.fin_undelivered <- true
 
+(* A pcb leaving the connection table (or completing the handshake)
+   while still attached to its listener comes off that listener's
+   half-open count — the counter tracks exactly the pcbs the old code
+   found by folding over [t.conns] on every SYN. *)
+let detach_listener pcb =
+  match pcb.parent_listener with
+  | Some l ->
+    pcb.parent_listener <- None;
+    l.l_half_open <- l.l_half_open - 1
+  | None -> ()
+
 let drop_pcb t pcb err =
   pcb.dead <- true;
-  pcb.rexmt_timer <- cancel_timer pcb.rexmt_timer;
-  pcb.persist_timer <- cancel_timer pcb.persist_timer;
-  pcb.delack_timer <- cancel_timer pcb.delack_timer;
-  pcb.msl_timer <- cancel_timer pcb.msl_timer;
-  pcb.keep_timer <- cancel_timer pcb.keep_timer;
+  detach_listener pcb;
+  for slot = 0 to tm_count - 1 do
+    stop_timer t pcb slot
+  done;
   t.memo <- None;
   Hashtbl.remove t.conns pcb.key;
   set_state pcb Closed;
@@ -328,16 +380,11 @@ let update_rtt t pcb measured =
     min t.rto_max_ns (max t.rto_min_ns (pcb.srtt + (4 * pcb.rttvar)))
 
 let rec arm_rexmt t pcb =
-  pcb.rexmt_timer <- cancel_timer pcb.rexmt_timer;
-  pcb.rexmt_timer <-
-    Some
-      (Psd_sim.Engine.after (eng t) pcb.rto (fun () ->
-           Psd_sim.Engine.spawn (eng t) ~name:"tcp-rexmt" (fun () ->
-               Psd_sim.Lock.with_lock t.lock (fun () ->
-                   if not pcb.dead then rexmt_fire t pcb))))
+  set_timer t pcb tm_rexmt pcb.rto (fun () ->
+      if not pcb.dead then rexmt_fire t pcb)
 
 and rexmt_fire t pcb =
-  pcb.rexmt_timer <- None;
+  clear_pending pcb tm_rexmt;
   pcb.nrexmt <- pcb.nrexmt + 1;
   if pcb.nrexmt > t.max_rexmt then begin
     (match pcb.state with
@@ -375,74 +422,51 @@ and rexmt_fire t pcb =
   end
 
 and arm_persist t pcb =
-  if pcb.persist_timer = None then
-    pcb.persist_timer <-
-      Some
-        (Psd_sim.Engine.after (eng t) pcb.rto (fun () ->
-             Psd_sim.Engine.spawn (eng t) ~name:"tcp-persist" (fun () ->
-                 Psd_sim.Lock.with_lock t.lock (fun () ->
-                     if not pcb.dead then begin
-                       pcb.persist_timer <- None;
-                       pcb.rto <- min t.rto_max_ns (pcb.rto * 2);
-                       output t pcb ~force:true;
-                       if pcb.snd_wnd = 0 && Mbuf.length pcb.sndq > 0 then
-                         arm_persist t pcb
-                     end))))
+  if not (timer_pending pcb tm_persist) then
+    set_timer t pcb tm_persist pcb.rto (fun () ->
+        if not pcb.dead then begin
+          clear_pending pcb tm_persist;
+          pcb.rto <- min t.rto_max_ns (pcb.rto * 2);
+          output t pcb ~force:true;
+          if pcb.snd_wnd = 0 && Mbuf.length pcb.sndq > 0 then
+            arm_persist t pcb
+        end)
 
 and arm_delack t pcb =
-  if pcb.delack_timer = None then
-    pcb.delack_timer <-
-      Some
-        (Psd_sim.Engine.after (eng t) t.delack_ns (fun () ->
-             Psd_sim.Engine.spawn (eng t) ~name:"tcp-delack" (fun () ->
-                 Psd_sim.Lock.with_lock t.lock (fun () ->
-                     pcb.delack_timer <- None;
-                     if (not pcb.dead) && pcb.delack_pending then begin
-                       t.st.acks_delayed <- t.st.acks_delayed + 1;
-                       send_ack t pcb
-                     end))))
+  if not (timer_pending pcb tm_delack) then
+    set_timer t pcb tm_delack t.delack_ns (fun () ->
+        clear_pending pcb tm_delack;
+        if (not pcb.dead) && pcb.delack_pending then begin
+          t.st.acks_delayed <- t.st.acks_delayed + 1;
+          send_ack t pcb
+        end)
 
 and arm_keepalive t pcb =
-  pcb.keep_timer <- cancel_timer pcb.keep_timer;
-  pcb.keep_timer <-
-    Some
-      (Psd_sim.Engine.after (eng t) t.keep_interval_ns (fun () ->
-           Psd_sim.Engine.spawn (eng t) ~name:"tcp-keep" (fun () ->
-               Psd_sim.Lock.with_lock t.lock (fun () ->
-                   if (not pcb.dead) && pcb.keepalive
-                      && pcb.state = Established
-                   then begin
-                     let idle =
-                       Psd_sim.Engine.now (eng t) - pcb.last_activity
-                     in
-                     if idle >= t.keep_idle_ns then begin
-                       pcb.keep_probes <- pcb.keep_probes + 1;
-                       if pcb.keep_probes > t.keep_max_probes then
-                         drop_pcb t pcb (Some Timed_out)
-                       else begin
-                         (* garbage-sequence probe: elicits a bare ACK *)
-                         emit t ~src_port:pcb.key.lport ~dst:pcb.key.rip
-                           ~dst_port:pcb.key.rport
-                           ~seq:(Seq.sub pcb.snd_una 1) ~ack:pcb.rcv_nxt
-                           ~flags:ack_flags ~window:(rcv_window pcb)
-                           ~mss_opt:None (Mbuf.empty ());
-                         arm_keepalive t pcb
-                       end
-                     end
-                     else begin
-                       pcb.keep_probes <- 0;
-                       arm_keepalive t pcb
-                     end
-                   end))))
+  set_timer t pcb tm_keep t.keep_interval_ns (fun () ->
+      if (not pcb.dead) && pcb.keepalive && pcb.state = Established then begin
+        let idle = Psd_sim.Engine.now (eng t) - pcb.last_activity in
+        if idle >= t.keep_idle_ns then begin
+          pcb.keep_probes <- pcb.keep_probes + 1;
+          if pcb.keep_probes > t.keep_max_probes then
+            drop_pcb t pcb (Some Timed_out)
+          else begin
+            (* garbage-sequence probe: elicits a bare ACK *)
+            emit t ~src_port:pcb.key.lport ~dst:pcb.key.rip
+              ~dst_port:pcb.key.rport ~seq:(Seq.sub pcb.snd_una 1)
+              ~ack:pcb.rcv_nxt ~flags:ack_flags ~window:(rcv_window pcb)
+              ~mss_opt:None (Mbuf.empty ());
+            arm_keepalive t pcb
+          end
+        end
+        else begin
+          pcb.keep_probes <- 0;
+          arm_keepalive t pcb
+        end
+      end)
 
 and arm_msl t pcb =
-  pcb.msl_timer <- cancel_timer pcb.msl_timer;
-  pcb.msl_timer <-
-    Some
-      (Psd_sim.Engine.after (eng t) (2 * t.msl_ns) (fun () ->
-           Psd_sim.Engine.spawn (eng t) ~name:"tcp-2msl" (fun () ->
-               Psd_sim.Lock.with_lock t.lock (fun () ->
-                   if not pcb.dead then drop_pcb t pcb None))))
+  set_timer t pcb tm_msl (2 * t.msl_ns) (fun () ->
+      if not pcb.dead then drop_pcb t pcb None)
 
 (* ----------------------------------------------------------------- *)
 (* output engine                                                      *)
@@ -526,12 +550,15 @@ and output t pcb ~force =
               pcb.rtt_timing <- Some (seq, Psd_sim.Engine.now (eng t));
             pcb.snd_max <- pcb.snd_nxt
           end;
-          if pcb.rexmt_timer = None && (len > 0 || fin_to_send) then
+          if (not (timer_pending pcb tm_rexmt)) && (len > 0 || fin_to_send)
+          then
             arm_rexmt t pcb;
           (* keep sending while full-size segments fit in the window *)
           if len = pcb.mss && not force then continue := true
         end
-        else if remaining > 0 && pcb.snd_wnd = 0 && pcb.rexmt_timer = None
+        else if
+          remaining > 0 && pcb.snd_wnd = 0
+          && not (timer_pending pcb tm_rexmt)
         then arm_persist t pcb
       end
     done;
@@ -568,11 +595,8 @@ let make_pcb t ~key ~state ~handlers ~rcv_buf ~mss =
     rto = t.rto_init_ns;
     nrexmt = 0;
     rtt_timing = None;
-    rexmt_timer = None;
-    persist_timer = None;
-    delack_timer = None;
-    msl_timer = None;
-    keep_timer = None;
+    timers = Array.init tm_count (fun _ -> Psd_sim.Engine.timer ());
+    tm_pending = 0;
     keepalive = false;
     last_activity = 0;
     keep_probes = 0;
@@ -604,10 +628,10 @@ let establish t pcb =
   pcb.handlers.on_established ();
   match pcb.parent_listener with
   | Some l when not l.l_closed ->
-    pcb.parent_listener <- None;
-    l.l_queue <- l.l_queue @ [ pcb ];
+    detach_listener pcb;
+    Queue.add pcb l.l_queue;
     l.l_ready_cb ()
-  | Some _ -> pcb.parent_listener <- None
+  | Some _ -> detach_listener pcb
   | None -> ()
 
 (* Splice the reassembly queue: deliver everything now contiguous. *)
@@ -671,15 +695,7 @@ let handle_listener t (l : listener) (seg : Segment.t) ~from_ip =
     send_rst_for t seg ~data_len:0 ~to_ip:from_ip
   else if seg.Segment.flags.Segment.syn then begin
     (* half-open children count against the backlog too *)
-    let half_open =
-      Hashtbl.fold
-        (fun _ p acc ->
-          match p.parent_listener with
-          | Some l' when l' == l -> acc + 1
-          | _ -> acc)
-        t.conns 0
-    in
-    if half_open + List.length l.l_queue >= l.l_backlog then ()
+    if l.l_half_open + Queue.length l.l_queue >= l.l_backlog then ()
     (* drop: queue full *)
     else begin
       let key =
@@ -706,6 +722,7 @@ let handle_listener t (l : listener) (seg : Segment.t) ~from_ip =
       pcb.snd_wl1 <- seg.Segment.seq;
       pcb.snd_wl2 <- pcb.iss;
       pcb.parent_listener <- Some l;
+      l.l_half_open <- l.l_half_open + 1;
       t.memo <- None;
       Hashtbl.replace t.conns key pcb;
       (* SYN-ACK *)
@@ -748,7 +765,7 @@ let handle_syn_sent t pcb (seg : Segment.t) payload =
     if ack_acceptable then begin
       (* our SYN is acked: connection complete *)
       pcb.snd_una <- seg.Segment.ack;
-      pcb.rexmt_timer <- cancel_timer pcb.rexmt_timer;
+      stop_timer t pcb tm_rexmt;
       pcb.nrexmt <- 0;
       pcb.ack_now <- true;
       establish t pcb;
@@ -788,7 +805,7 @@ let process_ack t pcb (seg : Segment.t) =
         t.st.fast_rexmt <- t.st.fast_rexmt + 1;
         let inflight = max pcb.mss (Seq.diff pcb.snd_max pcb.snd_una) in
         pcb.ssthresh <- max (2 * pcb.mss) (min inflight pcb.snd_wnd / 2);
-        pcb.rexmt_timer <- cancel_timer pcb.rexmt_timer;
+        stop_timer t pcb tm_rexmt;
         pcb.rtt_timing <- None;
         let onxt = pcb.snd_nxt in
         pcb.snd_nxt <- pcb.snd_una;
@@ -835,8 +852,7 @@ let process_ack t pcb (seg : Segment.t) =
     pcb.snd_una <- ack;
     if Seq.lt pcb.snd_nxt pcb.snd_una then pcb.snd_nxt <- pcb.snd_una;
     pcb.nrexmt <- 0;
-    if Seq.diff pcb.snd_max pcb.snd_una = 0 then
-      pcb.rexmt_timer <- cancel_timer pcb.rexmt_timer
+    if Seq.diff pcb.snd_max pcb.snd_una = 0 then stop_timer t pcb tm_rexmt
     else arm_rexmt t pcb;
     if data_acked > 0 then pcb.handlers.on_acked data_acked;
     (* state transitions on FIN acknowledgement *)
@@ -930,7 +946,7 @@ let handle_synchronized t pcb (seg : Segment.t) payload =
           pcb.snd_wnd <- seg.Segment.window;
           pcb.snd_wl1 <- !seq;
           pcb.snd_wl2 <- seg.Segment.ack;
-          if opened then pcb.persist_timer <- cancel_timer pcb.persist_timer
+          if opened then stop_timer t pcb tm_persist
         end;
         (* data *)
         let seg_len = Mbuf.length payload in
@@ -1021,7 +1037,7 @@ let fast_synchronized t pcb (seg : Segment.t) payload =
       pcb.snd_wnd <- seg.Segment.window;
       pcb.snd_wl1 <- seq;
       pcb.snd_wl2 <- seg.Segment.ack;
-      if opened then pcb.persist_timer <- cancel_timer pcb.persist_timer
+      if opened then stop_timer t pcb tm_persist
     end;
     let seg_len = Mbuf.length payload in
     if seg_len > 0 then begin
@@ -1212,7 +1228,8 @@ let listen t ~port ?(backlog = 5) () =
           l_t = t;
           l_port = port;
           l_backlog = max 1 backlog;
-          l_queue = [];
+          l_queue = Queue.create ();
+          l_half_open = 0;
           l_ready_cb = (fun () -> ());
           l_closed = false;
         }
@@ -1220,23 +1237,18 @@ let listen t ~port ?(backlog = 5) () =
       Hashtbl.replace t.listeners port l;
       l)
 
-let accept_ready l =
-  match l.l_queue with
-  | [] -> None
-  | pcb :: rest ->
-    l.l_queue <- rest;
-    Some pcb
+let accept_ready l = Queue.take_opt l.l_queue
 
 let on_ready l cb = l.l_ready_cb <- cb
 
-let pending l = List.length l.l_queue
+let pending l = Queue.length l.l_queue
 
 let close_listener t l =
   Psd_sim.Lock.with_lock t.lock (fun () ->
       l.l_closed <- true;
       Hashtbl.remove t.listeners l.l_port;
       (* connections still queued are aborted *)
-      List.iter
+      Queue.iter
         (fun pcb ->
           t.st.rst_out <- t.st.rst_out + 1;
           let flags = { Segment.no_flags with Segment.rst = true } in
@@ -1245,7 +1257,7 @@ let close_listener t l =
             ~mss_opt:None (Mbuf.empty ());
           drop_pcb t pcb None)
         l.l_queue;
-      l.l_queue <- [])
+      Queue.clear l.l_queue)
 
 (* Completion of a passively-opened connection: queue it on its
    listener. Called from process_ack's Syn_received -> Established
@@ -1401,11 +1413,10 @@ let export pcb =
       in
       (* Detach without emitting anything: the session is in transit. *)
       pcb.dead <- true;
-      pcb.rexmt_timer <- cancel_timer pcb.rexmt_timer;
-      pcb.persist_timer <- cancel_timer pcb.persist_timer;
-      pcb.delack_timer <- cancel_timer pcb.delack_timer;
-      pcb.msl_timer <- cancel_timer pcb.msl_timer;
-      pcb.keep_timer <- cancel_timer pcb.keep_timer;
+      detach_listener pcb;
+      for slot = 0 to tm_count - 1 do
+        stop_timer t pcb slot
+      done;
       t.memo <- None;
       Hashtbl.remove t.conns pcb.key;
       snap)
@@ -1472,8 +1483,7 @@ let set_keepalive pcb v =
   Psd_sim.Lock.with_lock t.lock (fun () ->
       pcb.keepalive <- v;
       pcb.last_activity <- Psd_sim.Engine.now (eng t);
-      if v then arm_keepalive t pcb
-      else pcb.keep_timer <- cancel_timer pcb.keep_timer)
+      if v then arm_keepalive t pcb else stop_timer t pcb tm_keep)
 
 let can_send pcb =
   (not pcb.dead) && (not pcb.fin_wanted)

@@ -36,9 +36,13 @@ let grow h filler =
   h.seqs <- seqs;
   h.vals <- vals
 
-let push h ~key value =
-  let seq = h.next_seq in
-  h.next_seq <- seq + 1;
+(* [seq] must exceed every seq currently in the heap — callers either
+   let [push] draw from the internal counter or supply their own
+   monotone counter shared with other queues (the engine shares one
+   counter between the heap and the timing wheel so that cross-queue
+   (key, seq) order is a total order over all events). *)
+let push_seq h ~key ~seq value =
+  if seq >= h.next_seq then h.next_seq <- seq + 1;
   if h.n = Array.length h.keys then grow h value;
   let keys = h.keys and seqs = h.seqs and vals = h.vals in
   (* hole bubble-up; the fresh element holds the largest seq, so a key
@@ -59,6 +63,8 @@ let push h ~key value =
   keys.(!i) <- key;
   seqs.(!i) <- seq;
   vals.(!i) <- value
+
+let push h ~key value = push_seq h ~key ~seq:h.next_seq value
 
 let pop_min h =
   if h.n = 0 then invalid_arg "Heap.pop_min: empty";
@@ -109,6 +115,8 @@ let peek_key h = if h.n = 0 then None else Some h.keys.(0)
 
 (* allocation-free peek for hot paths; empty heap reads as +inf *)
 let min_key h = if h.n = 0 then max_int else h.keys.(0)
+
+let min_seq h = if h.n = 0 then max_int else h.seqs.(0)
 
 let size h = h.n
 

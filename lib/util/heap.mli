@@ -10,6 +10,12 @@ val create : unit -> 'a t
 
 val push : 'a t -> key:int -> 'a -> unit
 
+val push_seq : 'a t -> key:int -> seq:int -> 'a -> unit
+(** Like {!push} with a caller-supplied tie-break sequence number.
+    [seq] must be strictly greater than every seq currently in the
+    heap; used when several queues share one monotone counter so that
+    (key, seq) totally orders entries across all of them. *)
+
 val pop : 'a t -> (int * 'a) option
 (** Remove and return the minimum-keyed element, FIFO among equal keys. *)
 
@@ -18,6 +24,9 @@ val peek_key : 'a t -> int option
 (** [min_key h] is the smallest key, or [max_int] when empty.
     Allocation-free variant of {!peek_key} for hot paths. *)
 val min_key : 'a t -> int
+
+val min_seq : 'a t -> int
+(** Tie-break seq of the minimum entry, or [max_int] when empty. *)
 
 (** [pop_min h] removes and returns the minimum entry's value without
     allocating. Raises [Invalid_argument] on an empty heap; pair with

@@ -1,0 +1,243 @@
+(* Control-plane scale workload: many client hosts drive a large number
+   of concurrent TCP connections through a gateway router to one
+   server, exercising exactly the machinery ROADMAP item 3 calls out —
+   per-connection timers (wheel), ephemeral-port allocation, listener
+   backlog/accept paths, and per-connection memory.
+
+   Topology:
+
+     client[0..h-1]  --- segment A --- router --- segment B --- server
+     10.0.1.1..h          (shared)   .254 / .254   (shared)     10.0.2.1
+
+   Each connection: connect, send one ping, read the echo, then hold
+   the connection open until a common close deadline so that all
+   [conns] connections are simultaneously established at the sampling
+   point; then close and drain (FIN exchanges + 2MSL).
+
+   Connects are staggered [spacing_ns] apart, round-robin across
+   client hosts, to keep the SYN arrival rate under the server's
+   simulated service rate — otherwise the backlog overflows and the
+   sweep measures retransmission storms rather than steady-state
+   control-plane behavior.
+
+   Wall-clock is measured around the whole simulation; the GC walks
+   used for the memory samples are timed and excluded so events/sec
+   reflects simulator throughput, not measurement overhead. *)
+
+open Psd_core
+
+type result = {
+  conns : int;
+  hosts : int;
+  connected : int;
+  echoed : int;
+  failed : int;
+  peak_pcbs : int; (* live PCBs (all stacks) at the sampling point *)
+  bytes_per_conn : float; (* full footprint: pcbs, sockets, fibers *)
+  bytes_per_pcb : float;
+  events : int;
+  virtual_ns : int;
+  wall_s : float;
+  events_per_wall_s : float;
+  wall_ms_per_sim_s : float;
+  rexmt_segs : int;
+  injected : int;
+  final_pcbs : int; (* leak check: should be 0 after the drain *)
+}
+
+let server_port = 4000
+
+(* at most 250 client hosts fit the 10.0.1.0/24 segment *)
+let max_hosts = 250
+
+let ok what = function Ok v -> v | Error e -> failwith (what ^ ": " ^ e)
+
+let run ?(config = Psd_cost.Config.mach25_kernel) ?(conns = 1000)
+    ?(per_host = 500) ?(bps = 100_000_000)
+    ?(spacing_ns = Psd_sim.Time.us 2000) ?(hold_ns = Psd_sim.Time.sec 5)
+    ?(ping_bytes = 64) ?(backlog = 4096) ?(seed = 11) ?fault () =
+  let hosts = min max_hosts ((conns + per_host - 1) / per_host) in
+  let eng = Psd_sim.Engine.create ~seed () in
+  let seg_a = Psd_link.Segment.create eng ~bps () in
+  let seg_b = Psd_link.Segment.create eng ~bps () in
+  let wire_faults =
+    match fault with
+    | Some policy when not (Psd_link.Fault.is_null policy) ->
+      List.map
+        (fun seg ->
+          let f =
+            Psd_link.Fault.create
+              ~rng:(Psd_util.Rng.split (Psd_sim.Engine.rng eng))
+              policy
+          in
+          Psd_link.Segment.set_fault seg (Some f);
+          f)
+        [ seg_a; seg_b ]
+    | _ -> []
+  in
+  let server =
+    System.create ~eng ~segment:seg_b ~config ~addr:"10.0.2.1" ~name:"srv" ()
+  in
+  let clients =
+    Array.init hosts (fun h ->
+        System.create ~eng ~segment:seg_a ~config
+          ~addr:(Printf.sprintf "10.0.1.%d" (h + 1))
+          ~name:(Printf.sprintf "cli%d" h)
+          ())
+  in
+  let _router =
+    Router.create ~eng ~name:"gw"
+      ~ifaces:[ (seg_a, "10.0.1.254"); (seg_b, "10.0.2.254") ]
+      ()
+  in
+  Array.iter
+    (fun sys ->
+      System.add_route sys ~net:"10.0.2.0" ~mask:"255.255.255.0"
+        ~gateway:"10.0.1.254")
+    clients;
+  System.add_route server ~net:"10.0.1.0" ~mask:"255.255.255.0"
+    ~gateway:"10.0.2.254";
+  let all_systems = server :: Array.to_list clients in
+  let total_pcbs () =
+    List.fold_left
+      (fun acc sys ->
+        match System.kernel_stack sys with
+        | Some stack -> acc + Psd_tcp.Tcp.active_pcbs (Netstack.tcp stack)
+        | None -> acc)
+      0 all_systems
+  in
+  (* server: accept forever, echo each connection until EOF *)
+  let srv_app = System.app server ~name:"scale-srv" in
+  Psd_sim.Engine.spawn eng ~name:"scale-accept" (fun () ->
+      let l = Sockets.stream srv_app in
+      ignore (ok "scale bind" (Sockets.bind l ~port:server_port ()));
+      ok "scale listen" (Sockets.listen l ~backlog ());
+      let rec loop () =
+        let c = ok "scale accept" (Sockets.accept l) in
+        Psd_sim.Engine.spawn eng ~name:"scale-echo" (fun () ->
+            let rec echo () =
+              match Sockets.recv c ~max:65536 with
+              | Ok "" | Error _ -> Sockets.close c
+              | Ok d -> (
+                match Sockets.send c d with
+                | Ok _ -> echo ()
+                | Error _ -> Sockets.close c)
+            in
+            echo ());
+        loop ()
+      in
+      loop ());
+  (* Baseline after the topology is built but before any per-connection
+     state exists: the delta at peak is what [conns] connections cost. *)
+  Gc.full_major ();
+  let base_words = (Gc.stat ()).Gc.live_words in
+  let connected = ref 0 and echoed = ref 0 and failed = ref 0 in
+  let ramp_ns = conns * spacing_ns in
+  let close_at = ramp_ns + hold_ns in
+  let ping = String.init ping_bytes (fun i -> Char.chr (i land 0xff)) in
+  for h = 0 to hosts - 1 do
+    let app =
+      System.app clients.(h) ~name:(Printf.sprintf "scale-cli%d" h)
+    in
+    (* connection [g] lives on host [g mod hosts]: consecutive connects
+       land on distinct hosts *)
+    let g = ref h in
+    while !g < conns do
+      let start_ns = !g * spacing_ns in
+      Psd_sim.Engine.spawn eng ~name:"scale-conn" (fun () ->
+          Psd_sim.Engine.sleep eng start_ns;
+          let s = Sockets.stream app in
+          match Sockets.connect s (System.addr server) server_port with
+          | Error _ ->
+            incr failed;
+            Sockets.close s
+          | Ok () ->
+            incr connected;
+            let finish okp =
+              if okp then incr echoed else incr failed;
+              (* hold until the common deadline, then depart staggered —
+                 a synchronized mass-close would measure a FIN
+                 retransmission storm, not control-plane costs *)
+              let leave_at = close_at + (start_ns / 2) in
+              let nowv = Psd_sim.Engine.now eng in
+              if leave_at > nowv then
+                Psd_sim.Engine.sleep eng (leave_at - nowv);
+              Sockets.close s
+            in
+            (match Sockets.send s ping with
+            | Error _ -> finish false
+            | Ok _ ->
+              let rec drain got =
+                if got >= ping_bytes then finish true
+                else
+                  match Sockets.recv s ~max:(ping_bytes - got) with
+                  | Ok "" | Error _ -> finish false
+                  | Ok d -> drain (got + String.length d)
+              in
+              drain 0));
+      g := !g + hosts
+    done
+  done;
+  (* Drive the ramp in fixed virtual-time chunks until every connection
+     resolved (echo or failure) or the close deadline arrives; the
+     chunking depends only on deterministic state, so two runs with one
+     seed take identical schedules. *)
+  let wall0 = Unix.gettimeofday () in
+  let chunk = Psd_sim.Time.ms 200 in
+  while
+    !echoed + !failed < conns && Psd_sim.Engine.now eng < close_at
+  do
+    Psd_sim.Engine.run_for eng chunk
+  done;
+  (* peak sample: all surviving connections are concurrently open *)
+  let peak_pcbs = total_pcbs () in
+  let gc0 = Unix.gettimeofday () in
+  Gc.full_major ();
+  let peak_words = (Gc.stat ()).Gc.live_words in
+  let gc_cost = Unix.gettimeofday () -. gc0 in
+  (* staggered departures + FIN exchanges + TIME_WAIT drain *)
+  let drain_until = close_at + (ramp_ns / 2) + Psd_sim.Time.sec 70 in
+  let nowv = Psd_sim.Engine.now eng in
+  if drain_until > nowv then Psd_sim.Engine.run_for eng (drain_until - nowv);
+  let wall_s = Unix.gettimeofday () -. wall0 -. gc_cost in
+  let delta_bytes = float_of_int ((peak_words - base_words) * 8) in
+  let events = Psd_sim.Engine.events_scheduled eng in
+  let virtual_ns = Psd_sim.Engine.now eng in
+  let rexmt_segs =
+    List.fold_left
+      (fun acc sys ->
+        List.fold_left
+          (fun acc st -> acc + st.Psd_tcp.Tcp.rexmt_segs)
+          acc
+          (System.stacks_tcp_stats sys))
+      0 all_systems
+  in
+  {
+    conns;
+    hosts;
+    connected = !connected;
+    echoed = !echoed;
+    failed = !failed;
+    peak_pcbs;
+    bytes_per_conn = delta_bytes /. float_of_int (max 1 conns);
+    bytes_per_pcb = delta_bytes /. float_of_int (max 1 peak_pcbs);
+    events;
+    virtual_ns;
+    wall_s;
+    events_per_wall_s = float_of_int events /. wall_s;
+    wall_ms_per_sim_s =
+      wall_s *. 1000. /. (float_of_int virtual_ns /. 1e9);
+    rexmt_segs;
+    injected =
+      List.fold_left
+        (fun acc f -> acc + Psd_link.Fault.injected (Psd_link.Fault.stats f))
+        0 wire_faults;
+    final_pcbs = total_pcbs ();
+  }
+
+let pp fmt r =
+  Format.fprintf fmt
+    "%7d conns  %3d hosts | %7d echoed %5d failed | %8.0f B/conn %8.0f \
+     B/pcb | %9d events  %8.0f ev/s  %6.1f wall-ms/sim-s | %d rexmt"
+    r.conns r.hosts r.echoed r.failed r.bytes_per_conn r.bytes_per_pcb
+    r.events r.events_per_wall_s r.wall_ms_per_sim_s r.rexmt_segs

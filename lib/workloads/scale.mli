@@ -1,0 +1,45 @@
+(** Control-plane scale workload: [conns] concurrent TCP connections
+    from many client hosts, through a gateway router, to one server.
+
+    Connections ramp up staggered, all hold open simultaneously at the
+    sampling point (memory per connection via [Gc] live-word deltas),
+    then close and drain through TIME_WAIT. Reported wall-clock
+    excludes the GC walks taken for the memory samples. *)
+
+type result = {
+  conns : int;
+  hosts : int; (* client hosts used (max 250 per /24) *)
+  connected : int;
+  echoed : int; (* connections that completed an echo round-trip *)
+  failed : int;
+  peak_pcbs : int; (* live PCBs across all stacks at the peak *)
+  bytes_per_conn : float; (* GC delta / conns: pcbs, sockets, fibers *)
+  bytes_per_pcb : float; (* GC delta / peak_pcbs *)
+  events : int; (* total events scheduled over the run *)
+  virtual_ns : int;
+  wall_s : float;
+  events_per_wall_s : float;
+  wall_ms_per_sim_s : float; (* wall cost of one simulated second *)
+  rexmt_segs : int;
+  injected : int; (* wire faults injected, when a policy is set *)
+  final_pcbs : int; (* after close + drain; 0 means no PCB leak *)
+}
+
+val run :
+  ?config:Psd_cost.Config.t ->
+  ?conns:int ->
+  ?per_host:int ->
+  ?bps:int ->
+  ?spacing_ns:int ->
+  ?hold_ns:int ->
+  ?ping_bytes:int ->
+  ?backlog:int ->
+  ?seed:int ->
+  ?fault:Psd_link.Fault.policy ->
+  unit ->
+  result
+(** Defaults: Mach 2.5 in-kernel stacks, 1000 connections, 500 per
+    client host, 100 Mb/s segments, one connect per 2 ms, 5 s hold,
+    64-byte ping, backlog 4096, seed 11, no faults. *)
+
+val pp : Format.formatter -> result -> unit

@@ -256,6 +256,189 @@ let test_determinism () =
     "different seed different trace" true
     (run_simulation 11 <> run_simulation 12)
 
+(* --- Timing wheel ---------------------------------------------------- *)
+
+let test_wheel_same_key_fifo () =
+  let w = Wheel.create ~dummy:(-1) () in
+  for i = 0 to 9 do
+    ignore (Wheel.insert w ~key:100 ~seq:i i)
+  done;
+  let out = List.init 10 (fun _ -> Wheel.pop_min w) in
+  Alcotest.(check (list int)) "fifo" [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ] out;
+  Alcotest.(check bool) "empty" true (Wheel.is_empty w)
+
+let test_wheel_cascade_boundaries () =
+  (* keys straddling slot/level boundaries pop in key order *)
+  let w = Wheel.create ~dummy:(-1) () in
+  let keys = [ 255; 256; 257; 65535; 65536; 16777216; 1; 0 ] in
+  List.iteri (fun i k -> ignore (Wheel.insert w ~key:k ~seq:i k)) keys;
+  let out = List.init (List.length keys) (fun _ -> Wheel.pop_min w) in
+  Alcotest.(check (list int))
+    "sorted" (List.sort compare keys) out
+
+let test_wheel_cancel_min () =
+  let w = Wheel.create ~dummy:(-1) () in
+  let a = Wheel.insert w ~key:10 ~seq:0 1 in
+  let _b = Wheel.insert w ~key:20 ~seq:1 2 in
+  Alcotest.(check int) "min is a" 10 (Wheel.min_key w);
+  Wheel.cancel w a;
+  Wheel.cancel w a (* idempotent *);
+  Alcotest.(check int) "min now b" 20 (Wheel.min_key w);
+  Alcotest.(check int) "pops b" 2 (Wheel.pop_min w);
+  Alcotest.(check bool) "empty" true (Wheel.is_empty w)
+
+let test_wheel_reinsert_after_cancel () =
+  let w = Wheel.create ~dummy:(-1) () in
+  let n = Wheel.insert w ~key:50 ~seq:0 1 in
+  Wheel.cancel w n;
+  Wheel.reinsert w n ~key:30 ~seq:1 2;
+  Alcotest.(check bool) "active" true (Wheel.active n);
+  Alcotest.(check int) "new key" 30 (Wheel.min_key w);
+  Alcotest.(check int) "new value" 2 (Wheel.pop_min w);
+  Alcotest.(check bool) "inactive after fire" false (Wheel.active n)
+
+(* Differential property backing the timer migration: a wheel and the
+   4-ary heap fed the same (key, seq) stream — under random insert /
+   cancel / advance (pop) interleavings, with re-arms reusing cancelled
+   nodes — fire the exact same (key, seq, value) sequence. Keys span
+   several wheel levels so the cascade paths are exercised, and every
+   insert respects the advance-to-min-only restriction (key >= the last
+   popped key), exactly as Engine.timer_arm guarantees. *)
+let prop_wheel_heap_differential =
+  let op_gen =
+    QCheck.Gen.(
+      frequency
+        [
+          (3, map (fun d -> `Ins d) (int_bound 255));
+          (2, map (fun d -> `Ins d) (int_bound 65_535));
+          (2, map (fun d -> `Ins d) (int_bound (1 lsl 24)));
+          (1, map (fun d -> `Ins d) (int_bound (1 lsl 40)));
+          (3, map (fun i -> `Cancel i) (int_bound 10_000));
+          (3, return `Pop);
+        ])
+  in
+  let print_op = function
+    | `Ins d -> Printf.sprintf "Ins %d" d
+    | `Cancel i -> Printf.sprintf "Cancel %d" i
+    | `Pop -> "Pop"
+  in
+  QCheck.Test.make ~name:"wheel: fires in heap (key, seq) order" ~count:300
+    QCheck.(
+      list_of_size Gen.(1 -- 150)
+        (make ~print:print_op op_gen))
+    (fun ops ->
+      let w = Wheel.create ~dummy:(-1) () in
+      let h = Psd_util.Heap.create () in
+      let seq = ref 0 in
+      let floor = ref 0 in
+      (* live: (seq, node) for entries possibly still armed; freed:
+         unlinked nodes available for reinsert *)
+      let live = ref [] in
+      let freed = ref [] in
+      let cancelled = Hashtbl.create 64 in
+      let wheel_fired = ref [] in
+      let heap_fired = ref [] in
+      let pop_heap_live () =
+        let rec go () =
+          if Psd_util.Heap.is_empty h then None
+          else begin
+            let k = Psd_util.Heap.min_key h in
+            let s = Psd_util.Heap.min_seq h in
+            let v = Psd_util.Heap.pop_min h in
+            if Hashtbl.mem cancelled s then go () else Some (k, s, v)
+          end
+        in
+        go ()
+      in
+      let pop_both () =
+        match pop_heap_live () with
+        | None ->
+          if not (Wheel.is_empty w) then
+            QCheck.Test.fail_report "wheel non-empty after heap drained"
+        | Some (k, s, v) ->
+          heap_fired := (k, s, v) :: !heap_fired;
+          let wk = Wheel.min_key w in
+          let ws = Wheel.min_seq w in
+          let wv = Wheel.pop_min w in
+          floor := k;
+          wheel_fired := (wk, ws, wv) :: !wheel_fired
+      in
+      let insert delta =
+        let key = !floor + delta in
+        let s = !seq in
+        incr seq;
+        let node =
+          match !freed with
+          | n :: rest ->
+            freed := rest;
+            Wheel.reinsert w n ~key ~seq:s s;
+            n
+          | [] -> Wheel.insert w ~key ~seq:s s
+        in
+        Psd_util.Heap.push_seq h ~key ~seq:s s;
+        live := (s, node) :: !live
+      in
+      List.iter
+        (function
+          | `Ins delta -> insert delta
+          | `Pop -> pop_both ()
+          | `Cancel i -> (
+            match !live with
+            | [] -> ()
+            | l ->
+              let n = List.length l in
+              let idx = i mod n in
+              let s, node = List.nth l idx in
+              live := List.filteri (fun j _ -> j <> idx) l;
+              if Wheel.active node then begin
+                Wheel.cancel w node;
+                Hashtbl.replace cancelled s ();
+                freed := node :: !freed
+              end))
+        ops;
+      while not (Psd_util.Heap.is_empty h) do
+        pop_both ()
+      done;
+      if not (Wheel.is_empty w) then
+        QCheck.Test.fail_report "wheel retains entries after drain";
+      !wheel_fired = !heap_fired)
+
+(* Cross-queue ordering: timers (wheel) and scheduled events (heap)
+   due at the same instant fire in global arm/schedule order, because
+   both draw seqs from the engine's single counter. *)
+let test_timer_heap_same_instant_fifo () =
+  let eng = Engine.create () in
+  let log = ref [] in
+  let push tag () = log := tag :: !log in
+  let t1 = Engine.timer () and t2 = Engine.timer () in
+  Engine.schedule eng 100 (push "h1");
+  Engine.timer_arm eng t1 100 (push "w1");
+  Engine.schedule eng 100 (push "h2");
+  Engine.timer_arm eng t2 100 (push "w2");
+  Engine.schedule eng 100 (push "h3");
+  Engine.run eng;
+  Alcotest.(check (list string))
+    "arm order" [ "h1"; "w1"; "h2"; "w2"; "h3" ] (List.rev !log)
+
+let test_timer_cancel_and_rearm () =
+  let eng = Engine.create () in
+  let fired = ref [] in
+  let t = Engine.timer () in
+  Engine.timer_arm eng t 50 (fun () -> fired := 50 :: !fired);
+  (* re-arm before expiry: only the new deadline fires *)
+  Engine.schedule eng 10 (fun () ->
+      Engine.timer_arm eng t 200 (fun () ->
+          fired := Engine.now eng :: !fired));
+  Engine.run eng;
+  Alcotest.(check (list int)) "one firing, re-armed deadline" [ 210 ] !fired;
+  Alcotest.(check bool) "disarmed after fire" false (Engine.timer_armed t);
+  let t2 = Engine.timer () in
+  Engine.timer_arm eng t2 30 (fun () -> fired := -1 :: !fired);
+  Engine.timer_cancel eng t2;
+  Alcotest.(check bool) "cancel disarms" false (Engine.timer_armed t2);
+  Engine.run eng;
+  Alcotest.(check (list int)) "cancelled never fires" [ 210 ] !fired
+
 let prop_sleep_sums =
   QCheck.Test.make ~name:"engine: sequential sleeps sum" ~count:100
     QCheck.(list_of_size Gen.(1 -- 10) (int_bound 10_000))
@@ -284,6 +467,20 @@ let () =
           Alcotest.test_case "deadlock detectable" `Quick
             test_deadlock_detectable;
           QCheck_alcotest.to_alcotest prop_sleep_sums;
+        ] );
+      ( "wheel",
+        [
+          Alcotest.test_case "same-key fifo" `Quick test_wheel_same_key_fifo;
+          Alcotest.test_case "cascade boundaries" `Quick
+            test_wheel_cascade_boundaries;
+          Alcotest.test_case "cancel min" `Quick test_wheel_cancel_min;
+          Alcotest.test_case "reinsert after cancel" `Quick
+            test_wheel_reinsert_after_cancel;
+          QCheck_alcotest.to_alcotest prop_wheel_heap_differential;
+          Alcotest.test_case "timer/heap same-instant fifo" `Quick
+            test_timer_heap_same_instant_fifo;
+          Alcotest.test_case "timer cancel + re-arm" `Quick
+            test_timer_cancel_and_rearm;
         ] );
       ( "cond",
         [

@@ -300,6 +300,55 @@ let prop_predict_differential =
       && strip_predict on.W.Ttcp.recovery
          = strip_predict off.W.Ttcp.recovery)
 
+(* --- control-plane scale -------------------------------------------- *)
+
+let test_scale_smoke () =
+  let r = W.Scale.run ~conns:2000 () in
+  Alcotest.(check int) "all echoed" 2000 r.W.Scale.echoed;
+  Alcotest.(check int) "no failures" 0 r.W.Scale.failed;
+  Alcotest.(check int) "no PCB leak after drain" 0 r.W.Scale.final_pcbs;
+  Alcotest.(check int) "clean wire, no retransmissions" 0 r.W.Scale.rexmt_segs;
+  (* budget: observed ~4.1 KB/conn (two PCBs per connection plus
+     sockets, buffers and fibers); 4x headroom before this trips *)
+  if r.W.Scale.bytes_per_conn >= 16_384. then
+    Alcotest.failf "%.0f bytes/conn over the 16 KB budget"
+      r.W.Scale.bytes_per_conn;
+  if r.W.Scale.bytes_per_pcb >= 8_192. then
+    Alcotest.failf "%.0f bytes/pcb over the 8 KB budget"
+      r.W.Scale.bytes_per_pcb
+
+(* Strip the wall-clock and GC-derived fields; what remains is the
+   deterministic transcript of the run. *)
+let scale_transcript (r : W.Scale.result) =
+  {
+    r with
+    W.Scale.wall_s = 0.;
+    events_per_wall_s = 0.;
+    wall_ms_per_sim_s = 0.;
+    bytes_per_conn = 0.;
+    bytes_per_pcb = 0.;
+  }
+
+let test_scale_chaos_soak_deterministic () =
+  (* 10k concurrent connections under wire chaos (loss, duplication,
+     reordering, corruption on both segments), twice with one seed:
+     every event count, fault count, and TCP counter must replay
+     exactly. This is the whole-control-plane determinism check for
+     the timing-wheel engine. *)
+  let soak () =
+    W.Scale.run ~conns:10_000 ~seed:23
+      ~fault:(Psd_link.Fault.chaos 0.002) ()
+  in
+  let a = soak () in
+  let b = soak () in
+  "chaos exercised" => (a.W.Scale.injected > 0);
+  "rexmt exercised" => (a.W.Scale.rexmt_segs > 0);
+  "most connections still complete"
+  => (a.W.Scale.echoed > 9_000);
+  if scale_transcript a <> scale_transcript b then
+    Alcotest.failf "soak transcripts diverge:@.%a@.%a" W.Scale.pp a
+      W.Scale.pp b
+
 let () =
   Alcotest.run "psd_workloads"
     [
@@ -346,5 +395,11 @@ let () =
           Alcotest.test_case "chaos 16MB" `Slow test_loss_soak_16mb;
           Alcotest.test_case "clean wire" `Quick
             test_clean_wire_reports_no_faults;
+        ] );
+      ( "scale",
+        [
+          Alcotest.test_case "smoke 2k conns" `Quick test_scale_smoke;
+          Alcotest.test_case "chaos soak 10k deterministic" `Quick
+            test_scale_chaos_soak_deterministic;
         ] );
     ]
