@@ -23,8 +23,8 @@ type t = {
   mutable tx_blocked : int;
 }
 
-let create host segment ~mac =
-  let nic = Psd_link.Segment.attach segment ~mac in
+let create ?(shard = 0) host segment ~mac =
+  let nic = Psd_link.Segment.attach_on segment ~shard ~mac in
   let t =
     {
       host;
@@ -79,6 +79,8 @@ let create host segment ~mac =
 let mac t = Psd_link.Segment.mac t.nic
 
 let host t = t.host
+
+let wire_busy_ns t = Psd_link.Segment.nic_busy_ns t.nic
 
 let set_rx_mode t mode = t.mode <- mode
 

@@ -19,11 +19,20 @@ type rx_mode =
 
 type filter_id
 
-val create : Host.t -> Psd_link.Segment.t -> mac:Psd_link.Macaddr.t -> t
+val create :
+  ?shard:int -> Host.t -> Psd_link.Segment.t -> mac:Psd_link.Macaddr.t -> t
+(** [?shard] (default 0) places the NIC on that shard of a duplex
+    segment (see {!Psd_link.Segment.attach_on}); the host must have
+    been built on the same shard's engine. *)
 
 val mac : t -> Psd_link.Macaddr.t
 
 val host : t -> Host.t
+
+val wire_busy_ns : t -> int
+(** Cumulative transmit serialisation time of this device's NIC on a
+    duplex segment (0 on a classic shared segment, whose busy time is
+    segment-wide). Safe to read from the owning shard. *)
 
 val set_rx_mode : t -> rx_mode -> unit
 

@@ -57,6 +57,17 @@ let schedule t dt f =
   if dt < 0 then invalid_arg "Engine.schedule: negative delay";
   Psd_util.Heap.push_seq t.events ~key:(t.now + dt) ~seq:(alloc_seq t) f
 
+(* Absolute-key scheduling, for the shard layer: a cross-shard arrival
+   carries the virtual time it was computed for on the sending shard;
+   the receiving engine allocates the seq at injection, exactly as a
+   local [schedule] at the same instant would. *)
+let schedule_abs t ~key f =
+  if key < t.now then
+    invalid_arg
+      (Printf.sprintf "Engine.schedule_abs: key %d is before now %d" key
+         t.now);
+  Psd_util.Heap.push_seq t.events ~key ~seq:(alloc_seq t) f
+
 let after t dt f =
   let cancelled = ref false in
   schedule t dt (fun () -> if not !cancelled then f ());
@@ -203,6 +214,26 @@ let run_until t stop =
   check_failures t
 
 let run_for t dt = run_until t (t.now + dt)
+
+(* Windowed dispatch for the shard layer: execute every event with
+   key < [bound] and stop, leaving the clock at the last dispatched
+   event (NOT advanced to the bound — the conservative horizon is
+   exclusive, and the next window may open below it).  The sleep-bypass
+   horizon is set to [bound - 1] so a sleep that would cross the window
+   suspends through the Sleep effect instead of advancing the clock
+   into territory another shard may still inject events into.
+   Failures are left accumulated for the shard layer to aggregate. *)
+let run_below t bound =
+  let saved = t.horizon in
+  t.horizon <- bound - 1;
+  while next_key t < bound do
+    ignore (step t)
+  done;
+  t.horizon <- saved
+
+(* Force the clock forward at the end of a sharded run, mirroring what
+   [run_until] does when the last event precedes the stop time. *)
+let advance_to t time = if time > t.now then t.now <- time
 
 let alive t = t.alive
 

@@ -45,6 +45,14 @@ val schedule : t -> int -> (unit -> unit) -> unit
 (** [schedule t dt f] runs callback [f] (not a fiber; it must not block)
     [dt] nanoseconds from now. *)
 
+val schedule_abs : t -> key:int -> (unit -> unit) -> unit
+(** [schedule_abs t ~key f] runs callback [f] at absolute virtual time
+    [key] (which must be [>= now t]). The sequence number is allocated
+    at the moment of the call, exactly as [schedule t (key - now t) f]
+    would — this is the injection primitive {!Shard} uses to deliver
+    cross-shard arrivals with single-engine dispatch order.
+    @raise Invalid_argument if [key] is in the past. *)
+
 val after : t -> int -> (unit -> unit) -> cancel
 (** Like {!schedule} but cancellable — the shape used for protocol
     timers (retransmit, delayed ACK, 2MSL...). *)
@@ -85,6 +93,25 @@ val run_until : t -> int -> unit
 
 val run_for : t -> int -> unit
 (** [run_for t dt] = [run_until t (now t + dt)]. *)
+
+val next_key : t -> int
+(** Virtual time of the earliest pending event across both queues
+    (heap and wheel), or [max_int] when the engine is idle. This is the
+    quantity the shard layer publishes to compute conservative
+    horizons. *)
+
+val run_below : t -> int -> unit
+(** [run_below t bound] dispatches every pending event with
+    key [< bound] — one conservative window of a sharded run. Unlike
+    {!run_until} the clock is left at the last dispatched event rather
+    than advanced to the bound, and fiber failures are accumulated
+    (see {!failures}) rather than raised; the shard layer aggregates
+    them when the whole run completes. *)
+
+val advance_to : t -> int -> unit
+(** Force the clock forward to the given absolute time if it is ahead
+    of [now] (used by the shard layer at the end of a run; events must
+    not be pending below that time). *)
 
 val alive : t -> int
 (** Number of fibers spawned but not yet finished. After {!run} returns,

@@ -171,10 +171,30 @@ and t = {
   (* header-prediction fast path enabled (observational knob: on or
      off, every virtual-time outcome is identical — see fast_synchronized) *)
   mutable predict : bool;
+  (* maintained-count hook: called with +1/-1 as connections enter and
+     leave [conns], so callers tracking populations over many stacks
+     (the scale workloads) read a counter instead of walking stacks —
+     per-tick stats stay O(1) in the connection count *)
+  mutable conn_gauge : (int -> unit) option;
   st : stats;
 }
 
 let stats t = t.st
+
+let set_conn_gauge t g = t.conn_gauge <- Some g
+
+(* The two [conns] mutation helpers keep the gauge exact even if a
+   caller double-removes: the delta is derived from table membership. *)
+let conns_insert t key pcb =
+  let fresh = not (Hashtbl.mem t.conns key) in
+  Hashtbl.replace t.conns key pcb;
+  if fresh then match t.conn_gauge with Some g -> g 1 | None -> ()
+
+let conns_remove t key =
+  if Hashtbl.mem t.conns key then begin
+    Hashtbl.remove t.conns key;
+    match t.conn_gauge with Some g -> g (-1) | None -> ()
+  end
 
 let set_predict t v = t.predict <- v
 
@@ -358,7 +378,7 @@ let drop_pcb t pcb err =
     stop_timer t pcb slot
   done;
   t.memo <- None;
-  Hashtbl.remove t.conns pcb.key;
+  conns_remove t pcb.key;
   set_state pcb Closed;
   match err with Some e -> pcb.handlers.on_error e | None -> ()
 
@@ -724,7 +744,7 @@ let handle_listener t (l : listener) (seg : Segment.t) ~from_ip =
       pcb.parent_listener <- Some l;
       l.l_half_open <- l.l_half_open + 1;
       t.memo <- None;
-      Hashtbl.replace t.conns key pcb;
+      conns_insert t key pcb;
       (* SYN-ACK *)
       let flags =
         { Segment.no_flags with Segment.syn = true; ack = true }
@@ -1169,6 +1189,7 @@ let create ~ctx ~ip ?(mss = 1460) ?(msl_ns = Psd_sim.Time.sec 30)
       listeners = Hashtbl.create 8;
       muted = Hashtbl.create 8;
       predict = true;
+      conn_gauge = None;
       st =
         {
           segs_out = 0;
@@ -1211,7 +1232,7 @@ let connect t ?(handlers = null_handlers) ?(claim_data = true)
       pcb.snd_max <- pcb.snd_nxt;
       pcb.data_base <- Seq.add pcb.iss 1;
       t.memo <- None;
-      Hashtbl.replace t.conns key pcb;
+      conns_insert t key pcb;
       let flags = { Segment.no_flags with Segment.syn = true } in
       emit t ~src_port ~dst ~dst_port ~seq:pcb.iss ~ack:0 ~flags
         ~window:(rcv_window pcb) ~mss_opt:(Some t.default_mss)
@@ -1418,7 +1439,7 @@ let export pcb =
         stop_timer t pcb slot
       done;
       t.memo <- None;
-      Hashtbl.remove t.conns pcb.key;
+      conns_remove t pcb.key;
       snap)
 
 let import t ~handlers snap =
@@ -1456,7 +1477,7 @@ let import t ~handlers snap =
       pcb.delack_pending <- snap.s_delack_pending;
       Mbuf.concat pcb.sndq (Mbuf.of_string snap.s_sndq);
       t.memo <- None;
-      Hashtbl.replace t.conns pcb.key pcb;
+      conns_insert t pcb.key pcb;
       (* Re-deliver data that was buffered but not yet consumed. *)
       if String.length snap.s_undelivered > 0 then
         handlers.deliver (Mbuf.of_string snap.s_undelivered);

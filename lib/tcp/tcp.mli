@@ -192,6 +192,13 @@ val cwnd : pcb -> int
 val stats : t -> stats
 val active_pcbs : t -> int
 
+val set_conn_gauge : t -> (int -> unit) -> unit
+(** Install a maintained-count hook: called with [+1] when a PCB enters
+    the connection table (passive open, connect, import) and [-1] when
+    one leaves (drop, export). Lets a workload tracking the total PCB
+    population over many stacks keep a counter instead of walking every
+    stack per sample — O(1) per tick regardless of connection count. *)
+
 (* --- session migration ------------------------------------------------- *)
 
 type snapshot

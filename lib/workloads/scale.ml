@@ -98,14 +98,18 @@ let run ?(config = Psd_cost.Config.mach25_kernel) ?(conns = 1000)
   System.add_route server ~net:"10.0.1.0" ~mask:"255.255.255.0"
     ~gateway:"10.0.2.254";
   let all_systems = server :: Array.to_list clients in
-  let total_pcbs () =
-    List.fold_left
-      (fun acc sys ->
-        match System.kernel_stack sys with
-        | Some stack -> acc + Psd_tcp.Tcp.active_pcbs (Netstack.tcp stack)
-        | None -> acc)
-      0 all_systems
-  in
+  (* Maintained PCB population: each kernel stack bumps the counter as
+     connections enter/leave its table, so sampling is O(1) instead of
+     a walk over every host's stack. *)
+  let live_pcbs = ref 0 in
+  List.iter
+    (fun sys ->
+      match System.kernel_stack sys with
+      | Some stack ->
+        Psd_tcp.Tcp.set_conn_gauge (Netstack.tcp stack) (fun d ->
+            live_pcbs := !live_pcbs + d)
+      | None -> ())
+    all_systems;
   (* server: accept forever, echo each connection until EOF *)
   let srv_app = System.app server ~name:"scale-srv" in
   Psd_sim.Engine.spawn eng ~name:"scale-accept" (fun () ->
@@ -190,7 +194,7 @@ let run ?(config = Psd_cost.Config.mach25_kernel) ?(conns = 1000)
     Psd_sim.Engine.run_for eng chunk
   done;
   (* peak sample: all surviving connections are concurrently open *)
-  let peak_pcbs = total_pcbs () in
+  let peak_pcbs = !live_pcbs in
   let gc0 = Unix.gettimeofday () in
   Gc.full_major ();
   let peak_words = (Gc.stat ()).Gc.live_words in
@@ -232,7 +236,211 @@ let run ?(config = Psd_cost.Config.mach25_kernel) ?(conns = 1000)
       List.fold_left
         (fun acc f -> acc + Psd_link.Fault.injected (Psd_link.Fault.stats f))
         0 wire_faults;
-    final_pcbs = total_pcbs ();
+    final_pcbs = !live_pcbs;
+  }
+
+(* Host-sharded variant: the server and the gateway router stay on
+   shard 0; client hosts round-robin over shards 1..n-1 (all on shard 0
+   when [nshards = 1]). Both segments are full-duplex so per-NIC
+   transmit state shards cleanly, with [prop_ns] propagation delay
+   setting the conservative lookahead window. Differences from [run],
+   chosen for partition-independence:
+   - per-shard counters (connected/echoed/failed, PCB gauges), each
+     written only by its own domain and summed between rounds;
+   - wire faults are per-receiving-NIC processes on the client and
+     server NICs (not the router's), with RNG streams derived from the
+     workload seed and the host index — one seed fixes one fault
+     schedule for every shard count. *)
+let run_par ?(config = Psd_cost.Config.mach25_kernel) ?(conns = 1000)
+    ?(per_host = 500) ?(bps = 100_000_000)
+    ?(spacing_ns = Psd_sim.Time.us 2000) ?(hold_ns = Psd_sim.Time.sec 5)
+    ?(ping_bytes = 64) ?(backlog = 4096) ?(seed = 11) ?fault
+    ?(nshards = 2) ?(domains = true) ?(prop_ns = Psd_sim.Time.ms 1) () =
+  let hosts = min max_hosts ((conns + per_host - 1) / per_host) in
+  let shard = Psd_sim.Shard.create ~seed ~n:nshards () in
+  let shard_of h = if nshards = 1 then 0 else 1 + (h mod (nshards - 1)) in
+  let eng0 = Psd_sim.Shard.engine shard 0 in
+  let seg_a = Psd_link.Segment.create_duplex shard ~bps ~prop_ns () in
+  let seg_b = Psd_link.Segment.create_duplex shard ~bps ~prop_ns () in
+  let server =
+    System.create ~eng:eng0 ~segment:seg_b ~shard:0 ~config ~addr:"10.0.2.1"
+      ~name:"srv" ()
+  in
+  let clients =
+    Array.init hosts (fun h ->
+        System.create
+          ~eng:(Psd_sim.Shard.engine shard (shard_of h))
+          ~segment:seg_a ~shard:(shard_of h) ~config
+          ~addr:(Printf.sprintf "10.0.1.%d" (h + 1))
+          ~name:(Printf.sprintf "cli%d" h)
+          ())
+  in
+  let _router =
+    Router.create ~eng:eng0 ~shard:0 ~name:"gw"
+      ~ifaces:[ (seg_a, "10.0.1.254"); (seg_b, "10.0.2.254") ]
+      ()
+  in
+  Array.iter
+    (fun sys ->
+      System.add_route sys ~net:"10.0.2.0" ~mask:"255.255.255.0"
+        ~gateway:"10.0.1.254")
+    clients;
+  System.add_route server ~net:"10.0.1.0" ~mask:"255.255.255.0"
+    ~gateway:"10.0.2.254";
+  let all_systems = server :: Array.to_list clients in
+  let wire_faults =
+    match fault with
+    | Some policy when not (Psd_link.Fault.is_null policy) ->
+      List.mapi
+        (fun i sys ->
+          let f =
+            Psd_link.Fault.create
+              ~rng:(Psd_util.Rng.create ~seed:(seed + (7919 * (i + 1))))
+              policy
+          in
+          Psd_mach.Netdev.set_fault (System.netdev sys) (Some f);
+          f)
+        all_systems
+    | _ -> []
+  in
+  (* Per-shard cells, each written only by the domain that owns the
+     shard; the driver loop reads them between rounds, when the domains
+     are joined. *)
+  let connected = Array.make nshards 0
+  and echoed = Array.make nshards 0
+  and failed = Array.make nshards 0
+  and live_pcbs = Array.make nshards 0 in
+  let cell a s = a.(s) <- a.(s) + 1 in
+  let sum a = Array.fold_left ( + ) 0 a in
+  List.iteri
+    (fun i sys ->
+      let s = if i = 0 then 0 else shard_of (i - 1) in
+      match System.kernel_stack sys with
+      | Some stack ->
+        Psd_tcp.Tcp.set_conn_gauge (Netstack.tcp stack) (fun d ->
+            live_pcbs.(s) <- live_pcbs.(s) + d)
+      | None -> ())
+    all_systems;
+  let srv_app = System.app server ~name:"scale-srv" in
+  Psd_sim.Engine.spawn eng0 ~name:"scale-accept" (fun () ->
+      let l = Sockets.stream srv_app in
+      ignore (ok "scale bind" (Sockets.bind l ~port:server_port ()));
+      ok "scale listen" (Sockets.listen l ~backlog ());
+      let rec loop () =
+        let c = ok "scale accept" (Sockets.accept l) in
+        Psd_sim.Engine.spawn eng0 ~name:"scale-echo" (fun () ->
+            let rec echo () =
+              match Sockets.recv c ~max:65536 with
+              | Ok "" | Error _ -> Sockets.close c
+              | Ok d -> (
+                match Sockets.send c d with
+                | Ok _ -> echo ()
+                | Error _ -> Sockets.close c)
+            in
+            echo ());
+        loop ()
+      in
+      loop ());
+  Gc.full_major ();
+  let base_words = (Gc.stat ()).Gc.live_words in
+  let ramp_ns = conns * spacing_ns in
+  let close_at = ramp_ns + hold_ns in
+  let ping = String.init ping_bytes (fun i -> Char.chr (i land 0xff)) in
+  for h = 0 to hosts - 1 do
+    let s = shard_of h in
+    let ceng = Psd_sim.Shard.engine shard s in
+    let app =
+      System.app clients.(h) ~name:(Printf.sprintf "scale-cli%d" h)
+    in
+    let g = ref h in
+    while !g < conns do
+      let start_ns = !g * spacing_ns in
+      Psd_sim.Engine.spawn ceng ~name:"scale-conn" (fun () ->
+          Psd_sim.Engine.sleep ceng start_ns;
+          let sck = Sockets.stream app in
+          match Sockets.connect sck (System.addr server) server_port with
+          | Error _ ->
+            cell failed s;
+            Sockets.close sck
+          | Ok () ->
+            cell connected s;
+            let finish okp =
+              cell (if okp then echoed else failed) s;
+              let leave_at = close_at + (start_ns / 2) in
+              let nowv = Psd_sim.Engine.now ceng in
+              if leave_at > nowv then
+                Psd_sim.Engine.sleep ceng (leave_at - nowv);
+              Sockets.close sck
+            in
+            (match Sockets.send sck ping with
+            | Error _ -> finish false
+            | Ok _ ->
+              let rec drain got =
+                if got >= ping_bytes then finish true
+                else
+                  match Sockets.recv sck ~max:(ping_bytes - got) with
+                  | Ok "" | Error _ -> finish false
+                  | Ok d -> drain (got + String.length d)
+              in
+              drain 0));
+      g := !g + hosts
+    done
+  done;
+  let wall0 = Unix.gettimeofday () in
+  let chunk = Psd_sim.Time.ms 200 in
+  while
+    sum echoed + sum failed < conns && Psd_sim.Shard.now shard < close_at
+  do
+    Psd_sim.Shard.run_for ~domains shard chunk
+  done;
+  let peak_pcbs = sum live_pcbs in
+  let gc0 = Unix.gettimeofday () in
+  Gc.full_major ();
+  let peak_words = (Gc.stat ()).Gc.live_words in
+  let gc_cost = Unix.gettimeofday () -. gc0 in
+  let drain_until = close_at + (ramp_ns / 2) + Psd_sim.Time.sec 70 in
+  let nowv = Psd_sim.Shard.now shard in
+  if drain_until > nowv then
+    Psd_sim.Shard.run_for ~domains shard (drain_until - nowv);
+  let wall_s = Unix.gettimeofday () -. wall0 -. gc_cost in
+  let delta_bytes = float_of_int ((peak_words - base_words) * 8) in
+  let events = ref 0 in
+  for i = 0 to nshards - 1 do
+    events :=
+      !events
+      + Psd_sim.Engine.events_scheduled (Psd_sim.Shard.engine shard i)
+  done;
+  let events = !events in
+  let virtual_ns = Psd_sim.Shard.now shard in
+  let rexmt_segs =
+    List.fold_left
+      (fun acc sys ->
+        List.fold_left
+          (fun acc st -> acc + st.Psd_tcp.Tcp.rexmt_segs)
+          acc
+          (System.stacks_tcp_stats sys))
+      0 all_systems
+  in
+  {
+    conns;
+    hosts;
+    connected = sum connected;
+    echoed = sum echoed;
+    failed = sum failed;
+    peak_pcbs;
+    bytes_per_conn = delta_bytes /. float_of_int (max 1 conns);
+    bytes_per_pcb = delta_bytes /. float_of_int (max 1 peak_pcbs);
+    events;
+    virtual_ns;
+    wall_s;
+    events_per_wall_s = float_of_int events /. wall_s;
+    wall_ms_per_sim_s = wall_s *. 1000. /. (float_of_int virtual_ns /. 1e9);
+    rexmt_segs;
+    injected =
+      List.fold_left
+        (fun acc f -> acc + Psd_link.Fault.injected (Psd_link.Fault.stats f))
+        0 wire_faults;
+    final_pcbs = sum live_pcbs;
   }
 
 let pp fmt r =

@@ -42,4 +42,32 @@ val run :
     client host, 100 Mb/s segments, one connect per 2 ms, 5 s hold,
     64-byte ping, backlog 4096, seed 11, no faults. *)
 
+val run_par :
+  ?config:Psd_cost.Config.t ->
+  ?conns:int ->
+  ?per_host:int ->
+  ?bps:int ->
+  ?spacing_ns:int ->
+  ?hold_ns:int ->
+  ?ping_bytes:int ->
+  ?backlog:int ->
+  ?seed:int ->
+  ?fault:Psd_link.Fault.policy ->
+  ?nshards:int ->
+  ?domains:bool ->
+  ?prop_ns:int ->
+  unit ->
+  result
+(** Domain-parallel variant of {!run} on a conservative
+    {!Psd_sim.Shard} engine: server and router on shard 0, client hosts
+    round-robin over the remaining shards, both segments full-duplex
+    with [prop_ns] (default 1 ms) propagation delay setting the
+    lookahead window. For any [nshards] and either [domains] setting
+    the connection outcome counters, PCB population, and virtual time
+    are bit-identical — the parallel differential suite enforces it.
+    Wire faults are per-receiving-NIC on client and server hosts with
+    RNG streams derived from [seed] and the host index, so one seed
+    fixes one fault schedule for every shard count ([events] and
+    wall-clock fields do legitimately vary between modes). *)
+
 val pp : Format.formatter -> result -> unit

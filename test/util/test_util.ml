@@ -316,6 +316,36 @@ let test_rng_split_independent () =
   let x = Rng.next r and y = Rng.next r2 in
   Alcotest.(check bool) "streams differ" true (x <> y)
 
+(* Copy accounting must survive concurrent charges: every count from
+   every domain lands in the totals (atomic counters, and sums are
+   interleaving-independent). *)
+let test_copies_multi_domain () =
+  Psd_util.Copies.reset ();
+  let per_domain = 10_000 and ndom = 4 in
+  let doms =
+    Array.init ndom (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to per_domain do
+              Psd_util.Copies.count Psd_util.Copies.Wire 64;
+              Psd_util.Copies.count Psd_util.Copies.Rx_ring ~n:2 128
+            done))
+  in
+  Array.iter Domain.join doms;
+  Alcotest.(check int) "wire copies" (ndom * per_domain)
+    (Psd_util.Copies.copies Psd_util.Copies.Wire);
+  Alcotest.(check int) "wire bytes"
+    (ndom * per_domain * 64)
+    (Psd_util.Copies.bytes Psd_util.Copies.Wire);
+  Alcotest.(check int) "ring copies"
+    (ndom * per_domain * 2)
+    (Psd_util.Copies.copies Psd_util.Copies.Rx_ring);
+  Alcotest.(check int) "ring bytes"
+    (ndom * per_domain * 128)
+    (Psd_util.Copies.bytes Psd_util.Copies.Rx_ring);
+  Psd_util.Copies.reset ();
+  Alcotest.(check int) "reset" 0
+    (Psd_util.Copies.copies Psd_util.Copies.Wire)
+
 let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
 
 let () =
@@ -370,5 +400,10 @@ let () =
           Alcotest.test_case "seed differs" `Quick test_rng_seed_differs;
           Alcotest.test_case "bounds" `Quick test_rng_bounds;
           Alcotest.test_case "split" `Quick test_rng_split_independent;
+        ] );
+      ( "copies",
+        [
+          Alcotest.test_case "multi-domain counts survive" `Quick
+            test_copies_multi_domain;
         ] );
     ]
