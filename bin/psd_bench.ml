@@ -278,14 +278,32 @@ let copies_cmd =
       (fun config ->
         let r = W.Copymeter.run ~count ~size config in
         Format.printf "%a@." W.Copymeter.pp r)
-      Cfg.decstation_rows
+      (Cfg.decstation_rows @ Cfg.newapi_rows);
+    (* The NEWAPI-SHM-IPF row is the paper's end state — zero receive
+       body copies (the application reads the packet where the filter
+       deposited it) and the single transmit gather. Enforce it here so
+       the recorded bench output cannot silently regress. *)
+    let r = W.Copymeter.run ~count ~size Cfg.library_newapi_shm_ipf in
+    if r.W.Copymeter.rx_body_copies <> 0 then
+      failwith
+        (Printf.sprintf
+           "copies: NEWAPI-SHM-IPF performed %d rx body copies (want 0)"
+           r.W.Copymeter.rx_body_copies);
+    if r.W.Copymeter.tx_body_copies <> r.W.Copymeter.sent then
+      failwith
+        (Printf.sprintf
+           "copies: NEWAPI-SHM-IPF performed %d tx body copies (want %d)"
+           r.W.Copymeter.tx_body_copies r.W.Copymeter.sent);
+    Format.printf
+      "NEWAPI-SHM-IPF verified: 0 rx body copies, 1 tx gather per packet@."
   in
   Cmd.v
     (Cmd.info "copies"
        ~doc:"Count the data-touching copies each placement performs per \
              packet, transmit and receive (the measurement behind the \
              single-copy claim for the SHM-IPF datapath: one tx gather, \
-             one rx delivery copy).")
+             one rx delivery copy — and zero rx body copies under the \
+             shared-buffer NEWAPI).")
     Term.(const run $ count_arg $ size_arg)
 
 let predict_cmd =

@@ -13,7 +13,7 @@ type server_binding = {
   mutable b_listener : Psd_tcp.Tcp.listener option;
   mutable b_udp : Psd_udp.Udp.pcb option;
   b_rcv : Psd_socket.Sockbuf.t;
-  b_dq : Psd_socket.Dgramq.t;
+  b_dq : string Psd_socket.Dgramq.t;
   b_acked : Psd_sim.Cond.t;
   b_accept : Psd_sim.Cond.t;
 }

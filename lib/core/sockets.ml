@@ -31,7 +31,7 @@ and t = {
   sid : S.sid;
   mutable loc : loc;
   rcv : Psd_socket.Sockbuf.t;
-  dq : Psd_socket.Dgramq.t;
+  dq : dgram_payload Psd_socket.Dgramq.t;
   acked : Psd_sim.Cond.t;
   conn : Psd_sim.Cond.t;
   mutable conn_ok : bool;
@@ -45,7 +45,21 @@ and t = {
   mutable closed : bool;
   mutable soft_err : string option; (* e.g. ICMP port unreachable *)
   mutable nonblocking : bool;
+  (* NEWAPI send-completion discipline: [send_owned] hands ownership of
+     a caller buffer to the stack until every byte of that send is
+     acknowledged. Thresholds are cumulative enqueued-byte counts (the
+     classic [send] path maintains the counter too, so owned and copied
+     sends interleave correctly); completions are FIFO, drained from the
+     TCP [on_acked] stream. *)
+  mutable tx_enqueued_total : int;
+  mutable tx_acked_total : int;
+  tx_completions : (int * (unit -> unit)) Queue.t;
 }
+
+(* What a datagram socket queues: the classic API stores a cooked
+   string (the copy-out happened at delivery), the NEWAPI stores the
+   payload view itself, loaned to the application at receive time. *)
+and dgram_payload = Cooked of string | Loaned of Psd_mbuf.Mbuf.t
 
 and loc =
   | Fresh
@@ -190,6 +204,9 @@ let make_socket a knd sid =
       closed = false;
       soft_err = None;
       nonblocking = false;
+      tx_enqueued_total = 0;
+      tx_acked_total = 0;
+      tx_completions = Queue.create ();
     }
   in
   Psd_socket.Sockbuf.on_change s.rcv (fun () -> signal_local a);
@@ -203,22 +220,62 @@ let fresh_local_sid a =
   a.next_local_sid <- sid - 1;
   sid
 
+(* Socket creation reports failures through the [result] API like every
+   other call: an [Rs_err] from the operating-system server carries the
+   cause (unknown application, resource exhaustion, ...) and it must
+   reach the caller instead of collapsing into a generic exception. *)
 let create_socket a knd =
-  if in_kernel a then make_socket a knd (fresh_local_sid a)
+  if in_kernel a then Ok (make_socket a knd (fresh_local_sid a))
   else begin
     let app_id = Option.get a.server_app_id in
     match
       Psd_mach.Ipc.call (server_port a) ~ctx:a.call_ctx ~phase:Phase.Control
         (S.R_socket { kind = knd; app = app_id })
     with
-    | S.Rs_socket sid -> make_socket a knd sid
-    | S.Rs_err e -> failwith ("socket: " ^ e)
-    | _ -> failwith "socket: protocol error"
+    | S.Rs_socket sid -> Ok (make_socket a knd sid)
+    | S.Rs_err e -> Error e
+    | _ -> Error "unexpected reply to socket request"
   end
 
-let stream a = create_socket a S.Stream
+let try_stream a = create_socket a S.Stream
 
-let dgram a = create_socket a S.Dgram
+let try_dgram a = create_socket a S.Dgram
+
+(* Convenience constructors; even these keep the server's error text. *)
+let stream a =
+  match try_stream a with
+  | Ok s -> s
+  | Error e -> failwith ("socket: " ^ e)
+
+let dgram a =
+  match try_dgram a with
+  | Ok s -> s
+  | Error e -> failwith ("socket: " ^ e)
+
+(* ------------------------------------------------------------------ *)
+(* NEWAPI send-completion bookkeeping                                  *)
+
+(* Fire every completion whose byte threshold has been acknowledged.
+   FIFO: thresholds are registered in enqueue order and are monotone,
+   so the queue head is always the earliest outstanding send. *)
+let drain_tx_completions s =
+  let rec go () =
+    match Queue.peek_opt s.tx_completions with
+    | Some (threshold, k) when s.tx_acked_total >= threshold ->
+      ignore (Queue.pop s.tx_completions);
+      k ();
+      go ()
+    | _ -> ()
+  in
+  go ()
+
+(* On error or close the stack gives the buffers back unconditionally —
+   a completion that can never fire would strand the caller's memory. *)
+let fire_all_tx_completions s =
+  while not (Queue.is_empty s.tx_completions) do
+    let _, k = Queue.pop s.tx_completions in
+    k ()
+  done
 
 (* ------------------------------------------------------------------ *)
 (* handlers wiring for library/kernel-resident sessions                *)
@@ -244,7 +301,9 @@ let stream_handlers s (stack : Netstack.t) =
         s.conn_ok <- true;
         Psd_sim.Cond.broadcast s.conn);
     on_acked =
-      (fun _ ->
+      (fun n ->
+        s.tx_acked_total <- s.tx_acked_total + n;
+        drain_tx_completions s;
         Psd_sim.Cond.broadcast s.acked;
         signal_local s.a);
     on_error =
@@ -252,6 +311,7 @@ let stream_handlers s (stack : Netstack.t) =
         let msg = Format.asprintf "%a" Psd_tcp.Tcp.pp_error e in
         s.conn_err <- Some msg;
         Psd_socket.Sockbuf.set_error s.rcv msg;
+        fire_all_tx_completions s;
         Psd_sim.Cond.broadcast s.conn;
         Psd_sim.Cond.broadcast s.acked;
         notify_status s);
@@ -262,12 +322,23 @@ let udp_receive s (stack : Netstack.t) (dg : Psd_udp.Udp.datagram) =
   let ctx = Netstack.ctx stack in
   if Psd_socket.Dgramq.has_waiters s.dq then
     Ctx.charge ctx Phase.Wakeup ctx.Ctx.wakeup_ns;
-  Psd_util.Copies.count Psd_util.Copies.Rx_copyout
-    (Psd_mbuf.Mbuf.length dg.Psd_udp.Udp.payload);
+  (* NEWAPI: queue the payload view itself — it is loaned to the
+     application at receive time, so no copy-out happens here (or
+     ever, on the loaned path). The classic API cooks the string now
+     and counts the copy-out at this point. *)
+  let payload =
+    if s.a.config.Config.api = Config.Newapi then
+      Loaned dg.Psd_udp.Udp.payload
+    else begin
+      Psd_util.Copies.count Psd_util.Copies.Rx_copyout
+        (Psd_mbuf.Mbuf.length dg.Psd_udp.Udp.payload);
+      Cooked (Psd_mbuf.Mbuf.to_string dg.Psd_udp.Udp.payload)
+    end
+  in
   ignore
     (Psd_socket.Dgramq.push s.dq
        ~src:(Psd_ip.Addr.to_int dg.Psd_udp.Udp.src, dg.Psd_udp.Udp.src_port)
-       (Psd_mbuf.Mbuf.to_string dg.Psd_udp.Udp.payload));
+       payload);
   notify_status s
 
 (* ------------------------------------------------------------------ *)
@@ -523,6 +594,27 @@ let user_payload a data ~off ~len =
   end
   else Psd_mbuf.Mbuf.of_bytes_view (Bytes.unsafe_of_string data) ~off ~len
 
+(* NEWAPI capture of a caller-owned buffer. A library stack aliases the
+   bytes as a shared view — zero copies, which is the whole point; the
+   in-kernel placement still crosses an address space, so ownership
+   transfer degenerates to the classic copyin (and completion can fire
+   as soon as the copy is made). The [Tx_owned] site is counted by the
+   caller, once per ownership transfer, not here per chunk. *)
+let owned_payload a data ~off ~len =
+  if in_kernel a then begin
+    Psd_util.Copies.count Psd_util.Copies.Tx_copyin len;
+    Psd_mbuf.Mbuf.of_bytes data ~off ~len
+  end
+  else Psd_mbuf.Mbuf.of_bytes_view data ~off ~len
+
+(* Completion thresholds are cumulative enqueued-byte counts and are
+   registered in enqueue order, so the FIFO queue stays sorted. A send
+   whose bytes were all acknowledged during its own backpressure waits
+   completes immediately. *)
+let register_tx_completion s ~threshold k =
+  if s.tx_acked_total >= threshold then k ()
+  else Queue.push (threshold, k) s.tx_completions
+
 let send s ?dst data =
   let len = String.length data in
   charge_app_overhead s;
@@ -539,6 +631,7 @@ let send s ?dst data =
       else begin
         let n = min space len in
         Psd_tcp.Tcp.send pcb (user_payload s.a data ~off:0 ~len:n);
+        s.tx_enqueued_total <- s.tx_enqueued_total + n;
         Ok n
       end
     | Ltcp (pcb, stack) ->
@@ -559,6 +652,7 @@ let send s ?dst data =
           else begin
             let n = min space (len - off) in
             Psd_tcp.Tcp.send pcb (user_payload s.a data ~off ~len:n);
+            s.tx_enqueued_total <- s.tx_enqueued_total + n;
             push (off + n)
           end
         end
@@ -627,6 +721,16 @@ let recvfrom s ~max =
     | Ludp (_, stack) ->
       let (src_ip, src_port), payload = Psd_socket.Dgramq.recv s.dq in
       let payload =
+        match payload with
+        | Cooked str -> str
+        | Loaned m ->
+          (* classic call on a NEWAPI socket: the copy-out deferred at
+             delivery happens here instead (observational shift only) *)
+          Psd_util.Copies.count Psd_util.Copies.Rx_copyout
+            (Psd_mbuf.Mbuf.length m);
+          Psd_mbuf.Mbuf.to_string m
+      in
+      let payload =
         if String.length payload > max then String.sub payload 0 max
         else payload
       in
@@ -654,6 +758,186 @@ let recvfrom s ~max =
 
 let recv s ~max =
   match recvfrom s ~max with Ok (d, _) -> Ok d | Error e -> Error e
+
+(* ------------------------------------------------------------------ *)
+(* NEWAPI shared-buffer placements                                     *)
+
+(* The paper's NEWAPI rows: receive hands out *loans* of the library's
+   buffers (no copy-out — the application reads the packet where the
+   delivery channel deposited it) and send aliases *caller-owned*
+   buffers (no copy-in — ownership transfers to the stack until the
+   completion fires). Both calls charge exactly the classic calls'
+   virtual time (under a NEWAPI config the per-byte copy cost is
+   already zero); only the physical copies and their accounting
+   disappear, so routing a workload through this API never perturbs
+   simulated results. *)
+
+type loan = {
+  lview : Psd_mbuf.Mbuf.t; (* borrowed view of the receive buffer *)
+  llen : int;
+  lsrc : S.endpoint option; (* datagram source; [None] for streams *)
+  mutable lreturned : bool;
+}
+
+let loan_view l = l.lview
+
+let loan_length l = l.llen
+
+let loan_src l = l.lsrc
+
+let recv_loan s ~max =
+  charge_app_overhead s;
+  if s.closed then Error "bad descriptor"
+  else if
+    s.nonblocking
+    && (match s.loc with
+       | Ltcp _ -> not (Psd_socket.Sockbuf.readable s.rcv)
+       | Ludp _ -> not (Psd_socket.Dgramq.readable s.dq)
+       | _ -> false)
+  then Error ewouldblock
+  else
+    match s.loc with
+    | Ltcp (_, stack) -> (
+      match Psd_socket.Sockbuf.read_loan s.rcv ~max with
+      | Ok m ->
+        let len = Psd_mbuf.Mbuf.length m in
+        charge_exit s.a stack ~len ~copies:true;
+        notify_status s;
+        Ok { lview = m; llen = len; lsrc = None; lreturned = false }
+      | Error `Eof ->
+        Ok
+          {
+            lview = Psd_mbuf.Mbuf.empty ();
+            llen = 0;
+            lsrc = None;
+            lreturned = false;
+          }
+      | Error (`Error e) -> Error e)
+    | Ludp (_, stack) -> (
+      let (src_ip, src_port), payload = Psd_socket.Dgramq.recv s.dq in
+      (* datagram loans keep message boundaries: the whole payload is
+         lent regardless of [max] (the classic call would truncate;
+         a borrower sees the datagram exactly as delivered) *)
+      let m =
+        match payload with
+        | Loaned m -> m
+        | Cooked str ->
+          (* classic delivery already cooked a private string (the
+             socket predates the NEWAPI config, or mixed use): loan a
+             view of it — already application-visible, nothing moves *)
+          Psd_mbuf.Mbuf.of_bytes_view
+            (Bytes.unsafe_of_string str)
+            ~off:0 ~len:(String.length str)
+      in
+      let len = Psd_mbuf.Mbuf.length m in
+      charge_exit s.a stack ~len ~copies:true;
+      notify_status s;
+      Ok
+        {
+          lview = m;
+          llen = len;
+          lsrc = Some (Psd_ip.Addr.of_int src_ip, src_port);
+          lreturned = false;
+        })
+    | Remote -> Error "NEWAPI loans require a local protocol stack"
+    | Fresh | Llisten _ -> Error "not connected"
+
+(* Deterministic reclamation: buffer space (and, for TCP, the window
+   the loaned bytes held open) is released exactly here — never by GC,
+   never early. *)
+let return_loan s l =
+  if l.lreturned then invalid_arg "Sockets.return_loan: already returned";
+  l.lreturned <- true;
+  match s.loc with
+  | Ltcp (pcb, _) ->
+    Psd_socket.Sockbuf.loan_return s.rcv l.llen;
+    if l.llen > 0 then Psd_tcp.Tcp.user_consumed pcb l.llen;
+    notify_status s
+  | Ludp _ | Remote | Fresh | Llisten _ ->
+    (* datagram queue space was released at dequeue; the loan only
+       pins the payload view, which the borrower is now done with *)
+    ()
+
+let send_owned s ?dst data ~completion =
+  let len = Bytes.length data in
+  charge_app_overhead s;
+  if s.closed then Error "bad descriptor"
+  else
+    match s.loc with
+    | Ltcp (pcb, stack) when s.nonblocking ->
+      charge_entry s.a stack ~len ~copies:true;
+      let space = s.snd_hiwat - Psd_tcp.Tcp.sndq_length pcb in
+      if s.conn_err <> None then
+        Error (Option.value s.conn_err ~default:"error")
+      else if space <= 0 then Error ewouldblock
+      else begin
+        let n = min space len in
+        if not (in_kernel s.a) then
+          Psd_util.Copies.count Psd_util.Copies.Tx_owned n;
+        Psd_tcp.Tcp.send pcb (owned_payload s.a data ~off:0 ~len:n);
+        s.tx_enqueued_total <- s.tx_enqueued_total + n;
+        register_tx_completion s ~threshold:s.tx_enqueued_total completion;
+        Ok n
+      end
+    | Ltcp (pcb, stack) ->
+      charge_entry s.a stack ~len ~copies:true;
+      if not (in_kernel s.a) then
+        Psd_util.Copies.count Psd_util.Copies.Tx_owned len;
+      let rec push off =
+        if off >= len then begin
+          register_tx_completion s ~threshold:s.tx_enqueued_total
+            completion;
+          Ok len
+        end
+        else begin
+          let space =
+            Psd_sim.Cond.until s.acked (fun () ->
+                if s.conn_err <> None then Some 0
+                else
+                  let sp = s.snd_hiwat - Psd_tcp.Tcp.sndq_length pcb in
+                  if sp > 0 then Some sp else None)
+          in
+          if space = 0 then
+            Error (Option.value s.conn_err ~default:"error")
+          else begin
+            let n = min space (len - off) in
+            Psd_tcp.Tcp.send pcb (owned_payload s.a data ~off ~len:n);
+            s.tx_enqueued_total <- s.tx_enqueued_total + n;
+            push (off + n)
+          end
+        end
+      in
+      push 0
+    | Ludp (pcb, stack) -> (
+      charge_entry s.a stack ~len ~copies:(in_kernel s.a);
+      if not (in_kernel s.a) then
+        Psd_util.Copies.count Psd_util.Copies.Tx_owned len;
+      let pending =
+        match Psd_udp.Udp.take_error pcb with
+        | Some e -> Some e
+        | None ->
+          let e = s.soft_err in
+          s.soft_err <- None;
+          e
+      in
+      match pending with
+      | Some e -> Error e
+      | None -> (
+        match
+          Psd_udp.Udp.send pcb
+            ?dst:(Option.map (fun (ip, p) -> (ip, p)) dst)
+            (owned_payload s.a data ~off:0 ~len)
+        with
+        | Ok () ->
+          (* the frame gather has already copied the bytes onto the
+             wire: ownership returns before the call does *)
+          completion ();
+          Ok len
+        | Error `No_destination -> Error "destination required"
+        | Error `No_route -> Error "no route to host"
+        | Error `Too_big -> Error "message too long"))
+    | Remote -> Error "NEWAPI ownership transfer requires a local stack"
+    | Fresh | Llisten _ -> Error "not connected"
 
 (* ------------------------------------------------------------------ *)
 (* select                                                              *)
@@ -712,6 +996,9 @@ let select ?timeout_ns socks =
 let close s =
   if not s.closed then begin
     s.closed <- true;
+    (* outstanding owned buffers come home: a completion that survived
+       the socket would strand the caller's memory forever *)
+    fire_all_tx_completions s;
     let a = s.a in
     a.dead_socks <- a.dead_socks + 1;
     if a.dead_socks > 16 && 2 * a.dead_socks >= a.n_socks then begin

@@ -51,10 +51,21 @@ val exit : app -> unit
 (* --- the socket calls --------------------------------------------------- *)
 
 val stream : app -> t
-(** [socket(AF_INET, SOCK_STREAM, 0)] *)
+(** [socket(AF_INET, SOCK_STREAM, 0)]. Raises [Failure] on a server
+    error, preserving the server's error text; use {!try_stream} for
+    the [result] form. *)
 
 val dgram : app -> t
-(** [socket(AF_INET, SOCK_DGRAM, 0)] *)
+(** [socket(AF_INET, SOCK_DGRAM, 0)]. Raises [Failure] on a server
+    error; use {!try_dgram} for the [result] form. *)
+
+val try_stream : app -> (t, string) result
+(** Like {!stream}, but a failed creation returns the operating-system
+    server's error as [Error] instead of raising — the typed-error form
+    of the call, matching {!send}/{!recv}. *)
+
+val try_dgram : app -> (t, string) result
+(** [result]-returning {!dgram}. *)
 
 val bind : t -> ?port:int -> unit -> (int, string) result
 (** Returns the bound port (ephemeral when [port] is omitted). *)
@@ -77,6 +88,53 @@ val recv : t -> max:int -> (string, string) result
 val recvfrom :
   t -> max:int -> (string * Session.endpoint option, string) result
 (** Like {!recv} but also reports the datagram source. *)
+
+(* --- NEWAPI shared-buffer calls (paper's NEWAPI rows) ------------------- *)
+
+type loan
+(** A borrowed view of receive-buffer memory, handed out by
+    {!recv_loan}. The application reads the packet body where the
+    delivery channel deposited it — no copy-out — and must give the
+    memory back with {!return_loan}, which is when buffer space (and
+    the TCP receive window the bytes held open) is reclaimed. The view
+    must not be used after return. *)
+
+val loan_view : loan -> Psd_mbuf.Mbuf.t
+(** The loaned bytes (empty at stream EOF). *)
+
+val loan_length : loan -> int
+
+val loan_src : loan -> Session.endpoint option
+(** Datagram source; [None] for streams. *)
+
+val recv_loan : t -> max:int -> (loan, string) result
+(** NEWAPI receive: blocking like {!recv}, but the data is lent, not
+    copied out. A zero-length loan means EOF on a stream. Datagram
+    loans preserve message boundaries and ignore [max] (the whole
+    datagram is lent). Charges exactly {!recv}'s virtual time; only
+    the physical copy disappears. Requires a local (kernel or library)
+    session — server-resident sockets cannot share buffers. *)
+
+val return_loan : t -> loan -> unit
+(** Give the loaned memory back. Deterministic reclamation point:
+    sockbuf space frees and the TCP window reopens here, never earlier
+    and never by GC. Raises [Invalid_argument] on double return. *)
+
+val send_owned :
+  t ->
+  ?dst:Session.endpoint ->
+  Bytes.t ->
+  completion:(unit -> unit) ->
+  (int, string) result
+(** NEWAPI send: the caller's buffer is aliased into the stack as a
+    shared view — no copy-in — and ownership transfers to the stack
+    until [completion] fires. For streams that is when every byte of
+    this send has been acknowledged (completions also fire on error
+    and at {!close}, so the buffer always comes home); for datagrams
+    the frame gather copies the bytes before the call returns, so
+    [completion] fires synchronously. The buffer must not be written
+    until then. Blocking/backpressure behaviour, partial non-blocking
+    writes, and virtual-time charges are exactly {!send}'s. *)
 
 val select : ?timeout_ns:int -> t list -> t list
 (** Readability select over sockets of one application. Implemented

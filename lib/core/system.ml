@@ -116,20 +116,23 @@ let create ~eng ~segment ?(shard = 0) ~config ?plat ?rcv_buf ?delack_ns ?fault
       ctxs = Netstack.ctx (Os_server.stack server) :: t.ctxs;
     }
 
-(* Delivery channel for an application's protocol library. *)
+(* Delivery channel for an application's protocol library. Under a
+   NEWAPI configuration the channel's receive memory counts as loaned
+   by the application (copy bookkeeping only; same costs). *)
 let app_channel t =
   let plat = Psd_mach.Host.plat t.host in
+  let newapi = t.config.Config.api = Config.Newapi in
   match t.config.Config.delivery with
   | Config.Pf_ipc ->
-    Psd_mach.Pktchan.create t.host ~kind:Psd_mach.Pktchan.Ipc
+    Psd_mach.Pktchan.create ~newapi t.host ~kind:Psd_mach.Pktchan.Ipc
       ~deliver_fixed:10_000
       ~deliver_per_byte:plat.Platform.kernel_mem_read_per_byte
   | Config.Pf_shm ->
-    Psd_mach.Pktchan.create t.host ~kind:(Psd_mach.Pktchan.Shm 64)
+    Psd_mach.Pktchan.create ~newapi t.host ~kind:(Psd_mach.Pktchan.Shm 64)
       ~deliver_fixed:plat.Platform.shm_deliver_fixed
       ~deliver_per_byte:plat.Platform.kernel_mem_read_per_byte
   | Config.Pf_shm_ipf ->
-    Psd_mach.Pktchan.create t.host ~kind:(Psd_mach.Pktchan.Shm 64)
+    Psd_mach.Pktchan.create ~newapi t.host ~kind:(Psd_mach.Pktchan.Shm 64)
       ~deliver_fixed:plat.Platform.shm_deliver_fixed
       ~deliver_per_byte:plat.Platform.device_read_per_byte
 

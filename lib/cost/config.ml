@@ -60,6 +60,9 @@ let gateway_rows =
     library_shm;
   ]
 
+let newapi_rows =
+  [ library_newapi_ipc; library_newapi_shm; library_newapi_shm_ipf ]
+
 let table3_rows =
   [
     mach25_kernel;

@@ -60,6 +60,11 @@ val gateway_rows : t list
 val table3_rows : t list
 (** The rows of Table 3 (two in-kernel baselines + three NEWAPI variants). *)
 
+val newapi_rows : t list
+(** The three shared-buffer library placements (IPC / SHM / SHM-IPF), in
+    paper order — the rows the copy-count experiment appends to show the
+    receive body copies reaching zero. *)
+
 val effective_platform : Platform.t -> os -> Platform.t
 (** Apply an OS profile's cost multipliers to a hardware platform:
     Ultrix protocol code is slightly slower than Mach 2.5's, 386BSD has

@@ -5,6 +5,12 @@ type kind = Ipc | Shm of int
 type t = {
   host : Host.t;
   kind : kind;
+  (* NEWAPI shared-buffer mode: the rx ring pages (or the IPC message's
+     receive side) are memory the application loaned to the channel, so
+     the deposit is counted at the [Rx_loan] API-boundary site instead
+     of a body-copy site. Virtual-time charges are identical either
+     way — only the copy bookkeeping moves. *)
+  newapi : bool;
   ring : Bytes.t Psd_util.Ring.t option; (* None for Ipc (unbounded) *)
   q : Bytes.t Queue.t;
   cond : Psd_sim.Cond.t;
@@ -28,10 +34,11 @@ type t = {
   mutable tx_sent : int;
 }
 
-let create host ~kind ~deliver_fixed ~deliver_per_byte =
+let create ?(newapi = false) host ~kind ~deliver_fixed ~deliver_per_byte =
   {
     host;
     kind;
+    newapi;
     ring =
       (match kind with
       | Ipc -> None
@@ -67,8 +74,15 @@ let deliver t pkt =
     Ctx.charge_at (kctx t) Psd_sim.Cpu.Kernel Phase.Kernel_copyout
       (t.deliver_fixed + plat.Platform.ipc_msg + plat.Platform.wakeup_kernel
       + (len * (t.deliver_per_byte + plat.Platform.ipc_per_byte)));
-    (* two physical passes, mirroring deliver_per_byte + ipc_per_byte *)
-    Psd_util.Copies.count Psd_util.Copies.Rx_ipc ~n:2 (2 * len);
+    (* two physical passes, mirroring deliver_per_byte + ipc_per_byte.
+       Under the NEWAPI the message body is received into
+       application-loaned pages, so the second pass is the loan deposit
+       (API boundary), not a body copy. *)
+    if t.newapi then begin
+      Psd_util.Copies.count Psd_util.Copies.Rx_ipc ~n:1 len;
+      Psd_util.Copies.count Psd_util.Copies.Rx_loan ~n:1 len
+    end
+    else Psd_util.Copies.count Psd_util.Copies.Rx_ipc ~n:2 (2 * len);
     Queue.push pkt t.q;
     t.delivered <- t.delivered + 1;
     t.wakeups <- t.wakeups + 1;
@@ -78,7 +92,10 @@ let deliver t pkt =
       (t.deliver_fixed + (len * t.deliver_per_byte));
     let ring = Option.get t.ring in
     if Psd_util.Ring.push ring pkt then begin
-      Psd_util.Copies.count Psd_util.Copies.Rx_ring len;
+      (* NEWAPI: the ring pages are application-loaned receive buffers,
+         so this deposit is the placement into app memory *)
+      if t.newapi then Psd_util.Copies.count Psd_util.Copies.Rx_loan len
+      else Psd_util.Copies.count Psd_util.Copies.Rx_ring len;
       t.delivered <- t.delivered + 1;
       (* lightweight condition: wake only a blocked receiver *)
       if t.waiting > 0 then begin

@@ -20,7 +20,17 @@ type t
 type kind = Ipc | Shm of int  (** ring capacity *)
 
 val create :
-  Host.t -> kind:kind -> deliver_fixed:int -> deliver_per_byte:int -> t
+  ?newapi:bool ->
+  Host.t ->
+  kind:kind ->
+  deliver_fixed:int ->
+  deliver_per_byte:int ->
+  t
+(** [~newapi:true] marks the channel's receive memory as loaned by the
+    application (the paper's NEWAPI shared-buffer variants): deposits
+    are then counted at the [Rx_loan] API-boundary site instead of the
+    [Rx_ring]/second-[Rx_ipc] body-copy sites. Pure bookkeeping — the
+    virtual-time charges are identical either way. Default [false]. *)
 
 val deliver : t -> Bytes.t -> unit
 (** Kernel side; called from the interrupt/netisr fiber. Charges the

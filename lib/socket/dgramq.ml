@@ -1,5 +1,8 @@
-type t = {
-  q : ((int * int) * string) Queue.t;
+(* Polymorphic in the payload: the classic socket API queues cooked
+   strings, the NEWAPI queues loaned mbuf views — boundary and drop
+   semantics are payload-independent. *)
+type 'a t = {
+  q : ((int * int) * 'a) Queue.t;
   max_queued : int;
   cond : Psd_sim.Cond.t;
   mutable dropped : int;

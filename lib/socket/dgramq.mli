@@ -1,27 +1,29 @@
 (** Datagram receive queue: preserves message boundaries and source
     addresses — the [so_rcv] of a UDP socket. Bounded: datagrams arriving
-    at a full queue are dropped, as BSD does. *)
+    at a full queue are dropped, as BSD does. Polymorphic in the payload:
+    the classic API queues cooked strings, the NEWAPI queues loaned mbuf
+    views. *)
 
-type t
+type 'a t
 
-val create : Psd_sim.Engine.t -> ?max_queued:int -> unit -> t
+val create : Psd_sim.Engine.t -> ?max_queued:int -> unit -> 'a t
 (** Default capacity 32 datagrams. *)
 
-val push : t -> src:int * int -> string -> bool
+val push : 'a t -> src:int * int -> 'a -> bool
 (** [push t ~src:(addr, port) payload]: [false] when the queue was full
     and the datagram was dropped. Wakes blocked readers. *)
 
-val recv : t -> (int * int) * string
+val recv : 'a t -> (int * int) * 'a
 (** Block until a datagram is available. *)
 
-val try_recv : t -> ((int * int) * string) option
+val try_recv : 'a t -> ((int * int) * 'a) option
 
-val readable : t -> bool
+val readable : 'a t -> bool
 
-val length : t -> int
+val length : 'a t -> int
 
-val dropped : t -> int
+val dropped : 'a t -> int
 
-val on_change : t -> (unit -> unit) -> unit
+val on_change : 'a t -> (unit -> unit) -> unit
 
-val has_waiters : t -> bool
+val has_waiters : 'a t -> bool

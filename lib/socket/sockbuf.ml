@@ -8,6 +8,12 @@ type t = {
   mutable error : string option;
   nonempty : Psd_sim.Cond.t;
   mutable change_hooks : (unit -> unit) list;
+  (* NEWAPI loan accounting: bytes handed out as borrowed views by
+     [read_loan] and not yet given back by [loan_return]. Loaned bytes
+     have left [data] but the application still holds the pages, so
+     they keep counting against [hiwat] — space is reclaimed exactly
+     when the loan is returned, never earlier. *)
+  mutable loaned : int;
 }
 
 let create eng ?(hiwat = 24 * 1024) () =
@@ -19,13 +25,16 @@ let create eng ?(hiwat = 24 * 1024) () =
     error = None;
     nonempty = Psd_sim.Cond.create eng;
     change_hooks = [];
+    loaned = 0;
   }
 
 let hiwat t = t.hiwat
 
 let cc t = Mbuf.length t.data
 
-let space t = max 0 (t.hiwat - cc t)
+let space t = max 0 (t.hiwat - cc t - t.loaned)
+
+let loaned t = t.loaned
 
 let changed t =
   Psd_sim.Cond.broadcast t.nonempty;
@@ -71,6 +80,31 @@ let read t ~max =
       | Error `Empty -> None
       | Error `Eof -> Some (Error `Eof)
       | Error (`Error e) -> Some (Error (`Error e)))
+
+(* Loaned drain: identical take discipline to [try_read]/[read] — the
+   returned chain is whatever segment views are queued, never a
+   flattened copy — but the bytes stay charged against [hiwat] until
+   the borrower calls [loan_return]. *)
+let try_read_loan t ~max =
+  match try_read t ~max with
+  | Ok m ->
+    t.loaned <- t.loaned + Mbuf.length m;
+    Ok m
+  | err -> err
+
+let read_loan t ~max =
+  Psd_sim.Cond.until t.nonempty (fun () ->
+      match try_read_loan t ~max with
+      | Ok m -> Some (Ok m)
+      | Error `Empty -> None
+      | Error `Eof -> Some (Error `Eof)
+      | Error (`Error e) -> Some (Error (`Error e)))
+
+let loan_return t n =
+  if n < 0 then invalid_arg "Sockbuf.loan_return: negative length";
+  if n > t.loaned then invalid_arg "Sockbuf.loan_return: not loaned";
+  t.loaned <- t.loaned - n;
+  if n > 0 then changed t
 
 let readable t = state t <> `Empty
 

@@ -14,7 +14,11 @@ val cc : t -> int
 (** Bytes currently buffered. *)
 
 val space : t -> int
-(** [hiwat - cc], floored at zero. *)
+(** [hiwat - cc - loaned], floored at zero: bytes out on loan still
+    occupy the buffer until returned. *)
+
+val loaned : t -> int
+(** Bytes handed out by {!read_loan} and not yet {!loan_return}ed. *)
 
 val append : t -> Psd_mbuf.Mbuf.t -> unit
 (** Producer side; never blocks (TCP's advertised window, not this
@@ -33,6 +37,23 @@ val read : t -> max:int -> (Psd_mbuf.Mbuf.t, [ `Eof | `Error of string ]) result
 
 val try_read : t -> max:int -> (Psd_mbuf.Mbuf.t, [ `Empty | `Eof | `Error of string ]) result
 (** Non-blocking variant. *)
+
+val read_loan :
+  t -> max:int -> (Psd_mbuf.Mbuf.t, [ `Eof | `Error of string ]) result
+(** NEWAPI drain: like {!read} — the result is the queued segment views
+    themselves, never a flattened copy — but the bytes remain charged
+    against [hiwat] until the borrower calls {!loan_return}, so buffer
+    space is reclaimed deterministically at return time, not at read
+    time. *)
+
+val try_read_loan :
+  t -> max:int -> (Psd_mbuf.Mbuf.t, [ `Empty | `Eof | `Error of string ]) result
+(** Non-blocking variant of {!read_loan}. *)
+
+val loan_return : t -> int -> unit
+(** [loan_return t n] gives back [n] loaned bytes, releasing their
+    buffer space (and notifying change hooks). Raises [Invalid_argument]
+    if [n] is negative or exceeds the outstanding loan. *)
 
 val readable : t -> bool
 (** Data, EOF or an error is available — the [select] readability test. *)

@@ -900,7 +900,16 @@ let handle_synchronized t pcb (seg : Segment.t) payload =
     if todrop > 0 then begin
       if todrop >= seg_len then begin
         (* complete duplicate (possibly a retransmitted FIN) *)
-        if !fin && todrop = seg_len + 1 then (* FIN dup too *) ();
+        if !fin && todrop = seg_len + 1 then begin
+          (* the FIN itself is the duplicate: clear the flag so the FIN
+             machinery below does not run again — rcv_nxt already sits
+             past it, and a second pass would deliver EOF twice. A
+             retransmitted FIN in TIME-WAIT still restarts the 2MSL
+             timer (RFC 793), which the re-run used to do as a side
+             effect. *)
+          fin := false;
+          if pcb.state = Time_wait then arm_msl t pcb
+        end;
         pcb.ack_now <- true;
         if todrop > seg_len || not !fin then begin
           if seg_len > 0 || not f.Segment.ack then true

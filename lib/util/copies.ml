@@ -17,6 +17,8 @@ type site =
   | Rx_flatten (* non-contiguous chain flattened for header decode *)
   | Rx_copyout (* received data copied out to the application string *)
   | Rx_rpc (* received payload copied through RPC messages *)
+  | Rx_loan (* NEWAPI: packet placed in application-loaned memory *)
+  | Tx_owned (* NEWAPI: caller-owned buffer aliased for transmit *)
 
 let site_index = function
   | Tx_copyin -> 0
@@ -30,6 +32,8 @@ let site_index = function
   | Rx_flatten -> 8
   | Rx_copyout -> 9
   | Rx_rpc -> 10
+  | Rx_loan -> 11
+  | Tx_owned -> 12
 
 let site_name = function
   | Tx_copyin -> "tx_copyin"
@@ -43,11 +47,13 @@ let site_name = function
   | Rx_flatten -> "rx_flatten"
   | Rx_copyout -> "rx_copyout"
   | Rx_rpc -> "rx_rpc"
+  | Rx_loan -> "rx_loan"
+  | Tx_owned -> "tx_owned"
 
 let all_sites =
   [
     Tx_copyin; Tx_retain; Tx_frame; Tx_rpc; Wire; Rx_device; Rx_ipc;
-    Rx_ring; Rx_flatten; Rx_copyout; Rx_rpc;
+    Rx_ring; Rx_flatten; Rx_copyout; Rx_rpc; Rx_loan; Tx_owned;
   ]
 
 let n_sites = List.length all_sites
@@ -80,7 +86,11 @@ let all () =
    delivery and the receiving socket buffer — the quantity the paper's
    placements differ in. [Wire] (the simulated medium itself) and
    [Rx_copyout] (the API's final copy into the app string, identical
-   everywhere) are excluded. *)
+   everywhere) are excluded. [Rx_loan] is excluded too: under the NEWAPI
+   the delivery lands directly in application-loaned shared memory, so
+   the deposit *is* the API boundary crossing — the loan site records
+   that the bytes became application-visible, taking the place of the
+   excluded [Rx_copyout], not adding a body copy. *)
 let rx_datapath_sites = [ Rx_device; Rx_ipc; Rx_ring; Rx_flatten; Rx_rpc ]
 
 let rx_datapath_copies () =
@@ -91,7 +101,10 @@ let rx_datapath_copies () =
    into the outgoing frame ([Tx_frame]) is included: it is the one
    unavoidable body copy of the zero-copy send path, so "SHM-IPF tx = 1"
    means exactly the frame gather and nothing else. [Wire] stays
-   excluded (the medium itself, identical everywhere). *)
+   excluded (the medium itself, identical everywhere), and so is
+   [Tx_owned]: aliasing a caller-owned buffer as a shared view moves no
+   bytes — it is the NEWAPI's ownership-transfer event, the analogue of
+   the copy-in it replaces. *)
 let tx_datapath_sites = [ Tx_copyin; Tx_retain; Tx_frame; Tx_rpc ]
 
 let tx_datapath_copies () =

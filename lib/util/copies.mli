@@ -21,6 +21,16 @@ type site =
   | Rx_flatten  (** non-contiguous chain flattened for header decode *)
   | Rx_copyout  (** received data copied out to the application string *)
   | Rx_rpc  (** received payload copied through RPC messages *)
+  | Rx_loan
+      (** NEWAPI: packet deposited directly in application-loaned shared
+          memory. Not a body copy — it records the moment the bytes
+          became application-visible, replacing the [Rx_copyout] the
+          loaned receive path no longer performs. Excluded from
+          {!rx_datapath_copies}. *)
+  | Tx_owned
+      (** NEWAPI: caller-owned send buffer aliased as a shared view
+          (ownership transfer until completion). Moves no bytes;
+          excluded from {!tx_datapath_copies}. *)
 
 val count : site -> ?n:int -> int -> unit
 (** [count site ~n bytes] records [n] copies (default 1) moving [bytes]
@@ -41,8 +51,9 @@ val all : unit -> (string * int * int) list
 
 val rx_datapath_copies : unit -> int
 (** Total packet-body copies between wire delivery and the receiving
-    socket buffer (excludes the wire copy itself and the final API
-    copyout, which are identical across placements). *)
+    socket buffer (excludes the wire copy itself, the final API copyout
+    — identical across placements — and the NEWAPI loan deposit, which
+    is the API boundary itself, not a body copy). *)
 
 val tx_datapath_copies : unit -> int
 (** Total packet-body copies between the user's send buffer and the

@@ -1,9 +1,12 @@
 open Psd_core
 
-(* A one-way UDP blast with the copy counters reset at the start, so
-   every Bytes.blit the datapath performs is attributable per-packet.
-   UDP keeps the wire unidirectional (no acks polluting the counters),
-   which is what makes "copies per received packet" well-defined. *)
+(* A one-way UDP blast with the copy counters reset after a one-packet
+   warm-up, so every Bytes.blit the datapath performs is attributable
+   per-packet. UDP keeps the wire unidirectional (no acks polluting the
+   counters), and the warm-up resolves ARP before the measurement
+   window opens (address-resolution frames ride the operating-system
+   server's classic delivery channel, which would otherwise smear
+   control-traffic copies over the per-packet data-path numbers). *)
 
 type result = {
   config : Psd_cost.Config.t;
@@ -20,7 +23,6 @@ type result = {
 }
 
 let run ?(count = 200) ?(size = 1024) config =
-  Psd_util.Copies.reset ();
   let eng = Psd_sim.Engine.create () in
   let segment = Psd_link.Segment.create eng () in
   let sys_a =
@@ -29,6 +31,7 @@ let run ?(count = 200) ?(size = 1024) config =
   let sys_b =
     System.create ~eng ~segment ~config ~addr:"10.0.0.2" ~name:"cm-rx" ()
   in
+  let newapi = config.Psd_cost.Config.api = Psd_cost.Config.Newapi in
   let got = ref 0 in
   let got_bytes = ref 0 in
   let rapp = System.app sys_b ~name:"cm-sink" in
@@ -45,18 +48,58 @@ let run ?(count = 200) ?(size = 1024) config =
           loop ()
         | Error e -> failwith ("copymeter sink: " ^ e)
       in
-      loop ());
+      (* NEWAPI sink: borrow each datagram where the channel deposited
+         it and hand it straight back — no copy-out ever happens, which
+         is the measurement: the rx_loan site replaces the body copy. *)
+      let rec loop_loan () =
+        match Sockets.recv_loan s ~max:65536 with
+        | Ok l ->
+          incr got;
+          got_bytes := !got_bytes + Sockets.loan_length l;
+          Sockets.return_loan s l;
+          loop_loan ()
+        | Error e -> failwith ("copymeter sink: " ^ e)
+      in
+      if newapi then loop_loan () else loop ());
   let sapp = System.app sys_a ~name:"cm-blast" in
   Psd_sim.Engine.spawn eng ~name:"cm-blast" (fun () ->
       let s = Sockets.dgram sapp in
       (match Sockets.bind s () with Ok _ -> () | Error e -> failwith e);
       let payload = String.init size (fun i -> Char.chr (i land 0xff)) in
       let dst = (System.addr sys_b, 9) in
-      for _ = 1 to count do
-        match Sockets.send s ~dst payload with
-        | Ok _ -> ()
-        | Error e -> failwith ("copymeter blast: " ^ e)
-      done);
+      (* warm-up: one throwaway datagram resolves ARP on both hosts,
+         then the counters reset and the measured blast begins *)
+      (match Sockets.send s ~dst payload with
+      | Ok _ -> ()
+      | Error e -> failwith ("copymeter warm-up: " ^ e));
+      Psd_sim.Engine.sleep eng (Psd_sim.Time.sec 1);
+      Psd_util.Copies.reset ();
+      got := 0;
+      got_bytes := 0;
+      if newapi then begin
+        (* datagram send_owned completes synchronously (the frame
+           gather copies during the call), so one owned buffer serves
+           the whole blast *)
+        let owned = Bytes.of_string payload in
+        let done_ = ref true in
+        for _ = 1 to count do
+          if not !done_ then
+            failwith "copymeter: owned buffer not returned";
+          done_ := false;
+          match
+            Sockets.send_owned s ~dst owned ~completion:(fun () ->
+                done_ := true)
+          with
+          | Ok _ -> ()
+          | Error e -> failwith ("copymeter blast: " ^ e)
+        done
+      end
+      else
+        for _ = 1 to count do
+          match Sockets.send s ~dst payload with
+          | Ok _ -> ()
+          | Error e -> failwith ("copymeter blast: " ^ e)
+        done);
   Psd_sim.Engine.run_for eng (Psd_sim.Time.sec 60);
   if !got = 0 then
     failwith

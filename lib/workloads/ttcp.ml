@@ -46,6 +46,24 @@ type result = {
 let pattern =
   String.init (65536 + 256) (fun i -> Char.chr (i land 0xff))
 
+(* NEWAPI verification reads the loaned view in place, segment range by
+   segment range — flattening it would reintroduce exactly the copy-out
+   the loan exists to avoid (and would show up in the loan path's
+   allocation guard). *)
+let verify_loan ~label view ~stream_off =
+  ignore
+    (Psd_mbuf.Mbuf.fold_ranges view ~init:stream_off
+       ~f:(fun off buf ~off:b ~len ->
+         for i = 0 to len - 1 do
+           let c = Char.code (Bytes.get buf (b + i)) in
+           if c <> (off + i) land 0xff then
+             failwith
+               (Printf.sprintf
+                  "ttcp[%s]: payload corrupt at byte %d (got %#x)" label
+                  (off + i) c)
+         done;
+         off + len))
+
 let run ?plat ?(machine = Paper.Dec) ?(mb = 16) ?rcv_buf ?delack_ns ?(seed = 7)
     ?fault ?(predict = true) config =
   let plat =
@@ -88,6 +106,7 @@ let run ?plat ?(machine = Paper.Dec) ?(mb = 16) ?rcv_buf ?delack_ns ?(seed = 7)
     System.set_tcp_predict sys_b false
   end;
   let total = mb * 1024 * 1024 in
+  let newapi = config.Psd_cost.Config.api = Psd_cost.Config.Newapi in
   let received = ref 0 in
   let t_start = ref 0 and t_end = ref 0 in
   let wire_busy_start = ref 0 in
@@ -129,7 +148,29 @@ let run ?plat ?(machine = Paper.Dec) ?(mb = 16) ?rcv_buf ?delack_ns ?(seed = 7)
             drain ()
           | Error e -> failwith ("ttcp receiver: " ^ e)
         in
-        drain ());
+        (* NEWAPI drain: borrow each chunk where the stack deposited it,
+           verify through the view, give it straight back. The loan is
+           returned in the same simulation instant it was granted, so
+           window reopening — and therefore every transcript event —
+           matches the classic copy-out drain exactly. *)
+        let rec drain_loan () =
+          match Sockets.recv_loan c ~max:65536 with
+          | Error e -> failwith ("ttcp receiver: " ^ e)
+          | Ok l ->
+            let n = Sockets.loan_length l in
+            if n = 0 then begin
+              Sockets.return_loan c l;
+              t_end := Psd_sim.Engine.now eng
+            end
+            else begin
+              verify_loan ~label:config.Psd_cost.Config.label
+                (Sockets.loan_view l) ~stream_off:!received;
+              received := !received + n;
+              Sockets.return_loan c l;
+              drain_loan ()
+            end
+        in
+        if newapi then drain_loan () else drain ());
   (* sender: connect and pump [total] bytes in 8KB writes (like ttcp) *)
   let sapp = System.app sys_a ~name:"ttcp-s" in
   Psd_sim.Engine.spawn eng ~name:"ttcp-s" (fun () ->
@@ -152,7 +193,41 @@ let run ?plat ?(machine = Paper.Dec) ?(mb = 16) ?rcv_buf ?delack_ns ?(seed = 7)
           | Error e -> failwith ("ttcp send: " ^ e)
         end
       in
-      pump 0;
+      (* NEWAPI pump: a ring of caller-owned blocks lent to the stack.
+         nring * 8192 = snd_hiwat + 8192, so when send #(k-1) returns
+         the send queue holds at most snd_hiwat bytes and everything
+         through send #(k-nring) has been acknowledged — the slot about
+         to be reused is provably complete. Assert rather than wait:
+         the pump's virtual-time behaviour stays exactly [pump]'s. *)
+      let pump_owned () =
+        let nring = 4 in
+        let ring =
+          Array.init nring (fun _ ->
+              Bytes.init 8192 (fun i -> Char.chr (i land 0xff)))
+        in
+        let completed = Array.make nring true in
+        let rec go k sent =
+          if sent < total then begin
+            let n = min 8192 (total - sent) in
+            let slot = k mod nring in
+            if not completed.(slot) then
+              failwith
+                "ttcp: owned buffer reused before its completion fired";
+            completed.(slot) <- false;
+            let buf =
+              if n = 8192 then ring.(slot) else Bytes.sub ring.(slot) 0 n
+            in
+            match
+              Sockets.send_owned s buf ~completion:(fun () ->
+                  completed.(slot) <- true)
+            with
+            | Ok _ -> go (k + 1) (sent + n)
+            | Error e -> failwith ("ttcp send: " ^ e)
+          end
+        in
+        go 0 0
+      in
+      if newapi then pump_owned () else pump 0;
       Sockets.close s);
   Psd_sim.Engine.run_for eng (Psd_sim.Time.sec (60 * (mb + 4)));
   if !received < total then

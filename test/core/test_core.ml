@@ -274,6 +274,33 @@ let test_task_exit_aborts_connections () =
   Psd_sim.Engine.run_for p.eng (Psd_sim.Time.sec 10);
   Alcotest.(check int) "naming state cleaned" 0 !server_sessions_after
 
+let test_socket_creation_error_text_survives () =
+  (* Socket creation from an exited application: the operating-system
+     server rejects the request, and the Rs_err cause must reach the
+     caller verbatim through [try_stream]/[try_dgram] — or as the
+     payload of the [Failure] the convenience constructors raise. *)
+  let p = make_pair ~config:Cfg.library_shm () in
+  let checked = ref false in
+  let app = System.app p.sys_a ~name:"ghost" in
+  Psd_sim.Engine.spawn p.eng (fun () ->
+      Sockets.exit app;
+      (match Sockets.try_stream app with
+      | Error e ->
+        Alcotest.(check string) "stream error text" "unknown application" e
+      | Ok _ -> Alcotest.fail "stream socket granted to exited app");
+      (match Sockets.try_dgram app with
+      | Error e ->
+        Alcotest.(check string) "dgram error text" "unknown application" e
+      | Ok _ -> Alcotest.fail "dgram socket granted to exited app");
+      (match Sockets.stream app with
+      | exception Failure msg ->
+        Alcotest.(check string) "convenience keeps cause"
+          "socket: unknown application" msg
+      | _ -> Alcotest.fail "stream did not raise for exited app");
+      checked := true);
+  Psd_sim.Engine.run_for p.eng (Psd_sim.Time.sec 5);
+  "error-path checks ran" => !checked
+
 let test_connect_refused () =
   let p = make_pair ~config:Cfg.library_shm () in
   let result = ref (Ok ()) in
@@ -647,6 +674,8 @@ let () =
         [
           Alcotest.test_case "task exit cleanup" `Quick
             test_task_exit_aborts_connections;
+          Alcotest.test_case "socket error text survives" `Quick
+            test_socket_creation_error_text_survives;
           Alcotest.test_case "connect refused" `Quick test_connect_refused;
           Alcotest.test_case "port conflict" `Quick
             test_port_conflict_across_apps;

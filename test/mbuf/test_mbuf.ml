@@ -264,6 +264,66 @@ let prop_split_isolates_halves =
       && Mbuf.to_string m
          = String.make 16 'Z' ^ String.sub s n (String.length s - n))
 
+(* --- loan lifetime: the NEWAPI hands these same view chains to the
+   application as borrowed references, so a loaned head must keep
+   reading correct bytes no matter what the protocol stack does to the
+   rest of the chain afterwards ------------------------------------- *)
+
+let prop_loan_survives_source_drain =
+  QCheck.Test.make
+    ~name:"view: loaned head survives drain/append on the source chain"
+    ~count:200
+    QCheck.(triple chain_gen small_nat (string_of_size Gen.(0 -- 500)))
+    (fun ((s, cuts), n, extra) ->
+      let n = n mod (String.length s + 1) in
+      let m, _ = chain_of_cuts s cuts in
+      (* split is the sockbuf take discipline: the loan shares buffers
+         with what stays queued *)
+      let loan = Mbuf.split m n in
+      Mbuf.concat m (Mbuf.of_string extra);
+      let rest = String.sub s n (String.length s - n) ^ extra in
+      let drained = Mbuf.split m (Mbuf.length m / 2) in
+      Mbuf.to_string loan = String.sub s 0 n
+      && Mbuf.to_string drained ^ Mbuf.to_string m = rest)
+
+let prop_loan_view_outlives_parent_trim =
+  QCheck.Test.make
+    ~name:"view: sub_view loan stays correct as the parent is trimmed away"
+    ~count:200
+    QCheck.(triple chain_gen small_nat small_nat)
+    (fun ((s, cuts), a, b) ->
+      let len_s = String.length s in
+      let off = if len_s = 0 then 0 else a mod len_s in
+      let len = b mod (len_s - off + 1) in
+      let m, _ = chain_of_cuts s cuts in
+      let loan = Mbuf.sub_view m ~off ~len in
+      Mbuf.trim_front m (min len_s (off + len));
+      Mbuf.trim_back m (Mbuf.length m);
+      Mbuf.to_string loan = String.sub s off len)
+
+let prop_owned_alias_rexmt_isolation =
+  QCheck.Test.make
+    ~name:"view: aliases of one owned buffer (tx + rexmt) never corrupt it"
+    ~count:200
+    QCheck.(triple (string_of_size Gen.(1 -- 2000)) small_nat small_nat)
+    (fun (s, a, b) ->
+      let len_s = String.length s in
+      let off = a mod len_s in
+      let len = 1 + (b mod (len_s - off)) in
+      let owned = Bytes.of_string s in
+      (* send_owned's first transmission and a later retransmission both
+         alias the caller's bytes; each prepends its own headers *)
+      let tx1 = Mbuf.of_bytes_view owned ~off ~len in
+      let tx2 = Mbuf.of_bytes_view owned ~off ~len in
+      let h1, o1 = Mbuf.prepend tx1 40 in
+      Bytes.fill h1 o1 40 'H';
+      let h2, o2 = Mbuf.prepend tx2 40 in
+      Bytes.fill h2 o2 40 'R';
+      let body = String.sub s off len in
+      Bytes.to_string owned = s
+      && Mbuf.to_string tx1 = String.make 40 'H' ^ body
+      && Mbuf.to_string tx2 = String.make 40 'R' ^ body)
+
 let prop_roundtrip =
   QCheck.Test.make ~name:"mbuf: of_string/to_string roundtrip" ~count:200
     QCheck.(string_of_size Gen.(0 -- 5000))
@@ -349,5 +409,8 @@ let () =
             prop_chain_checksum_equals_flat;
             prop_prepend_never_writes_shared;
             prop_split_isolates_halves;
+            prop_loan_survives_source_drain;
+            prop_loan_view_outlives_parent_trim;
+            prop_owned_alias_rexmt_isolation;
           ] );
     ]

@@ -82,6 +82,102 @@ let test_sockbuf_space () =
   Sockbuf.append sb (Psd_mbuf.Mbuf.of_string "789012");
   Alcotest.(check int) "floored at zero" 0 (Sockbuf.space sb)
 
+(* --- NEWAPI loans: bytes leave the queue but stay charged ---------------- *)
+
+let test_sockbuf_loan_accounting () =
+  let eng = Engine.create () in
+  let sb = Sockbuf.create eng ~hiwat:10 () in
+  Sockbuf.append sb (Psd_mbuf.Mbuf.of_string "12345678");
+  Alcotest.(check int) "space before loan" 2 (Sockbuf.space sb);
+  (match Sockbuf.try_read_loan sb ~max:5 with
+  | Ok m ->
+    Alcotest.(check string) "loan bytes" "12345" (Psd_mbuf.Mbuf.to_string m)
+  | Error _ -> Alcotest.fail "loan failed");
+  Alcotest.(check int) "cc drops at loan" 3 (Sockbuf.cc sb);
+  Alcotest.(check int) "loaned" 5 (Sockbuf.loaned sb);
+  Alcotest.(check int) "space unchanged while loaned" 2 (Sockbuf.space sb);
+  Sockbuf.loan_return sb 2;
+  Alcotest.(check int) "partial return reopens space" 4 (Sockbuf.space sb);
+  Sockbuf.loan_return sb 3;
+  Alcotest.(check int) "full return" 7 (Sockbuf.space sb);
+  Alcotest.(check int) "no loans out" 0 (Sockbuf.loaned sb)
+
+let test_sockbuf_loan_return_validation () =
+  let eng = Engine.create () in
+  let sb = Sockbuf.create eng () in
+  Sockbuf.append sb (Psd_mbuf.Mbuf.of_string "abcd");
+  (match Sockbuf.try_read_loan sb ~max:4 with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "loan failed");
+  Alcotest.check_raises "over-return"
+    (Invalid_argument "Sockbuf.loan_return: not loaned") (fun () ->
+      Sockbuf.loan_return sb 5);
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Sockbuf.loan_return: negative length") (fun () ->
+      Sockbuf.loan_return sb (-1));
+  Sockbuf.loan_return sb 4;
+  Alcotest.(check int) "settled" 0 (Sockbuf.loaned sb)
+
+let test_sockbuf_loan_return_fires_hooks () =
+  let eng = Engine.create () in
+  let sb = Sockbuf.create eng () in
+  Sockbuf.append sb (Psd_mbuf.Mbuf.of_string "window");
+  (match Sockbuf.try_read_loan sb ~max:6 with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "loan failed");
+  let changes = ref 0 in
+  Sockbuf.on_change sb (fun () -> incr changes);
+  Sockbuf.loan_return sb 0;
+  Alcotest.(check int) "zero-length return is silent" 0 !changes;
+  (* the TCP window-update path hangs off these hooks: a real return
+     must announce the reclaimed space *)
+  Sockbuf.loan_return sb 6;
+  "return announces space" => (!changes >= 1)
+
+let test_sockbuf_loan_never_flattens () =
+  let eng = Engine.create () in
+  let sb = Sockbuf.create eng () in
+  let page = Bytes.of_string "shared-page-contents" in
+  Sockbuf.append sb (Psd_mbuf.Mbuf.of_bytes_view page ~off:0 ~len:20);
+  match Sockbuf.try_read_loan sb ~max:20 with
+  | Ok m ->
+    let aliases =
+      Psd_mbuf.Mbuf.fold_ranges m ~init:false
+        ~f:(fun acc buf ~off:_ ~len:_ -> acc || buf == page)
+    in
+    "loan aliases the deposited page" => aliases;
+    Sockbuf.loan_return sb 20
+  | Error _ -> Alcotest.fail "loan failed"
+
+let prop_sockbuf_loans_preserve_stream =
+  QCheck.Test.make
+    ~name:"sockbuf: loaned reads concatenate to appends, charges settle"
+    ~count:100
+    QCheck.(list (string_of_size Gen.(0 -- 200)))
+    (fun chunks ->
+      let eng = Engine.create () in
+      let sb = Sockbuf.create eng () in
+      List.iter (fun c -> Sockbuf.append sb (Psd_mbuf.Mbuf.of_string c)) chunks;
+      Sockbuf.set_eof sb;
+      let total = List.fold_left (fun a c -> a + String.length c) 0 chunks in
+      let buf = Buffer.create 64 in
+      (* hold every loan until the queue is dry, then return them all *)
+      let rec drain loans =
+        match Sockbuf.try_read_loan sb ~max:41 with
+        | Ok m ->
+          Buffer.add_string buf (Psd_mbuf.Mbuf.to_string m);
+          drain (Psd_mbuf.Mbuf.length m :: loans)
+        | Error `Eof | Error `Empty | Error (`Error _) -> loans
+      in
+      let loans = drain [] in
+      let drained_ok =
+        Sockbuf.loaned sb = total
+        && Buffer.contents buf = String.concat "" chunks
+      in
+      List.iter (fun n -> Sockbuf.loan_return sb n) loans;
+      drained_ok && Sockbuf.loaned sb = 0
+      && Sockbuf.space sb = Sockbuf.hiwat sb)
+
 let prop_sockbuf_preserves_stream =
   QCheck.Test.make ~name:"sockbuf: reads concatenate to appends" ~count:100
     QCheck.(list (string_of_size Gen.(0 -- 200)))
@@ -150,7 +246,16 @@ let () =
           Alcotest.test_case "hooks+waiters" `Quick
             test_sockbuf_change_hooks_and_waiters;
           Alcotest.test_case "space" `Quick test_sockbuf_space;
+          Alcotest.test_case "loan accounting" `Quick
+            test_sockbuf_loan_accounting;
+          Alcotest.test_case "loan return validation" `Quick
+            test_sockbuf_loan_return_validation;
+          Alcotest.test_case "loan return fires hooks" `Quick
+            test_sockbuf_loan_return_fires_hooks;
+          Alcotest.test_case "loan never flattens" `Quick
+            test_sockbuf_loan_never_flattens;
           QCheck_alcotest.to_alcotest prop_sockbuf_preserves_stream;
+          QCheck_alcotest.to_alcotest prop_sockbuf_loans_preserve_stream;
         ] );
       ( "dgramq",
         [

@@ -518,6 +518,134 @@ let test_simultaneous_close () =
   Alcotest.(check int) "a drained" 0 (Tcp.active_pcbs net.a.tcp);
   Alcotest.(check int) "b drained" 0 (Tcp.active_pcbs net.b.tcp)
 
+let test_retransmitted_fin_single_eof () =
+  (* Regression: when the ACK of the peer's FIN is lost, the peer
+     retransmits the FIN into a state whose rcv_nxt already sits past
+     it. That duplicate must re-ACK (and in TIME-WAIT restart 2MSL) —
+     it must NOT run the FIN machinery again and hand the application a
+     second EOF. *)
+  let net = create () in
+  let server_pcb = ref None in
+  let _sink, _ =
+    autoserver net ~rcv_assign:(fun p -> server_pcb := Some p) 80
+  in
+  let eofs = ref 0 in
+  let client_sink = make_sink () in
+  Psd_sim.Engine.spawn net.eng (fun () ->
+      let h = sink_handlers client_sink in
+      let pcb =
+        Tcp.connect net.a.tcp
+          ~handlers:{ h with Tcp.deliver_fin = (fun () -> incr eofs) }
+          ~src_port:5000 ~dst:net.b.addr ~dst_port:80 ()
+      in
+      Psd_sim.Engine.sleep net.eng (Psd_sim.Time.ms 20);
+      Tcp.shutdown_send pcb;
+      Psd_sim.Engine.sleep net.eng (Psd_sim.Time.ms 20);
+      (* server closes too; drop the client's ACK of the server FIN so
+         the FIN is retransmitted into the client's TIME-WAIT *)
+      drop_nth net 2;
+      match !server_pcb with
+      | Some spcb -> Tcp.shutdown_send spcb
+      | None -> ());
+  run_for net (Psd_sim.Time.sec 10);
+  Alcotest.(check int) "exactly one EOF" 1 !eofs;
+  Alcotest.(check int) "no resets" 0 (Tcp.stats net.a.tcp).Tcp.rst_out;
+  "server FIN was retransmitted"
+  => ((Tcp.stats net.b.tcp).Tcp.rexmt_segs >= 1);
+  Alcotest.(check int) "a drained" 0 (Tcp.active_pcbs net.a.tcp);
+  Alcotest.(check int) "b drained" 0 (Tcp.active_pcbs net.b.tcp)
+
+(* Close-sequence property: both ends close — simultaneously or with
+   arbitrary skew — over a wire with random per-packet latency
+   (reordering) and early random drops (retransmitted FINs arriving in
+   states that already processed them). Whatever the interleaving, each
+   side must see exactly one EOF, the byte streams must survive intact,
+   and both connection tables must drain through TIME-WAIT. *)
+let prop_close_sequence =
+  QCheck.Test.make ~name:"tcp: both-ends close converges under drop/reorder"
+    ~count:25
+    QCheck.(triple small_int (int_range 0 15) (int_range 0 50))
+    (fun (seed, drop_pct, skew_ms) ->
+      let eng = Psd_sim.Engine.create ~seed:(seed + 900) () in
+      let a = make_host eng "closer-a" "10.0.0.1" in
+      let b = make_host eng "closer-b" "10.0.0.2" in
+      let rng =
+        Psd_util.Rng.create ~seed:((seed * 37) + (drop_pct * 5) + skew_ms)
+      in
+      let wire src dst =
+        Psd_ip.Ip.set_transmit src.ip (fun ~next_hop:_ ~iface:_ m ->
+            let packet = Psd_mbuf.Mbuf.to_bytes m in
+            let dropped =
+              Psd_sim.Engine.now eng < Psd_sim.Time.sec 3
+              && Psd_util.Rng.int rng 100 < drop_pct
+            in
+            if not dropped then
+              let delay = 30_000 + Psd_util.Rng.int rng 60_000 in
+              Psd_sim.Engine.schedule eng delay (fun () ->
+                  Psd_sim.Engine.spawn eng (fun () ->
+                      Psd_ip.Ip.input dst.ip packet ~off:0
+                        ~len:(Bytes.length packet))))
+      in
+      wire a b;
+      wire b a;
+      let a_eofs = ref 0 and b_eofs = ref 0 in
+      let a_got = Buffer.create 64 and b_got = Buffer.create 64 in
+      let consumer pcbref eofs got =
+        {
+          Tcp.null_handlers with
+          Tcp.deliver =
+            (fun m ->
+              let n = Mbuf.length m in
+              Buffer.add_string got (Mbuf.to_string m);
+              Psd_sim.Engine.spawn eng (fun () ->
+                  match !pcbref with
+                  | Some p -> Tcp.user_consumed p n
+                  | None -> ()));
+          deliver_fin = (fun () -> incr eofs);
+        }
+      in
+      let b_pcb = ref None in
+      let listener = Tcp.listen b.tcp ~port:80 () in
+      Tcp.on_ready listener (fun () ->
+          Psd_sim.Engine.spawn eng (fun () ->
+              match Tcp.accept_ready listener with
+              | None -> ()
+              | Some p ->
+                b_pcb := Some p;
+                Tcp.set_handlers p (consumer b_pcb b_eofs b_got);
+                Psd_sim.Engine.spawn eng (fun () ->
+                    Tcp.send p (Mbuf.of_string "server-goodbye");
+                    Psd_sim.Engine.sleep eng (Psd_sim.Time.ms skew_ms);
+                    Tcp.shutdown_send p)));
+      let a_pcb = ref None in
+      Psd_sim.Engine.spawn eng (fun () ->
+          let established = ref false in
+          let cond = Psd_sim.Cond.create eng in
+          let h = consumer a_pcb a_eofs a_got in
+          let p =
+            Tcp.connect a.tcp
+              ~handlers:
+                {
+                  h with
+                  Tcp.on_established =
+                    (fun () ->
+                      established := true;
+                      Psd_sim.Cond.broadcast cond);
+                }
+              ~src_port:5000 ~dst:b.addr ~dst_port:80 ()
+          in
+          a_pcb := Some p;
+          if not !established then Psd_sim.Cond.wait cond;
+          Tcp.send p (Mbuf.of_string "client-goodbye");
+          Psd_sim.Engine.sleep eng (Psd_sim.Time.ms 25);
+          Tcp.shutdown_send p);
+      Psd_sim.Engine.run_for eng (Psd_sim.Time.sec 120);
+      !a_eofs = 1 && !b_eofs = 1
+      && String.equal (Buffer.contents b_got) "client-goodbye"
+      && String.equal (Buffer.contents a_got) "server-goodbye"
+      && Tcp.active_pcbs a.tcp = 0
+      && Tcp.active_pcbs b.tcp = 0)
+
 let test_abort_resets_peer () =
   let net = create () in
   let server_sink, _ = autoserver net 80 in
@@ -1082,7 +1210,10 @@ let () =
         [
           Alcotest.test_case "graceful" `Quick test_graceful_close;
           Alcotest.test_case "simultaneous" `Quick test_simultaneous_close;
+          Alcotest.test_case "retransmitted fin single eof" `Quick
+            test_retransmitted_fin_single_eof;
           Alcotest.test_case "abort" `Quick test_abort_resets_peer;
+          QCheck_alcotest.to_alcotest prop_close_sequence;
         ] );
       ( "corners",
         [

@@ -190,6 +190,47 @@ let test_tx_copies_per_placement () =
   Alcotest.(check int) "library-shm: gather only" 1 (tx_per Cfg.library_shm);
   Alcotest.(check int) "shm-ipf: gather only" 1 (tx_per Cfg.library_shm_ipf)
 
+let test_newapi_zero_copy_receive () =
+  (* The tentpole number (paper Table 4, NEWAPI column): shared-buffer
+     delivery plus loans leaves the receive datapath with ZERO body
+     copies — the application reads each packet exactly where the
+     device-integrated filter deposited it. The loan deposit itself is
+     counted at the rx_loan site, which is bookkeeping, not a copy. *)
+  let count = 100 in
+  let r = W.Copymeter.run ~count Cfg.library_newapi_shm_ipf in
+  Alcotest.(check int) "zero rx body copies" 0 r.W.Copymeter.rx_body_copies;
+  Alcotest.(check int) "no copy-out" 0 (site_copies r "rx_copyout");
+  Alcotest.(check int) "no ring copy" 0 (site_copies r "rx_ring");
+  Alcotest.(check int) "no device copy" 0 (site_copies r "rx_device");
+  Alcotest.(check int) "no reassembly flatten" 0 (site_copies r "rx_flatten");
+  Alcotest.(check int) "every packet loaned" r.W.Copymeter.packets
+    (site_copies r "rx_loan");
+  (* transmit side: the frame gather remains the single body copy; the
+     classic user->stack copyin is replaced by an ownership transfer *)
+  Alcotest.(check int) "tx: gather is the only body copy"
+    r.W.Copymeter.sent r.W.Copymeter.tx_body_copies;
+  Alcotest.(check int) "no copy-in" 0 (site_copies r "tx_copyin");
+  Alcotest.(check int) "every send an ownership transfer"
+    r.W.Copymeter.sent (site_copies r "tx_owned")
+
+let test_newapi_copy_ladder () =
+  (* receive body copies step down the delivery ladder exactly as the
+     paper's NEWAPI rows argue: per-packet IPC still pays the device
+     copy and one message copy, the shared ring drops the message, the
+     integrated filter drops the device copy too *)
+  let rx config =
+    let r = W.Copymeter.run ~count:100 config in
+    Alcotest.(check int)
+      ("all datagrams delivered under " ^ config.Cfg.label)
+      100 r.W.Copymeter.packets;
+    r.W.Copymeter.rx_body_copies / r.W.Copymeter.packets
+  in
+  Alcotest.(check int) "NEWAPI-IPC: device + message" 2
+    (rx Cfg.library_newapi_ipc);
+  Alcotest.(check int) "NEWAPI-SHM: device only" 1 (rx Cfg.library_newapi_shm);
+  Alcotest.(check int) "NEWAPI-SHM-IPF: zero" 0
+    (rx Cfg.library_newapi_shm_ipf)
+
 let test_shm_ipf_allocation_guard () =
   (* Steady-state receive must not allocate per payload byte: the whole
      1MB simulation (engine, fibers, views, socket strings) stays under
@@ -217,6 +258,31 @@ let test_send_path_allocation_guard () =
   let per_seg = (w1 -. w0) /. float_of_int r.W.Ttcp.segs_out in
   if per_seg >= 5000. then
     Alcotest.failf "send-path allocation regression: %.0f minor words/segment"
+      per_seg
+
+let test_newapi_loan_allocation_guard () =
+  (* Loan-path discipline over a whole transfer: the NEWAPI drain hands
+     out views and never cooks strings, so the run must show no flatten
+     and no copy-out at all, and the minor-heap budget per data segment
+     sits below the classic receive guard (the per-chunk copy-out
+     strings are gone). *)
+  Psd_util.Copies.reset ();
+  let w0 = Gc.minor_words () in
+  let r = W.Ttcp.run ~mb:1 Cfg.library_newapi_shm_ipf in
+  let w1 = Gc.minor_words () in
+  let site name =
+    match
+      List.find_opt (fun (n, _, _) -> n = name) (Psd_util.Copies.all ())
+    with
+    | Some (_, c, _) -> c
+    | None -> 0
+  in
+  Alcotest.(check int) "loan drain never flattens" 0 (site "rx_flatten");
+  Alcotest.(check int) "loan drain never copies out" 0 (site "rx_copyout");
+  "chunks were loaned" => (site "rx_loan" > 0);
+  let per_seg = (w1 -. w0) /. float_of_int r.W.Ttcp.segs_out in
+  if per_seg >= 5500. then
+    Alcotest.failf "loan-path allocation regression: %.0f minor words/segment"
       per_seg
 
 (* --- header prediction ------------------------------------------------- *)
@@ -447,10 +513,16 @@ let () =
             test_copies_ordering_across_placements;
           Alcotest.test_case "tx per placement" `Quick
             test_tx_copies_per_placement;
+          Alcotest.test_case "newapi zero-copy receive" `Quick
+            test_newapi_zero_copy_receive;
+          Alcotest.test_case "newapi copy ladder" `Quick
+            test_newapi_copy_ladder;
           Alcotest.test_case "allocation guard" `Quick
             test_shm_ipf_allocation_guard;
           Alcotest.test_case "send-path allocation guard" `Quick
             test_send_path_allocation_guard;
+          Alcotest.test_case "newapi loan allocation guard" `Quick
+            test_newapi_loan_allocation_guard;
         ] );
       ( "predict",
         [
