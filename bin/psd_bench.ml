@@ -369,6 +369,14 @@ let scale_cmd =
       & opt string "BENCH_scale.json"
       & info [ "out" ] ~docv:"PATH" ~doc:"Where to write the JSON report.")
   in
+  let budget_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "budget-bytes" ] ~docv:"B"
+          ~doc:"Fail (exit 1) if any sweep point exceeds this many bytes \
+                per connection, or echoes fewer than every connection, or \
+                leaks a PCB. 0 disables the gate.")
+  in
   let emit_json path spacing_us hold_s seed points =
     let oc = open_out path in
     let p fmt = Printf.fprintf oc fmt in
@@ -387,6 +395,7 @@ let scale_cmd =
         p "    {\n";
         p "      \"conns\": %d,\n" r.W.Scale.conns;
         p "      \"hosts\": %d,\n" r.W.Scale.hosts;
+        p "      \"segments\": %d,\n" r.W.Scale.segments;
         p "      \"echoed\": %d,\n" r.W.Scale.echoed;
         p "      \"failed\": %d,\n" r.W.Scale.failed;
         p "      \"peak_pcbs\": %d,\n" r.W.Scale.peak_pcbs;
@@ -399,30 +408,56 @@ let scale_cmd =
         p "      \"events_per_wall_s\": %.0f,\n" r.W.Scale.events_per_wall_s;
         p "      \"wall_ms_per_sim_s\": %.1f,\n" r.W.Scale.wall_ms_per_sim_s;
         p "      \"rexmt_segs\": %d,\n" r.W.Scale.rexmt_segs;
-        p "      \"final_pcbs\": %d\n" r.W.Scale.final_pcbs;
+        p "      \"final_pcbs\": %d,\n" r.W.Scale.final_pcbs;
+        p "      \"pool_fresh\": %d,\n" r.W.Scale.pool_fresh;
+        p "      \"pool_hits\": %d,\n" r.W.Scale.pool_hits;
+        p "      \"pool_puts\": %d,\n" r.W.Scale.pool_puts;
+        p "      \"pool_free\": %d\n" r.W.Scale.pool_free;
         p "    }%s\n" (if i = n - 1 then "" else ","))
       points;
     p "  ]\n";
     p "}\n";
     close_out oc
   in
-  let run conns spacing_us hold_s seed out =
+  let run conns spacing_us hold_s seed out budget =
     Format.printf "@.=== Control-plane scale sweep (%s) ===@.@."
       Cfg.mach25_kernel.Cfg.label;
     let points =
       List.map
         (fun c ->
-          let r =
+          match
             W.Scale.run ~conns:c
               ~spacing_ns:(Psd_sim.Time.us spacing_us)
               ~hold_ns:(Psd_sim.Time.sec hold_s) ~seed ()
-          in
-          Format.printf "%a@." W.Scale.pp r;
-          r)
+          with
+          | Ok r ->
+            Format.printf "%a@." W.Scale.pp r;
+            r
+          | Error e ->
+            Format.eprintf "FATAL: scale %d conns: %a@." c W.Scale.pp_error
+              e;
+            exit 1)
         conns
     in
     emit_json out spacing_us hold_s seed points;
-    Format.printf "@.wrote %s@." out
+    Format.printf "@.wrote %s@." out;
+    if budget > 0 then
+      List.iter
+        (fun (r : W.Scale.result) ->
+          if r.W.Scale.echoed <> r.W.Scale.conns then (
+            Format.eprintf "FATAL: %d conns: only %d echoed@."
+              r.W.Scale.conns r.W.Scale.echoed;
+            exit 1);
+          if r.W.Scale.final_pcbs <> 0 then (
+            Format.eprintf "FATAL: %d conns: %d PCBs leaked@."
+              r.W.Scale.conns r.W.Scale.final_pcbs;
+            exit 1);
+          if r.W.Scale.bytes_per_conn > float_of_int budget then (
+            Format.eprintf "FATAL: %d conns: %.0f B/conn over the %d B \
+                            budget@."
+              r.W.Scale.conns r.W.Scale.bytes_per_conn budget;
+            exit 1))
+        points
   in
   Cmd.v
     (Cmd.info "scale"
@@ -430,7 +465,9 @@ let scale_cmd =
              100k) through the gateway topology and report memory per \
              connection, events/sec, and wall-clock per simulated \
              second into BENCH_scale.json.")
-    Term.(const run $ conns_arg $ spacing_arg $ hold_arg $ seed_arg $ out_arg)
+    Term.(
+      const run $ conns_arg $ spacing_arg $ hold_arg $ seed_arg $ out_arg
+      $ budget_arg)
 
 let par_cmd =
   let domains_arg =
@@ -492,8 +529,14 @@ let par_cmd =
         (fun nd ->
           let r, w =
             wall (fun () ->
-                W.Scale.run_par ~conns ~nshards:(max nd 1)
-                  ~domains:(nd > 1) ())
+                match
+                  W.Scale.run_par ~conns ~nshards:(max nd 1)
+                    ~domains:(nd > 1) ()
+                with
+                | Ok r -> r
+                | Error e ->
+                  Format.eprintf "FATAL: scale par: %a@." W.Scale.pp_error e;
+                  exit 1)
           in
           Format.printf
             "scale %d-domain: %7d echoed  wall %6.3f s  (%d conns)@." nd

@@ -150,25 +150,25 @@ let wire_stream_handlers t sess b =
   let plat = ctx.Ctx.plat in
   {
     Psd_tcp.Tcp.deliver =
-      (fun m ->
+      (fun _ m ->
         Ctx.charge ctx Phase.Proto_input
           (plat.Platform.mbuf_op + ctx.Ctx.sync_ns);
         if Psd_socket.Sockbuf.has_waiters b.b_rcv then
           Ctx.charge ctx Phase.Wakeup ctx.Ctx.wakeup_ns;
         Psd_socket.Sockbuf.append b.b_rcv m);
-    deliver_fin = (fun () -> Psd_socket.Sockbuf.set_eof b.b_rcv);
-    on_established = (fun () -> Psd_sim.Cond.broadcast b.b_accept);
+    deliver_fin = (fun _ -> Psd_socket.Sockbuf.set_eof b.b_rcv);
+    on_established = (fun _ -> Psd_sim.Cond.broadcast b.b_accept);
     on_acked =
-      (fun _ ->
+      (fun _ _ ->
         Psd_sim.Cond.broadcast b.b_acked;
         Psd_sim.Cond.broadcast t.select_cond);
     on_error =
-      (fun e ->
+      (fun _ e ->
         Psd_socket.Sockbuf.set_error b.b_rcv
           (Format.asprintf "%a" Psd_tcp.Tcp.pp_error e);
         Psd_sim.Cond.broadcast b.b_acked);
     on_state =
-      (fun st ->
+      (fun _ st ->
         if st = Psd_tcp.Tcp.Closed then
           if sess.closing then destroy_session t sess);
   }
@@ -180,14 +180,14 @@ let wire_drain_handlers t sess pcb_ref =
   {
     Psd_tcp.Tcp.null_handlers with
     Psd_tcp.Tcp.deliver =
-      (fun m ->
+      (fun _ m ->
         let n = Psd_mbuf.Mbuf.length m in
         Psd_sim.Engine.spawn (eng t) ~name:"drain" (fun () ->
             match !pcb_ref with
             | Some pcb -> Psd_tcp.Tcp.user_consumed pcb n
             | None -> ()));
     on_state =
-      (fun st ->
+      (fun _ st ->
         if st = Psd_tcp.Tcp.Closed then destroy_session t sess);
   }
 
@@ -342,11 +342,11 @@ let handle_connect t ~sid ~dst =
           {
             Psd_tcp.Tcp.null_handlers with
             Psd_tcp.Tcp.on_established =
-              (fun () ->
+              (fun _ ->
                 established := true;
                 Psd_sim.Cond.broadcast b.b_accept);
             on_error =
-              (fun e ->
+              (fun _ e ->
                 failed := Some e;
                 Psd_sim.Cond.broadcast b.b_accept);
           }

@@ -23,28 +23,36 @@ type app = {
   mutable dead_socks : int; (* closed entries awaiting compaction *)
   mutable forker : (name:string -> app) option;
   mutable next_local_sid : int;
+  (* One shared TCP handlers record per stack (an app sees at most two:
+     its library stack and the kernel stack). Callbacks recover the
+     socket from the pcb's owner token, so a million connections share
+     one record instead of carrying six closures each. *)
+  mutable stream_h : (Netstack.t * Psd_tcp.Tcp.handlers) list;
 }
 
+(* The socket record is sized for the C1M workload: a million mostly
+   idle connections. Everything a quiescent socket does not need is
+   either packed (booleans into [sflags], endpoints into int fields
+   with port [-1] as "none") or allocated lazily on first use and, for
+   the receive buffers, deflated back to [None] once drained — an
+   accepted-but-quiet connection pays for no sockbuf, no dgram queue,
+   no condition variables and no completion queue. *)
 and t = {
   a : app;
   knd : S.kind;
   sid : S.sid;
   mutable loc : loc;
-  rcv : Psd_socket.Sockbuf.t;
-  dq : dgram_payload Psd_socket.Dgramq.t;
-  acked : Psd_sim.Cond.t;
-  conn : Psd_sim.Cond.t;
-  mutable conn_ok : bool;
+  mutable rcv : Psd_socket.Sockbuf.t option;
+  mutable dq : dgram_payload Psd_socket.Dgramq.t option;
+  mutable acked : Psd_sim.Cond.t option;
+  mutable conn : Psd_sim.Cond.t option;
+  mutable sflags : int;
   mutable conn_err : string option;
-  mutable nodelay_flag : bool;
-  mutable selected : bool;
-  mutable reported : bool; (* readiness the server currently believes *)
-  mutable local : S.endpoint option;
-  mutable rem : S.endpoint option;
-  snd_hiwat : int;
-  mutable closed : bool;
+  mutable local_ip : Psd_ip.Addr.t;
+  mutable local_port : int; (* -1 = unbound *)
+  mutable rem_ip : Psd_ip.Addr.t;
+  mutable rem_port : int; (* -1 = unconnected *)
   mutable soft_err : string option; (* e.g. ICMP port unreachable *)
-  mutable nonblocking : bool;
   (* NEWAPI send-completion discipline: [send_owned] hands ownership of
      a caller buffer to the stack until every byte of that send is
      acknowledged. Thresholds are cumulative enqueued-byte counts (the
@@ -53,7 +61,12 @@ and t = {
      TCP [on_acked] stream. *)
   mutable tx_enqueued_total : int;
   mutable tx_acked_total : int;
-  tx_completions : (int * (unit -> unit)) Queue.t;
+  mutable tx_completions : (int * (unit -> unit)) Queue.t option;
+  (* Fired once when the peer closes its send side (FIN) or the
+     connection errors — lets a server hold a million idle connections
+     open without parking a reader fiber (and its inflated receive
+     buffer) on every one of them. *)
+  mutable on_hangup : (unit -> unit) option;
 }
 
 (* What a datagram socket queues: the classic API stores a cooked
@@ -70,18 +83,57 @@ and loc =
 
 type location = Loc_library | Loc_server | Loc_kernel | Loc_none
 
+exception Sock of t
+(* The owner token shared TCP handlers use to find their socket. *)
+
+(* [sflags] bits *)
+let f_conn_ok = 1
+
+let f_nodelay = 2
+
+let f_selected = 4
+
+let f_reported = 8 (* readiness the server currently believes *)
+
+let f_closed = 16
+
+let f_nonblocking = 32
+
+let[@inline] sflag s bit = s.sflags land bit <> 0
+
+let[@inline] set_sflag s bit v =
+  s.sflags <- (if v then s.sflags lor bit else s.sflags land lnot bit)
+
+let[@inline] conn_ok s = sflag s f_conn_ok
+
+let[@inline] closed s = sflag s f_closed
+
+let[@inline] nonblocking s = sflag s f_nonblocking
+
+let snd_hiwat = 24 * 1024
+
 let task a = a.task
 
 let app_stack a = a.stack
 
 let kind s = s.knd
 
-let local_endpoint s = s.local
+let local_endpoint s =
+  if s.local_port < 0 then None else Some (s.local_ip, s.local_port)
 
-let remote_endpoint s = s.rem
+let remote_endpoint s =
+  if s.rem_port < 0 then None else Some (s.rem_ip, s.rem_port)
+
+let set_local s ((ip, port) : S.endpoint) =
+  s.local_ip <- ip;
+  s.local_port <- port
+
+let set_rem s ((ip, port) : S.endpoint) =
+  s.rem_ip <- ip;
+  s.rem_port <- port
 
 let set_nodelay s v =
-  s.nodelay_flag <- v;
+  set_sflag s f_nodelay v;
   match s.loc with
   | Ltcp (pcb, _) -> Psd_tcp.Tcp.set_nodelay pcb v
   | _ -> ()
@@ -96,14 +148,22 @@ let location s =
   | Remote -> Loc_server
   | Llisten _ | Ltcp _ | Ludp _ -> if in_kernel s.a then Loc_kernel else Loc_library
 
+let sb_readable = function
+  | Some b -> Psd_socket.Sockbuf.readable b
+  | None -> false
+
+let dq_readable = function
+  | Some q -> Psd_socket.Dgramq.readable q
+  | None -> false
+
 let readable s =
   match s.loc with
   | Llisten (l, _) -> Psd_tcp.Tcp.pending l > 0
-  | Ltcp _ -> Psd_socket.Sockbuf.readable s.rcv
-  | Ludp _ -> Psd_socket.Dgramq.readable s.dq
+  | Ltcp _ -> sb_readable s.rcv
+  | Ludp _ -> dq_readable s.dq
   | Remote | Fresh ->
     (* server-resident readiness is known only to the server *)
-    Psd_socket.Sockbuf.readable s.rcv || Psd_socket.Dgramq.readable s.dq
+    sb_readable s.rcv || dq_readable s.dq
 
 (* ------------------------------------------------------------------ *)
 (* proxy: RPC plumbing and the cooperative status protocol             *)
@@ -125,9 +185,11 @@ let rpc s ?req_bytes ?resp_size ?(phase = Phase.Control) req =
 let notify_status s =
   if s.sid >= 0 then begin
     let r = readable s in
-    let must_tell = (s.selected || s.reported) && r <> s.reported in
+    let must_tell =
+      (sflag s f_selected || sflag s f_reported) && r <> sflag s f_reported
+    in
     if must_tell then begin
-      s.reported <- r;
+      set_sflag s f_reported r;
       match s.a.server with
       | Some port ->
         Psd_mach.Ipc.oneway port ~ctx:s.a.call_ctx ~phase:Phase.Control
@@ -137,6 +199,85 @@ let notify_status s =
   end
 
 let signal_local a = Psd_sim.Cond.broadcast a.local_cond
+
+(* ------------------------------------------------------------------ *)
+(* lazy per-socket state: inflate on first use, deflate when inert     *)
+
+let rcv_of s =
+  match s.rcv with
+  | Some b -> b
+  | None ->
+    let b = Psd_socket.Sockbuf.create (eng s.a) () in
+    Psd_socket.Sockbuf.on_change b (fun () -> signal_local s.a);
+    s.rcv <- Some b;
+    b
+
+let dq_of s =
+  match s.dq with
+  | Some q -> q
+  | None ->
+    let q = Psd_socket.Dgramq.create (eng s.a) () in
+    Psd_socket.Dgramq.on_change q (fun () -> signal_local s.a);
+    s.dq <- Some q;
+    q
+
+let acked_of s =
+  match s.acked with
+  | Some c -> c
+  | None ->
+    let c = Psd_sim.Cond.create (eng s.a) in
+    s.acked <- Some c;
+    c
+
+let conn_of s =
+  match s.conn with
+  | Some c -> c
+  | None ->
+    let c = Psd_sim.Cond.create (eng s.a) in
+    s.conn <- Some c;
+    c
+
+let txq_of s =
+  match s.tx_completions with
+  | Some q -> q
+  | None ->
+    let q = Queue.create () in
+    s.tx_completions <- Some q;
+    q
+
+(* Broadcasting an un-inflated condition is exactly broadcasting one
+   with no waiters: any fiber that could wait inflates it first. *)
+let broadcast_opt = function
+  | Some c -> Psd_sim.Cond.broadcast c
+  | None -> ()
+
+(* Deflate the receive buffer once it carries no observable state: no
+   bytes, no outstanding loan, no EOF or error mark, no blocked reader.
+   Re-inflation reproduces this exact state, so readers cannot tell —
+   but an accepted-then-drained connection drops back to paying zero. *)
+let maybe_deflate_rcv s =
+  match s.rcv with
+  | Some b ->
+    if
+      Psd_socket.Sockbuf.cc b = 0
+      && Psd_socket.Sockbuf.loaned b = 0
+      && (not (Psd_socket.Sockbuf.eof b))
+      && Psd_socket.Sockbuf.error b = None
+      && not (Psd_socket.Sockbuf.has_waiters b)
+    then s.rcv <- None
+  | None -> ()
+
+(* The dropped-datagram count is observable state too (BSD SO_RCVBUF
+   overflow accounting): a queue that ever dropped stays inflated. *)
+let maybe_deflate_dq s =
+  match s.dq with
+  | Some q ->
+    if
+      (not (Psd_socket.Dgramq.readable q))
+      && (not (Psd_socket.Dgramq.has_waiters q))
+      && Psd_socket.Dgramq.dropped q = 0
+    then s.dq <- None
+  | None -> ()
 
 let ewouldblock = "operation would block"
 
@@ -189,28 +330,23 @@ let make_socket a knd sid =
       knd;
       sid;
       loc = Fresh;
-      rcv = Psd_socket.Sockbuf.create (eng a) ();
-      dq = Psd_socket.Dgramq.create (eng a) ();
-      acked = Psd_sim.Cond.create (eng a);
-      conn = Psd_sim.Cond.create (eng a);
-      conn_ok = false;
+      rcv = None;
+      dq = None;
+      acked = None;
+      conn = None;
+      sflags = 0;
       conn_err = None;
-      nodelay_flag = false;
-      selected = false;
-      reported = false;
-      local = None;
-      rem = None;
-      snd_hiwat = 24 * 1024;
-      closed = false;
+      local_ip = Psd_ip.Addr.any;
+      local_port = -1;
+      rem_ip = Psd_ip.Addr.any;
+      rem_port = -1;
       soft_err = None;
-      nonblocking = false;
       tx_enqueued_total = 0;
       tx_acked_total = 0;
-      tx_completions = Queue.create ();
+      tx_completions = None;
+      on_hangup = None;
     }
   in
-  Psd_socket.Sockbuf.on_change s.rcv (fun () -> signal_local a);
-  Psd_socket.Dgramq.on_change s.dq (fun () -> signal_local a);
   a.sockets <- s :: a.sockets;
   a.n_socks <- a.n_socks + 1;
   s
@@ -259,69 +395,121 @@ let dgram a =
    FIFO: thresholds are registered in enqueue order and are monotone,
    so the queue head is always the earliest outstanding send. *)
 let drain_tx_completions s =
-  let rec go () =
-    match Queue.peek_opt s.tx_completions with
-    | Some (threshold, k) when s.tx_acked_total >= threshold ->
-      ignore (Queue.pop s.tx_completions);
-      k ();
-      go ()
-    | _ -> ()
-  in
-  go ()
+  match s.tx_completions with
+  | None -> ()
+  | Some q ->
+    let rec go () =
+      match Queue.peek_opt q with
+      | Some (threshold, k) when s.tx_acked_total >= threshold ->
+        ignore (Queue.pop q);
+        k ();
+        go ()
+      | _ -> ()
+    in
+    go ()
 
 (* On error or close the stack gives the buffers back unconditionally —
    a completion that can never fire would strand the caller's memory. *)
 let fire_all_tx_completions s =
-  while not (Queue.is_empty s.tx_completions) do
-    let _, k = Queue.pop s.tx_completions in
-    k ()
-  done
+  match s.tx_completions with
+  | None -> ()
+  | Some q ->
+    while not (Queue.is_empty q) do
+      let _, k = Queue.pop q in
+      k ()
+    done
 
 (* ------------------------------------------------------------------ *)
 (* handlers wiring for library/kernel-resident sessions                *)
 
-let stream_handlers s (stack : Netstack.t) =
-  let ctx = Netstack.ctx stack in
-  let plat = ctx.Ctx.plat in
-  {
-    Psd_tcp.Tcp.deliver =
-      (fun m ->
-        Ctx.charge ctx Phase.Proto_input
-          (plat.Platform.mbuf_op + ctx.Ctx.sync_ns);
-        if Psd_socket.Sockbuf.has_waiters s.rcv then
-          Ctx.charge ctx Phase.Wakeup ctx.Ctx.wakeup_ns;
-        Psd_socket.Sockbuf.append s.rcv m;
-        notify_status s);
-    deliver_fin =
-      (fun () ->
-        Psd_socket.Sockbuf.set_eof s.rcv;
-        notify_status s);
-    on_established =
-      (fun () ->
-        s.conn_ok <- true;
-        Psd_sim.Cond.broadcast s.conn);
-    on_acked =
-      (fun n ->
-        s.tx_acked_total <- s.tx_acked_total + n;
-        drain_tx_completions s;
-        Psd_sim.Cond.broadcast s.acked;
-        signal_local s.a);
-    on_error =
-      (fun e ->
-        let msg = Format.asprintf "%a" Psd_tcp.Tcp.pp_error e in
-        s.conn_err <- Some msg;
-        Psd_socket.Sockbuf.set_error s.rcv msg;
-        fire_all_tx_completions s;
-        Psd_sim.Cond.broadcast s.conn;
-        Psd_sim.Cond.broadcast s.acked;
-        notify_status s);
-    on_state = (fun _ -> signal_local s.a);
-  }
+(* Recover the socket a shared handler fired for. Handlers are only
+   installed together with an owner token, so the fallback is dead code
+   kept for totality. *)
+let[@inline] on_sock pcb f =
+  match Psd_tcp.Tcp.owner pcb with Sock s -> f s | _ -> ()
+
+(* The hook runs in its own immediate fiber — exactly when a reader
+   resumed out of a blocked [recv] would run — because firing it
+   synchronously from inside [deliver_fin]/[on_error] would reenter
+   the TCP input path mid-segment; a fiber (not a bare event) because
+   hooks typically call [close], which blocks. *)
+let fire_hangup s =
+  match s.on_hangup with
+  | Some k ->
+    s.on_hangup <- None;
+    Psd_sim.Engine.spawn (eng s.a) ~name:"sock-hangup" k
+  | None -> ()
+
+(* One handlers record per stack, cached on the app: every callback
+   recovers its socket from the pcb's owner token, so connections share
+   the record instead of closing over their socket six times each. *)
+let stream_handlers a (stack : Netstack.t) =
+  match List.assq_opt stack a.stream_h with
+  | Some h -> h
+  | None ->
+    let ctx = Netstack.ctx stack in
+    let plat = ctx.Ctx.plat in
+    let h =
+      {
+        Psd_tcp.Tcp.deliver =
+          (fun pcb m ->
+            on_sock pcb (fun s ->
+                Ctx.charge ctx Phase.Proto_input
+                  (plat.Platform.mbuf_op + ctx.Ctx.sync_ns);
+                (match s.rcv with
+                | Some b when Psd_socket.Sockbuf.has_waiters b ->
+                  Ctx.charge ctx Phase.Wakeup ctx.Ctx.wakeup_ns
+                | _ -> ());
+                Psd_socket.Sockbuf.append (rcv_of s) m;
+                notify_status s));
+        deliver_fin =
+          (fun pcb ->
+            on_sock pcb (fun s ->
+                Psd_socket.Sockbuf.set_eof (rcv_of s);
+                notify_status s;
+                fire_hangup s));
+        on_established =
+          (fun pcb ->
+            on_sock pcb (fun s ->
+                set_sflag s f_conn_ok true;
+                broadcast_opt s.conn));
+        on_acked =
+          (fun pcb n ->
+            on_sock pcb (fun s ->
+                s.tx_acked_total <- s.tx_acked_total + n;
+                drain_tx_completions s;
+                broadcast_opt s.acked;
+                signal_local s.a));
+        on_error =
+          (fun pcb e ->
+            on_sock pcb (fun s ->
+                let msg = Format.asprintf "%a" Psd_tcp.Tcp.pp_error e in
+                s.conn_err <- Some msg;
+                Psd_socket.Sockbuf.set_error (rcv_of s) msg;
+                fire_all_tx_completions s;
+                broadcast_opt s.conn;
+                broadcast_opt s.acked;
+                notify_status s;
+                fire_hangup s));
+        on_state = (fun pcb _ -> on_sock pcb (fun s -> signal_local s.a));
+      }
+    in
+    a.stream_h <- (stack, h) :: a.stream_h;
+    h
+
+(* Bind a pcb to its socket and install the stack's shared handlers —
+   owner first, so any data re-delivered by [set_handlers] can already
+   find the socket. *)
+let adopt_pcb s stack pcb =
+  Psd_tcp.Tcp.set_owner pcb (Sock s);
+  Psd_tcp.Tcp.set_handlers pcb (stream_handlers s.a stack)
 
 let udp_receive s (stack : Netstack.t) (dg : Psd_udp.Udp.datagram) =
   let ctx = Netstack.ctx stack in
-  if Psd_socket.Dgramq.has_waiters s.dq then
-    Ctx.charge ctx Phase.Wakeup ctx.Ctx.wakeup_ns;
+  (match s.dq with
+  | Some q when Psd_socket.Dgramq.has_waiters q ->
+    Ctx.charge ctx Phase.Wakeup ctx.Ctx.wakeup_ns
+  | _ -> ());
   (* NEWAPI: queue the payload view itself — it is loaned to the
      application at receive time, so no copy-out happens here (or
      ever, on the loaned path). The classic API cooks the string now
@@ -336,7 +524,7 @@ let udp_receive s (stack : Netstack.t) (dg : Psd_udp.Udp.datagram) =
     end
   in
   ignore
-    (Psd_socket.Dgramq.push s.dq
+    (Psd_socket.Dgramq.push (dq_of s)
        ~src:(Psd_ip.Addr.to_int dg.Psd_udp.Udp.src, dg.Psd_udp.Udp.src_port)
        payload);
   notify_status s
@@ -361,12 +549,12 @@ let bind_local_udp s stack port =
   with
   | Ok pcb ->
     s.loc <- Ludp (pcb, stack);
-    s.local <- Some (Netstack.addr stack, port);
+    set_local s (Netstack.addr stack, port);
     Ok port
   | Error `Port_in_use -> Error "port in use in stack"
 
 let bind s ?port () =
-  if s.closed then Error "bad descriptor"
+  if closed s then Error "bad descriptor"
   else if in_kernel s.a then begin
     charge_trap s.a;
     let ports = kernel_ports s.a s.knd in
@@ -384,13 +572,13 @@ let bind s ?port () =
       match s.knd with
       | S.Dgram -> bind_local_udp s (kstack s.a) p
       | S.Stream ->
-        s.local <- Some (Netstack.addr (kstack s.a), p);
+        set_local s (Netstack.addr (kstack s.a), p);
         Ok p)
   end
   else
     match rpc s (S.R_bind { sid = s.sid; port }) with
     | S.Rs_bound m -> (
-      s.local <- Some m.S.m_local;
+      set_local s m.S.m_local;
       match (s.knd, s.a.stack) with
       | S.Dgram, Some stack ->
         (* the UDP session has migrated here: bind the library stack *)
@@ -402,13 +590,13 @@ let bind s ?port () =
     | _ -> Error "protocol error"
 
 let wait_connected s =
-  Psd_sim.Cond.until s.conn (fun () ->
-      if s.conn_ok then Some (Ok ())
+  Psd_sim.Cond.until (conn_of s) (fun () ->
+      if conn_ok s then Some (Ok ())
       else
         match s.conn_err with Some e -> Some (Error e) | None -> None)
 
 let connect s ip port =
-  if s.closed then Error "bad descriptor"
+  if closed s then Error "bad descriptor"
   else if in_kernel s.a then begin
     charge_trap s.a;
     match s.knd with
@@ -422,26 +610,25 @@ let connect s ip port =
       match (ensure_bound, s.loc) with
       | Ok _, Ludp (pcb, _) ->
         Psd_udp.Udp.connect pcb ip port;
-        s.rem <- Some (ip, port);
+        set_rem s (ip, port);
         Ok ()
       | Error e, _ -> Error e
       | _ -> Error "invalid state")
     | S.Stream -> (
       let src_port =
-        match s.local with
-        | Some (_, p) -> p
-        | None -> Portalloc.alloc_ephemeral (kernel_ports s.a S.Stream)
+        if s.local_port >= 0 then s.local_port
+        else Portalloc.alloc_ephemeral (kernel_ports s.a S.Stream)
       in
       let stack = kstack s.a in
-      s.local <- Some (Netstack.addr stack, src_port);
+      set_local s (Netstack.addr stack, src_port);
       let pcb =
         Psd_tcp.Tcp.connect (Netstack.tcp stack) ~src_port ~dst:ip
           ~dst_port:port ()
       in
       s.loc <- Ltcp (pcb, stack);
-      s.rem <- Some (ip, port);
-      Psd_tcp.Tcp.set_handlers pcb (stream_handlers s stack);
-      Psd_tcp.Tcp.set_nodelay pcb s.nodelay_flag;
+      set_rem s (ip, port);
+      adopt_pcb s stack pcb;
+      Psd_tcp.Tcp.set_nodelay pcb (sflag s f_nodelay);
       match wait_connected s with
       | Ok () -> Ok ()
       | Error e ->
@@ -451,20 +638,21 @@ let connect s ip port =
   else
     match rpc s (S.R_connect { sid = s.sid; dst = (ip, port) }) with
     | S.Rs_connected m -> (
-      s.local <- Some m.S.m_local;
-      s.rem <- Some (ip, port);
+      set_local s m.S.m_local;
+      set_rem s (ip, port);
       match (m.S.m_tcb, s.knd, s.a.stack) with
       | Some snap, S.Stream, Some stack ->
         (* the established session migrates into our protocol library;
-           the handlers must be live at import time because any data that
-           arrived during establishment is re-delivered through them *)
+           the handlers (and owner) must be live at import time because
+           any data that arrived during establishment is re-delivered
+           through them *)
         let pcb =
-          Psd_tcp.Tcp.import (Netstack.tcp stack)
-            ~handlers:(stream_handlers s stack) snap
+          Psd_tcp.Tcp.import (Netstack.tcp stack) ~owner:(Sock s)
+            ~handlers:(stream_handlers s.a stack) snap
         in
         s.loc <- Ltcp (pcb, stack);
-        s.conn_ok <- true;
-        Psd_tcp.Tcp.set_nodelay pcb s.nodelay_flag;
+        set_sflag s f_conn_ok true;
+        Psd_tcp.Tcp.set_nodelay pcb (sflag s f_nodelay);
         Ok ()
       | None, S.Dgram, Some stack -> (
         (* library UDP: (re)bind locally with the connected peer *)
@@ -485,7 +673,7 @@ let connect s ip port =
       | _ ->
         (* server-resident session (Server placement) *)
         s.loc <- Remote;
-        s.conn_ok <- true;
+        set_sflag s f_conn_ok true;
         Ok ())
     | S.Rs_err e -> Error e
     | _ -> Error "protocol error"
@@ -494,19 +682,20 @@ let listen s ?(backlog = 5) () =
   if s.knd <> S.Stream then Error "listen on datagram socket"
   else if in_kernel s.a then begin
     charge_trap s.a;
-    match s.local with
-    | None -> Error "listen before bind"
-    | Some (_, port) ->
+    if s.local_port < 0 then Error "listen before bind"
+    else begin
+      let port = s.local_port in
       let stack = kstack s.a in
       let listener = Psd_tcp.Tcp.listen (Netstack.tcp stack) ~port ~backlog () in
       (* wake acceptors on this socket's own condition so an incoming
          connection resumes only them, not every app-wide waiter; the
          app-wide signal stays for select() *)
       Psd_tcp.Tcp.on_ready listener (fun () ->
-          Psd_sim.Cond.broadcast s.conn;
+          broadcast_opt s.conn;
           signal_local s.a);
       s.loc <- Llisten (listener, stack);
       Ok ()
+    end
   end
   else
     match rpc s (S.R_listen { sid = s.sid; backlog }) with
@@ -520,25 +709,26 @@ let accept s =
   if in_kernel s.a then begin
     charge_trap s.a;
     match s.loc with
-    | Llisten (listener, _) when s.nonblocking
+    | Llisten (listener, _) when nonblocking s
                                  && Psd_tcp.Tcp.pending listener = 0 ->
       Error ewouldblock
     | Llisten (listener, stack) ->
       let pcb =
-        Psd_sim.Cond.until s.conn (fun () ->
+        Psd_sim.Cond.until (conn_of s) (fun () ->
             Psd_tcp.Tcp.accept_ready listener)
       in
       let s' = make_socket s.a S.Stream (fresh_local_sid s.a) in
       s'.loc <- Ltcp (pcb, stack);
-      s'.local <- s.local;
-      s'.rem <- Some (Psd_tcp.Tcp.remote pcb);
-      s'.conn_ok <- true;
-      Psd_tcp.Tcp.set_handlers pcb (stream_handlers s' stack);
+      s'.local_ip <- s.local_ip;
+      s'.local_port <- s.local_port;
+      set_rem s' (Psd_tcp.Tcp.remote pcb);
+      set_sflag s' f_conn_ok true;
+      adopt_pcb s' stack pcb;
       Ok s'
     | _ -> Error "accept on non-listening socket"
   end
   else if
-    s.nonblocking
+    nonblocking s
     && (match
           rpc s
             (S.R_select
@@ -555,14 +745,14 @@ let accept s =
     match rpc s (S.R_accept { sid = s.sid }) with
     | S.Rs_accepted (sid', m) -> (
       let s' = make_socket s.a S.Stream sid' in
-      s'.local <- Some m.S.m_local;
-      s'.rem <- m.S.m_remote;
-      s'.conn_ok <- true;
+      set_local s' m.S.m_local;
+      (match m.S.m_remote with Some ep -> set_rem s' ep | None -> ());
+      set_sflag s' f_conn_ok true;
       match (m.S.m_tcb, s.a.stack) with
       | Some snap, Some stack ->
         let pcb =
-          Psd_tcp.Tcp.import (Netstack.tcp stack)
-            ~handlers:(stream_handlers s' stack) snap
+          Psd_tcp.Tcp.import (Netstack.tcp stack) ~owner:(Sock s')
+            ~handlers:(stream_handlers s.a stack) snap
         in
         s'.loc <- Ltcp (pcb, stack);
         Ok s'
@@ -613,18 +803,33 @@ let owned_payload a data ~off ~len =
    completes immediately. *)
 let register_tx_completion s ~threshold k =
   if s.tx_acked_total >= threshold then k ()
-  else Queue.push (threshold, k) s.tx_completions
+  else Queue.push (threshold, k) (txq_of s)
+
+(* Event-driven hangup notification: [k] runs once, when the peer's FIN
+   or a connection error arrives — or immediately if it already has.
+   The immediate-fire check closes the race where the FIN beat the
+   registration; without it a million-connection server would park a
+   reader fiber per connection just to learn about the close. *)
+let on_hangup s k =
+  let hung_up =
+    s.conn_err <> None
+    || match s.rcv with
+       | Some b -> Psd_socket.Sockbuf.eof b || Psd_socket.Sockbuf.error b <> None
+       | None -> false
+  in
+  if hung_up then Psd_sim.Engine.spawn (eng s.a) ~name:"sock-hangup" k
+  else s.on_hangup <- Some k
 
 let send s ?dst data =
   let len = String.length data in
   charge_app_overhead s;
-  if s.closed then Error "bad descriptor"
+  if closed s then Error "bad descriptor"
   else
     match s.loc with
-    | Ltcp (pcb, stack) when s.nonblocking ->
+    | Ltcp (pcb, stack) when nonblocking s ->
       charge_entry s.a stack ~len ~copies:true;
       (* non-blocking: write what fits, never wait *)
-      let space = s.snd_hiwat - Psd_tcp.Tcp.sndq_length pcb in
+      let space = snd_hiwat - Psd_tcp.Tcp.sndq_length pcb in
       if s.conn_err <> None then
         Error (Option.value s.conn_err ~default:"error")
       else if space <= 0 then Error ewouldblock
@@ -641,10 +846,10 @@ let send s ?dst data =
         if off >= len then Ok len
         else begin
           let space =
-            Psd_sim.Cond.until s.acked (fun () ->
+            Psd_sim.Cond.until (acked_of s) (fun () ->
                 if s.conn_err <> None then Some 0
                 else
-                  let sp = s.snd_hiwat - Psd_tcp.Tcp.sndq_length pcb in
+                  let sp = snd_hiwat - Psd_tcp.Tcp.sndq_length pcb in
                   if sp > 0 then Some sp else None)
           in
           if space = 0 then
@@ -696,30 +901,31 @@ let send s ?dst data =
 
 let recvfrom s ~max =
   charge_app_overhead s;
-  if s.closed then Error "bad descriptor"
+  if closed s then Error "bad descriptor"
   else if
-    s.nonblocking
+    nonblocking s
     && (match s.loc with
-       | Ltcp _ ->
-         not (Psd_socket.Sockbuf.readable s.rcv)
-       | Ludp _ -> not (Psd_socket.Dgramq.readable s.dq)
+       | Ltcp _ -> not (sb_readable s.rcv)
+       | Ludp _ -> not (dq_readable s.dq)
        | _ -> false)
   then Error ewouldblock
   else
     match s.loc with
     | Ltcp (pcb, stack) -> (
-      match Psd_socket.Sockbuf.read s.rcv ~max with
+      match Psd_socket.Sockbuf.read (rcv_of s) ~max with
       | Ok m ->
         let len = Psd_mbuf.Mbuf.length m in
         charge_exit s.a stack ~len ~copies:true;
         Psd_tcp.Tcp.user_consumed pcb len;
         notify_status s;
+        maybe_deflate_rcv s;
         Psd_util.Copies.count Psd_util.Copies.Rx_copyout len;
         Ok (Psd_mbuf.Mbuf.to_string m, None)
       | Error `Eof -> Ok ("", None)
       | Error (`Error e) -> Error e)
     | Ludp (_, stack) ->
-      let (src_ip, src_port), payload = Psd_socket.Dgramq.recv s.dq in
+      let (src_ip, src_port), payload = Psd_socket.Dgramq.recv (dq_of s) in
+      maybe_deflate_dq s;
       let payload =
         match payload with
         | Cooked str -> str
@@ -787,18 +993,18 @@ let loan_src l = l.lsrc
 
 let recv_loan s ~max =
   charge_app_overhead s;
-  if s.closed then Error "bad descriptor"
+  if closed s then Error "bad descriptor"
   else if
-    s.nonblocking
+    nonblocking s
     && (match s.loc with
-       | Ltcp _ -> not (Psd_socket.Sockbuf.readable s.rcv)
-       | Ludp _ -> not (Psd_socket.Dgramq.readable s.dq)
+       | Ltcp _ -> not (sb_readable s.rcv)
+       | Ludp _ -> not (dq_readable s.dq)
        | _ -> false)
   then Error ewouldblock
   else
     match s.loc with
     | Ltcp (_, stack) -> (
-      match Psd_socket.Sockbuf.read_loan s.rcv ~max with
+      match Psd_socket.Sockbuf.read_loan (rcv_of s) ~max with
       | Ok m ->
         let len = Psd_mbuf.Mbuf.length m in
         charge_exit s.a stack ~len ~copies:true;
@@ -814,7 +1020,8 @@ let recv_loan s ~max =
           }
       | Error (`Error e) -> Error e)
     | Ludp (_, stack) -> (
-      let (src_ip, src_port), payload = Psd_socket.Dgramq.recv s.dq in
+      let (src_ip, src_port), payload = Psd_socket.Dgramq.recv (dq_of s) in
+      maybe_deflate_dq s;
       (* datagram loans keep message boundaries: the whole payload is
          lent regardless of [max] (the classic call would truncate;
          a borrower sees the datagram exactly as delivered) *)
@@ -850,9 +1057,14 @@ let return_loan s l =
   l.lreturned <- true;
   match s.loc with
   | Ltcp (pcb, _) ->
-    Psd_socket.Sockbuf.loan_return s.rcv l.llen;
+    (* a live loan keeps the sockbuf inflated, so it is present unless
+       this is a zero-length EOF loan with nothing left to release *)
+    (match s.rcv with
+    | Some b -> Psd_socket.Sockbuf.loan_return b l.llen
+    | None -> if l.llen > 0 then invalid_arg "Sockets.return_loan: not loaned");
     if l.llen > 0 then Psd_tcp.Tcp.user_consumed pcb l.llen;
-    notify_status s
+    notify_status s;
+    maybe_deflate_rcv s
   | Ludp _ | Remote | Fresh | Llisten _ ->
     (* datagram queue space was released at dequeue; the loan only
        pins the payload view, which the borrower is now done with *)
@@ -861,12 +1073,12 @@ let return_loan s l =
 let send_owned s ?dst data ~completion =
   let len = Bytes.length data in
   charge_app_overhead s;
-  if s.closed then Error "bad descriptor"
+  if closed s then Error "bad descriptor"
   else
     match s.loc with
-    | Ltcp (pcb, stack) when s.nonblocking ->
+    | Ltcp (pcb, stack) when nonblocking s ->
       charge_entry s.a stack ~len ~copies:true;
-      let space = s.snd_hiwat - Psd_tcp.Tcp.sndq_length pcb in
+      let space = snd_hiwat - Psd_tcp.Tcp.sndq_length pcb in
       if s.conn_err <> None then
         Error (Option.value s.conn_err ~default:"error")
       else if space <= 0 then Error ewouldblock
@@ -891,10 +1103,10 @@ let send_owned s ?dst data ~completion =
         end
         else begin
           let space =
-            Psd_sim.Cond.until s.acked (fun () ->
+            Psd_sim.Cond.until (acked_of s) (fun () ->
                 if s.conn_err <> None then Some 0
                 else
-                  let sp = s.snd_hiwat - Psd_tcp.Tcp.sndq_length pcb in
+                  let sp = snd_hiwat - Psd_tcp.Tcp.sndq_length pcb in
                   if sp > 0 then Some sp else None)
           in
           if space = 0 then
@@ -967,7 +1179,7 @@ let select ?timeout_ns socks =
            through to the server's select *)
         List.iter
           (fun s ->
-            s.selected <- true;
+            set_sflag s f_selected true;
             (* sync the server's view before blocking there *)
             notify_status s)
           socks;
@@ -981,7 +1193,7 @@ let select ?timeout_ns socks =
                  timeout_ns;
                })
         in
-        List.iter (fun s -> s.selected <- false) socks;
+        List.iter (fun s -> set_sflag s f_selected false) socks;
         match resp with
         | S.Rs_select ready_sids ->
           List.filter
@@ -994,15 +1206,15 @@ let select ?timeout_ns socks =
 (* teardown, fork, exit                                                *)
 
 let close s =
-  if not s.closed then begin
-    s.closed <- true;
+  if not (closed s) then begin
+    set_sflag s f_closed true;
     (* outstanding owned buffers come home: a completion that survived
        the socket would strand the caller's memory forever *)
     fire_all_tx_completions s;
     let a = s.a in
     a.dead_socks <- a.dead_socks + 1;
     if a.dead_socks > 16 && 2 * a.dead_socks >= a.n_socks then begin
-      a.sockets <- List.filter (fun s' -> not s'.closed) a.sockets;
+      a.sockets <- List.filter (fun s' -> not (closed s')) a.sockets;
       a.n_socks <- List.length a.sockets;
       a.dead_socks <- 0
     end;
@@ -1014,10 +1226,11 @@ let close s =
       | Llisten (l, stack) ->
         Psd_tcp.Tcp.close_listener (Netstack.tcp stack) l
       | Remote | Fresh -> ());
-      match (s.loc, s.local) with
-      | (Ltcp _ | Llisten _), Some (_, p) ->
-        Portalloc.release (kernel_ports s.a S.Stream) p
-      | Ludp _, Some (_, p) -> Portalloc.release (kernel_ports s.a S.Dgram) p
+      match s.loc with
+      | (Ltcp _ | Llisten _) when s.local_port >= 0 ->
+        Portalloc.release (kernel_ports s.a S.Stream) s.local_port
+      | Ludp _ when s.local_port >= 0 ->
+        Portalloc.release (kernel_ports s.a S.Dgram) s.local_port
       | _ -> ()
     end
     else begin
@@ -1027,12 +1240,11 @@ let close s =
           ->
           (* graceful shutdown runs in the operating-system server *)
           let snap = Psd_tcp.Tcp.export pcb in
-          (match s.rem with
-          | Some remote ->
+          if s.rem_port >= 0 then
             Psd_tcp.Tcp.mute (Netstack.tcp stack)
               ~local_port:(Psd_tcp.Tcp.snapshot_local_port snap)
-              ~remote ~duration_ns:(Psd_sim.Time.sec 1)
-          | None -> ());
+              ~remote:(s.rem_ip, s.rem_port)
+              ~duration_ns:(Psd_sim.Time.sec 1);
           Some snap
         | _ -> None
       in
@@ -1054,19 +1266,18 @@ let fork a ~name =
   if not (in_kernel a) then
     List.iter
       (fun s ->
-        if s.closed then ()
+        if closed s then ()
         else
           match s.loc with
           | Ltcp (pcb, stack)
             when Psd_tcp.Tcp.state pcb <> Psd_tcp.Tcp.Closed
           ->
           let snap = Psd_tcp.Tcp.export pcb in
-          (match s.rem with
-          | Some remote ->
+          if s.rem_port >= 0 then
             Psd_tcp.Tcp.mute (Netstack.tcp stack)
               ~local_port:(Psd_tcp.Tcp.snapshot_local_port snap)
-              ~remote ~duration_ns:(Psd_sim.Time.sec 1)
-          | None -> ());
+              ~remote:(s.rem_ip, s.rem_port)
+              ~duration_ns:(Psd_sim.Time.sec 1);
           (match rpc s (S.R_return { sid = s.sid; tcb = Some snap }) with
           | _ -> ());
           s.loc <- Remote
@@ -1083,12 +1294,14 @@ let fork a ~name =
      which stay alive until the last reference closes *)
   List.iter
     (fun s ->
-      if not s.closed then begin
+      if not (closed s) then begin
         let dup = make_socket child s.knd s.sid in
         dup.loc <- s.loc;
-        dup.local <- s.local;
-        dup.rem <- s.rem;
-        dup.conn_ok <- s.conn_ok;
+        dup.local_ip <- s.local_ip;
+        dup.local_port <- s.local_port;
+        dup.rem_ip <- s.rem_ip;
+        dup.rem_port <- s.rem_port;
+        set_sflag dup f_conn_ok (conn_ok s);
         if (not (in_kernel a)) && s.sid >= 0 then
           match rpc s (S.R_dup { sid = s.sid }) with _ -> ()
       end)
@@ -1099,7 +1312,7 @@ let exit a =
   (* abort library-resident connections: RSTs go to the peers *)
   List.iter
     (fun s ->
-      if s.closed then ()
+      if closed s then ()
       else
         match s.loc with
         | Ltcp (pcb, _) -> Psd_tcp.Tcp.abort pcb
@@ -1133,11 +1346,12 @@ let make_app ~host ~config ~task ~stack ~call_ctx ~server ~server_app_id
     dead_socks = 0;
     forker = None;
     next_local_sid = -1;
+    stream_h = [];
   }
 
 let set_forker a f = a.forker <- Some f
 
-let set_nonblocking s v = s.nonblocking <- v
+let set_nonblocking s v = set_sflag s f_nonblocking v
 
 let shutdown s =
   match s.loc with
@@ -1153,9 +1367,9 @@ let shutdown s =
   | _ -> Error "not connected"
 
 let fork_inherited a =
-  List.rev (List.filter (fun s -> not s.closed) a.sockets)
+  List.rev (List.filter (fun s -> not (closed s)) a.sockets)
 
 let deliver_soft_error a sid msg =
   List.iter
-    (fun s -> if s.sid = sid && not s.closed then s.soft_err <- Some msg)
+    (fun s -> if s.sid = sid && not (closed s) then s.soft_err <- Some msg)
     a.sockets

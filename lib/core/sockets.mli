@@ -147,6 +147,16 @@ val close : t -> unit
 (** For library-resident streams, the session (and its shutdown
     handshake, TIME_WAIT included) migrates back to the server. *)
 
+val on_hangup : t -> (unit -> unit) -> unit
+(** [on_hangup s k] runs [k] once when the peer closes its send side
+    (FIN) or the connection errors — immediately if it already has.
+    Event-driven alternative to blocking in {!recv} for the close: a
+    server holding a million idle connections registers a hangup hook
+    and exits its per-connection fiber, instead of keeping a blocked
+    reader (and the receive buffer it pins) alive per connection.
+    At most one hook per socket; a second registration replaces the
+    first. Local (kernel or library) stream sessions only. *)
+
 val set_nodelay : t -> bool -> unit
 
 val set_nonblocking : t -> bool -> unit

@@ -1,3 +1,15 @@
+(* A timer is two words: the wheel node while armed, and the armed
+   callback. The wheel stores the timer record itself as the entry
+   value; the fire path and [timer_cancel] both release the node to the
+   wheel's free list and blank [tfn], so an idle timer (fired or
+   cancelled) pins neither a node nor a closure — the compact-PCB work
+   counts on five such timers per connection costing ~nothing when
+   quiescent. *)
+type timer = {
+  mutable tnode : timer Wheel.node option;
+  mutable tfn : unit -> unit;
+}
+
 type t = {
   mutable now : int;
   events : (unit -> unit) Psd_util.Heap.t;
@@ -7,7 +19,7 @@ type t = {
      until its deadline as a no-op). Heap and wheel share [next_seq],
      so (key, seq) totally orders events across both queues and
      dispatch order is identical to a single-queue engine. *)
-  timers : (unit -> unit) Wheel.t;
+  timers : timer Wheel.t;
   mutable next_seq : int;
   rng : Psd_util.Rng.t;
   mutable alive : int;
@@ -18,7 +30,9 @@ type t = {
 
 type cancel = unit -> unit
 
-type timer = { mutable tnode : (unit -> unit) Wheel.node option }
+let nop = fun () -> ()
+
+let dummy_timer = { tnode = None; tfn = nop }
 
 type _ Effect.t += Suspend : ((unit -> unit) -> unit) -> unit Effect.t
 
@@ -35,7 +49,7 @@ let create ?(seed = 42) () =
   {
     now = 0;
     events = Psd_util.Heap.create ();
-    timers = Wheel.create ~dummy:(fun () -> ()) ();
+    timers = Wheel.create ~dummy:dummy_timer ();
     next_seq = 0;
     rng = Psd_util.Rng.create ~seed;
     alive = 0;
@@ -73,7 +87,7 @@ let after t dt f =
   schedule t dt (fun () -> if not !cancelled then f ());
   fun () -> cancelled := true
 
-let timer () = { tnode = None }
+let timer () = { tnode = None; tfn = nop }
 
 let timer_arm t tm dt f =
   if dt < 0 then invalid_arg "Engine.timer_arm: negative delay";
@@ -81,19 +95,25 @@ let timer_arm t tm dt f =
   (* One seq per arm, exactly like the heap push [after] would do, so
      interleavings with heap events are unchanged. *)
   let seq = alloc_seq t in
+  tm.tfn <- f;
   match tm.tnode with
   | Some n ->
+    (* still armed: re-use our own node in place, no pool round-trip *)
     Wheel.cancel t.timers n;
-    Wheel.reinsert t.timers n ~key ~seq f
-  | None -> tm.tnode <- Some (Wheel.insert t.timers ~key ~seq f)
+    Wheel.reinsert t.timers n ~key ~seq tm
+  | None -> tm.tnode <- Some (Wheel.acquire t.timers ~key ~seq tm)
 
 let timer_cancel t tm =
   match tm.tnode with
-  | Some n -> Wheel.cancel t.timers n
+  | Some n ->
+    tm.tnode <- None;
+    tm.tfn <- nop;
+    Wheel.release t.timers n
   | None -> ()
 
-let timer_armed tm =
-  match tm.tnode with Some n -> Wheel.active n | None -> false
+let timer_armed tm = tm.tnode <> None
+
+let timer_nodes_free t = Wheel.pool_size t.timers
 
 let suspend t register =
   ignore t;
@@ -175,7 +195,17 @@ let step t =
       || (wk = hk && Wheel.min_seq t.timers < Psd_util.Heap.min_seq t.events)
     then begin
       t.now <- wk;
-      let f = Wheel.pop_min t.timers in
+      let tm = Wheel.pop_min t.timers in
+      (* Fire: detach the (already unlinked) node into the pool and
+         blank the callback before invoking it, so a quiescent timer
+         retains nothing and the callback may freely re-arm. *)
+      (match tm.tnode with
+      | Some n ->
+        tm.tnode <- None;
+        Wheel.release t.timers n
+      | None -> ());
+      let f = tm.tfn in
+      tm.tfn <- nop;
       f ()
     end
     else begin

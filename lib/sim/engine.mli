@@ -62,10 +62,12 @@ type timer
     wheel. Functionally equivalent to keeping an {!after} cancel token
     in a mutable slot, but arm/cancel/re-arm are O(1), cancellation
     frees the entry immediately (a cancelled {!after} lingers in the
-    event queue as a no-op until its deadline), and re-arming reuses
-    the wheel node so steady-state timer traffic does not allocate.
-    Dispatch order is identical either way: wheel entries carry the
-    same (time, sequence) pair a heap push would have been given. *)
+    event queue as a no-op until its deadline), and wheel nodes are
+    pooled on a per-engine free list: firing or cancelling returns the
+    node (and drops the callback), so an idle timer slot is two words
+    and steady-state arm/fire churn does not allocate. Dispatch order
+    is identical either way: wheel entries carry the same
+    (time, sequence) pair a heap push would have been given. *)
 
 val timer : unit -> timer
 (** A fresh, unarmed timer slot. *)
@@ -81,6 +83,10 @@ val timer_cancel : t -> timer -> unit
 
 val timer_armed : timer -> bool
 (** Whether the timer is armed and has not yet fired. *)
+
+val timer_nodes_free : t -> int
+(** Wheel nodes currently parked on the engine's free list
+    (pool-reuse diagnostics for the scale benchmark). *)
 
 val run : t -> unit
 (** Dispatch events until none remain.

@@ -53,6 +53,13 @@ type 'a t = {
   (* Exact cached minimum when [Some]; [None] means empty or unknown
      (recomputed lazily by [min_node]). *)
   mutable cached : 'a node option;
+  (* Node pool: singly linked through [next] (prev stays self),
+     terminated by the [nil] sentinel. [acquire]/[release] recycle
+     nodes here so arm/fire/re-arm churn allocates nothing and an idle
+     timer pins no node. *)
+  nil : 'a node;
+  mutable free : 'a node;
+  mutable free_len : int;
 }
 
 let make_sentinel dummy =
@@ -63,6 +70,7 @@ let make_sentinel dummy =
   s
 
 let create ~dummy () =
+  let nil = make_sentinel dummy in
   {
     dummy;
     buckets =
@@ -72,6 +80,9 @@ let create ~dummy () =
     cur = 0;
     count = 0;
     cached = None;
+    nil;
+    free = nil;
+    free_len = 0;
   }
 
 let size t = t.count
@@ -152,6 +163,31 @@ let cancel t n =
     | Some m when m == n -> t.cached <- None
     | _ -> ())
   end
+
+(* Pooled variant of [insert]: serve from the free list when possible.
+   The returned node is owned by the caller until [release]d. *)
+let acquire t ~key ~seq value =
+  if t.free == t.nil then insert t ~key ~seq value
+  else begin
+    let n = t.free in
+    t.free <- n.next;
+    t.free_len <- t.free_len - 1;
+    n.prev <- n;
+    n.next <- n;
+    reinsert t n ~key ~seq value;
+    n
+  end
+
+(* Unlink (if still linked) and return the node to the pool. The caller
+   must drop its reference: releasing the same node twice corrupts the
+   free list. *)
+let release t n =
+  cancel t n;
+  n.next <- t.free;
+  t.free <- n;
+  t.free_len <- t.free_len + 1
+
+let pool_size t = t.free_len
 
 (* Scan for the minimum entry. Levels are scanned bottom-up and, within
    a level, slots in increasing order from the cursor digit: level-j

@@ -34,6 +34,19 @@ val reinsert : 'a t -> 'a node -> key:int -> seq:int -> 'a -> unit
 val cancel : 'a t -> 'a node -> unit
 (** Unlink an entry. O(1), idempotent, no-op after firing. *)
 
+val acquire : 'a t -> key:int -> seq:int -> 'a -> 'a node
+(** Like {!insert}, but serves the node from the wheel's internal free
+    list when one is available, so steady-state arm/fire churn is
+    allocation-free. The node is owned by the caller until {!release}. *)
+
+val release : 'a t -> 'a node -> unit
+(** Unlink the node if still linked and return it to the free list. The
+    caller must drop its reference afterwards: releasing a node twice,
+    or using it after release, corrupts the pool. *)
+
+val pool_size : 'a t -> int
+(** Number of nodes currently parked on the free list. *)
+
 val active : 'a node -> bool
 (** Whether the node is currently linked (armed and not yet fired). *)
 

@@ -112,4 +112,6 @@ let on_change t f = t.change_hooks <- f :: t.change_hooks
 
 let eof t = t.eof
 
+let error t = t.error
+
 let has_waiters t = Psd_sim.Cond.waiters t.nonempty > 0

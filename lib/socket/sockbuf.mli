@@ -64,6 +64,9 @@ val on_change : t -> (unit -> unit) -> unit
 
 val eof : t -> bool
 
+val error : t -> string option
+(** The failure installed by {!set_error}, if any. *)
+
 val has_waiters : t -> bool
 (** A reader is blocked in {!read} — the producer should charge a
     scheduler wakeup when it appends. *)

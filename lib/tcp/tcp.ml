@@ -40,25 +40,6 @@ let pp_error fmt e =
     | Reset -> "connection reset by peer"
     | Timed_out -> "connection timed out")
 
-type handlers = {
-  deliver : Mbuf.t -> unit;
-  deliver_fin : unit -> unit;
-  on_established : unit -> unit;
-  on_acked : int -> unit;
-  on_error : error -> unit;
-  on_state : state -> unit;
-}
-
-let null_handlers =
-  {
-    deliver = (fun _ -> ());
-    deliver_fin = (fun () -> ());
-    on_established = (fun () -> ());
-    on_acked = (fun _ -> ());
-    on_error = (fun _ -> ());
-    on_state = (fun _ -> ());
-  }
-
 type stats = {
   mutable segs_out : int;
   mutable bytes_out : int;
@@ -79,13 +60,27 @@ type stats = {
 
 type conn_key = { lport : int; rip : Psd_ip.Addr.t; rport : int }
 
+(* C1M compaction: the seed PCB spent ~360 bytes on 44 fields, nine of
+   them one-word bools and two of them option-boxed pairs. The packed
+   layout folds every boolean (and the five [tm_pending] bits) into one
+   [flags] int, flattens [rtt_timing : (Seq.t * int) option] into two
+   int fields with a [-1] "not timing" sentinel, and stores the FIN
+   sequence as an int with the same sentinel. [gen] supports the PCB
+   free list: it bumps on every reuse so timer fibers armed against a
+   previous life of the record skip instead of acting on the wrong
+   connection. [owner] is an upcall token for the socket layer (an exn
+   used as a universal type) so one shared [handlers] record per stack
+   can recover the socket from the pcb — the seed allocated six
+   closures per connection instead. *)
 type pcb = {
   t : t;
   mutable key : conn_key;
   mutable state : state;
   mutable handlers : handlers;
-  mutable handlers_set : bool;
-  mutable dead : bool;
+  mutable owner : exn;
+  (* bits 0-4: [tm_pending] per timer slot; bits 5+: the former bools *)
+  mutable flags : int;
+  mutable gen : int;
   (* send side *)
   sndq : Mbuf.t;
   mutable data_base : Seq.t; (* sequence number of sndq head byte *)
@@ -99,38 +94,45 @@ type pcb = {
   mutable cwnd : int;
   mutable ssthresh : int;
   mutable dup_acks : int;
-  mutable fin_wanted : bool;
-  mutable fin_sent : bool;
-  mutable nodelay : bool;
-  (* retransmission *)
+  (* retransmission; [rtt_start < 0] = no segment being timed *)
   mutable srtt : int;
   mutable rttvar : int;
   mutable rto : int;
   mutable nrexmt : int;
-  mutable rtt_timing : (Seq.t * int) option;
-  (* Wheel-backed timer slots, indexed by [tm_rexmt .. tm_keep];
-     [tm_pending] bit [slot] mirrors what the former per-slot
-     [cancel option] field held ([Some _] = bit set). *)
-  timers : Psd_sim.Engine.timer array;
-  mutable tm_pending : int;
-  mutable keepalive : bool;
+  mutable rtt_seq : Seq.t;
+  mutable rtt_start : int;
+  (* Wheel-backed timer slots, indexed by [tm_rexmt .. tm_keep] through
+     [tslot]; [flags] bit [slot] mirrors what the former per-slot
+     [cancel option] field held ([Some _] = bit set). Five flat fields
+     rather than an array: the array box cost 6 words on every PCB. *)
+  tm0 : Psd_sim.Engine.timer;
+  tm1 : Psd_sim.Engine.timer;
+  tm2 : Psd_sim.Engine.timer;
+  tm3 : Psd_sim.Engine.timer;
+  tm4 : Psd_sim.Engine.timer;
   mutable last_activity : int;
   mutable keep_probes : int;
-  (* receive side *)
+  (* receive side; [fin_rcvd < 0] = no FIN sequence pending *)
   mutable irs : Seq.t;
   mutable rcv_nxt : Seq.t;
   mutable rcv_buf : int;
   mutable rcv_buffered : int;
   mutable rcv_adv : Seq.t;
   mutable reass : (Seq.t * Mbuf.t) list; (* sorted by seq *)
-  mutable fin_rcvd_seq : Seq.t option;
+  mutable fin_rcvd : Seq.t;
   mutable mss : int;
-  mutable ack_now : bool;
-  mutable delack_pending : bool;
   (* buffered delivery before handlers are installed (pre-accept data) *)
   undelivered : Mbuf.t;
-  mutable fin_undelivered : bool;
   mutable parent_listener : listener option;
+}
+
+and handlers = {
+  deliver : pcb -> Mbuf.t -> unit;
+  deliver_fin : pcb -> unit;
+  on_established : pcb -> unit;
+  on_acked : pcb -> int -> unit;
+  on_error : pcb -> error -> unit;
+  on_state : pcb -> state -> unit;
 }
 
 and listener = {
@@ -176,10 +178,64 @@ and t = {
      (the scale workloads) read a counter instead of walking stacks —
      per-tick stats stay O(1) in the connection count *)
   mutable conn_gauge : (int -> unit) option;
+  (* PCB free list: dropped connections park here (up to [pool_cap])
+     and [make_pcb] reuses them, so connect/close churn re-initialises
+     one record instead of allocating a 40-word block + timer bank.
+     [pool_cap = 0] disables pooling (the differential suite runs the
+     same schedules pooled and unpooled and demands identical output). *)
+  pool_cap : int;
+  mutable pool : pcb list;
+  mutable pool_free : int;
+  mutable pool_fresh : int; (* PCBs built from scratch *)
+  mutable pool_hits : int; (* PCBs served from the free list *)
+  mutable pool_puts : int; (* PCBs returned to the free list *)
   st : stats;
 }
 
+exception No_owner
+
+let null_handlers =
+  {
+    deliver = (fun _ _ -> ());
+    deliver_fin = (fun _ -> ());
+    on_established = (fun _ -> ());
+    on_acked = (fun _ _ -> ());
+    on_error = (fun _ _ -> ());
+    on_state = (fun _ _ -> ());
+  }
+
+(* --- packed pcb flags --------------------------------------------- *)
+
+let f_handlers_set = 1 lsl 5
+let f_dead = 1 lsl 6
+let f_fin_wanted = 1 lsl 7
+let f_fin_sent = 1 lsl 8
+let f_nodelay = 1 lsl 9
+let f_keepalive = 1 lsl 10
+let f_ack_now = 1 lsl 11
+let f_delack_pending = 1 lsl 12
+let f_fin_undelivered = 1 lsl 13
+let f_pooled = 1 lsl 14
+
+let[@inline] flag pcb bit = pcb.flags land bit <> 0
+
+let[@inline] set_flag pcb bit v =
+  if v then pcb.flags <- pcb.flags lor bit
+  else pcb.flags <- pcb.flags land lnot bit
+
+let[@inline] dead pcb = flag pcb f_dead
+
+let[@inline] ack_now pcb = flag pcb f_ack_now
+
+let[@inline] delack_pending pcb = flag pcb f_delack_pending
+
+let[@inline] fin_wanted pcb = flag pcb f_fin_wanted
+
+let[@inline] fin_sent pcb = flag pcb f_fin_sent
+
 let stats t = t.st
+
+let pool_stats t = (t.pool_fresh, t.pool_hits, t.pool_puts, t.pool_free)
 
 let set_conn_gauge t g = t.conn_gauge <- Some g
 
@@ -210,7 +266,15 @@ let local_port pcb = pcb.key.lport
 
 let remote pcb = (pcb.key.rip, pcb.key.rport)
 
-let set_nodelay pcb v = pcb.nodelay <- v
+let set_nodelay pcb v = set_flag pcb f_nodelay v
+
+(* The socket layer's upcall token: one shared [handlers] record per
+   stack recovers its per-connection state from here instead of closing
+   over it six times per connection. An exn is OCaml's lightest
+   universal type; [No_owner] is the empty default. *)
+let set_owner pcb e = pcb.owner <- e
+
+let owner pcb = pcb.owner
 
 let srtt_ns pcb = pcb.srtt
 
@@ -222,7 +286,7 @@ let cwnd pcb = pcb.cwnd
 let set_state pcb s =
   if pcb.state <> s then begin
     pcb.state <- s;
-    pcb.handlers.on_state s
+    pcb.handlers.on_state pcb s
   end
 
 let eng t = t.ctx.Ctx.eng
@@ -254,20 +318,34 @@ let tm_count = 5
 let tm_names =
   [| "tcp-rexmt"; "tcp-persist"; "tcp-delack"; "tcp-2msl"; "tcp-keep" |]
 
-let timer_pending pcb slot = pcb.tm_pending land (1 lsl slot) <> 0
+let[@inline] tslot pcb = function
+  | 0 -> pcb.tm0
+  | 1 -> pcb.tm1
+  | 2 -> pcb.tm2
+  | 3 -> pcb.tm3
+  | _ -> pcb.tm4
 
-let clear_pending pcb slot =
-  pcb.tm_pending <- pcb.tm_pending land lnot (1 lsl slot)
+let timer_pending pcb slot = pcb.flags land (1 lsl slot) <> 0
+
+let clear_pending pcb slot = pcb.flags <- pcb.flags land lnot (1 lsl slot)
 
 let stop_timer t pcb slot =
   clear_pending pcb slot;
-  Psd_sim.Engine.timer_cancel (eng t) pcb.timers.(slot)
+  Psd_sim.Engine.timer_cancel (eng t) (tslot pcb slot)
 
+(* The fire fiber latches [pcb.gen]: a pooled pcb may be recycled into
+   a different connection between the wheel pop and the fiber running
+   (both can happen in the same instant), and the generation check
+   makes the body a no-op exactly where the unpooled code's
+   [not pcb.dead] checks would have made it one — the dropped
+   connection the timer belonged to no longer exists either way. *)
 let set_timer t pcb slot dt body =
-  pcb.tm_pending <- pcb.tm_pending lor (1 lsl slot);
-  Psd_sim.Engine.timer_arm (eng t) pcb.timers.(slot) dt (fun () ->
+  pcb.flags <- pcb.flags lor (1 lsl slot);
+  let g = pcb.gen in
+  Psd_sim.Engine.timer_arm (eng t) (tslot pcb slot) dt (fun () ->
       Psd_sim.Engine.spawn (eng t) ~name:tm_names.(slot) (fun () ->
-          Psd_sim.Lock.with_lock t.lock body))
+          Psd_sim.Lock.with_lock t.lock (fun () ->
+              if pcb.gen = g then body ())))
 
 let fin_seq pcb = Seq.add pcb.data_base (Mbuf.length pcb.sndq)
 
@@ -321,8 +399,8 @@ let emit t ~src_port ~dst ~dst_port ~seq ~ack ~flags ~window ~mss_opt payload
 let ack_flags = { Segment.no_flags with Segment.ack = true }
 
 let send_ack t pcb =
-  pcb.ack_now <- false;
-  pcb.delack_pending <- false;
+  set_flag pcb f_ack_now false;
+  set_flag pcb f_delack_pending false;
   let window = rcv_window pcb in
   pcb.rcv_adv <- Seq.max pcb.rcv_adv (Seq.add pcb.rcv_nxt window);
   emit t ~src_port:pcb.key.lport ~dst:pcb.key.rip ~dst_port:pcb.key.rport
@@ -353,12 +431,12 @@ let send_rst_for t (seg : Segment.t) ~data_len ~to_ip =
   end
 
 let deliver_data pcb m =
-  if pcb.handlers_set then pcb.handlers.deliver m
+  if flag pcb f_handlers_set then pcb.handlers.deliver pcb m
   else Mbuf.concat pcb.undelivered m
 
 let deliver_fin pcb =
-  if pcb.handlers_set then pcb.handlers.deliver_fin ()
-  else pcb.fin_undelivered <- true
+  if flag pcb f_handlers_set then pcb.handlers.deliver_fin pcb
+  else set_flag pcb f_fin_undelivered true
 
 (* A pcb leaving the connection table (or completing the handshake)
    while still attached to its listener comes off that listener's
@@ -371,8 +449,32 @@ let detach_listener pcb =
     l.l_half_open <- l.l_half_open - 1
   | None -> ()
 
+(* Park a dropped pcb on the free list (bounded by [pool_cap]) after
+   scrubbing every reference it holds, so a parked record pins neither
+   user data nor callbacks. The [f_dead]/[f_pooled] flags stay set
+   until [reset_pcb] wipes them on reuse, keeping late timer fibers and
+   stale user calls on the dead paths they would take without pooling.
+   [export] never comes through here: an exported pcb's record may
+   still be referenced by the migration caller. *)
+let recycle t pcb =
+  if t.pool_cap > 0 && (not (flag pcb f_pooled)) && t.pool_free < t.pool_cap
+  then begin
+    set_flag pcb f_pooled true;
+    pcb.handlers <- null_handlers;
+    pcb.owner <- No_owner;
+    let n = Mbuf.length pcb.sndq in
+    if n > 0 then Mbuf.drop_front pcb.sndq n;
+    let n = Mbuf.length pcb.undelivered in
+    if n > 0 then Mbuf.drop_front pcb.undelivered n;
+    pcb.reass <- [];
+    pcb.parent_listener <- None;
+    t.pool <- pcb :: t.pool;
+    t.pool_free <- t.pool_free + 1;
+    t.pool_puts <- t.pool_puts + 1
+  end
+
 let drop_pcb t pcb err =
-  pcb.dead <- true;
+  set_flag pcb f_dead true;
   detach_listener pcb;
   for slot = 0 to tm_count - 1 do
     stop_timer t pcb slot
@@ -380,7 +482,8 @@ let drop_pcb t pcb err =
   t.memo <- None;
   conns_remove t pcb.key;
   set_state pcb Closed;
-  match err with Some e -> pcb.handlers.on_error e | None -> ()
+  (match err with Some e -> pcb.handlers.on_error pcb e | None -> ());
+  recycle t pcb
 
 (* ----------------------------------------------------------------- *)
 (* retransmission timers                                              *)
@@ -401,7 +504,7 @@ let update_rtt t pcb measured =
 
 let rec arm_rexmt t pcb =
   set_timer t pcb tm_rexmt pcb.rto (fun () ->
-      if not pcb.dead then rexmt_fire t pcb)
+      if not (dead pcb) then rexmt_fire t pcb)
 
 and rexmt_fire t pcb =
   clear_pending pcb tm_rexmt;
@@ -415,7 +518,7 @@ and rexmt_fire t pcb =
     t.st.rexmt_segs <- t.st.rexmt_segs + 1;
     pcb.rto <- min t.rto_max_ns (pcb.rto * 2);
     (* Karn: do not time retransmitted sequence numbers. *)
-    pcb.rtt_timing <- None;
+    pcb.rtt_start <- -1;
     match pcb.state with
     | Syn_sent ->
       let flags = { Segment.no_flags with Segment.syn = true } in
@@ -444,7 +547,7 @@ and rexmt_fire t pcb =
 and arm_persist t pcb =
   if not (timer_pending pcb tm_persist) then
     set_timer t pcb tm_persist pcb.rto (fun () ->
-        if not pcb.dead then begin
+        if not (dead pcb) then begin
           clear_pending pcb tm_persist;
           pcb.rto <- min t.rto_max_ns (pcb.rto * 2);
           output t pcb ~force:true;
@@ -456,14 +559,14 @@ and arm_delack t pcb =
   if not (timer_pending pcb tm_delack) then
     set_timer t pcb tm_delack t.delack_ns (fun () ->
         clear_pending pcb tm_delack;
-        if (not pcb.dead) && pcb.delack_pending then begin
+        if (not (dead pcb)) && (delack_pending pcb) then begin
           t.st.acks_delayed <- t.st.acks_delayed + 1;
           send_ack t pcb
         end)
 
 and arm_keepalive t pcb =
   set_timer t pcb tm_keep t.keep_interval_ns (fun () ->
-      if (not pcb.dead) && pcb.keepalive && pcb.state = Established then begin
+      if (not (dead pcb)) && flag pcb f_keepalive && pcb.state = Established then begin
         let idle = Psd_sim.Engine.now (eng t) - pcb.last_activity in
         if idle >= t.keep_idle_ns then begin
           pcb.keep_probes <- pcb.keep_probes + 1;
@@ -486,7 +589,7 @@ and arm_keepalive t pcb =
 
 and arm_msl t pcb =
   set_timer t pcb tm_msl (2 * t.msl_ns) (fun () ->
-      if not pcb.dead then drop_pcb t pcb None)
+      if not (dead pcb) then drop_pcb t pcb None)
 
 (* ----------------------------------------------------------------- *)
 (* output engine                                                      *)
@@ -513,14 +616,14 @@ and output t pcb ~force =
         let fin_to_send =
           (* also true when retransmitting a FIN already sent once:
              snd_nxt was pulled back to (or before) the FIN's sequence *)
-          pcb.fin_wanted && all_sent_after
-          && ((not pcb.fin_sent) || Seq.leq pcb.snd_nxt (fin_seq pcb))
+          (fin_wanted pcb) && all_sent_after
+          && ((not (fin_sent pcb)) || Seq.leq pcb.snd_nxt (fin_seq pcb))
         in
         let idle = Seq.diff pcb.snd_max pcb.snd_una = 0 in
         let should_send_data =
           len > 0
           && (len = pcb.mss
-             || (all_sent_after && (pcb.nodelay || idle))
+             || (all_sent_after && (flag pcb f_nodelay || idle))
              || (pcb.snd_wnd > 0 && len >= pcb.snd_wnd / 2)
              || force)
         in
@@ -547,8 +650,8 @@ and output t pcb ~force =
           in
           let window = rcv_window pcb in
           pcb.rcv_adv <- Seq.max pcb.rcv_adv (Seq.add pcb.rcv_nxt window);
-          pcb.ack_now <- false;
-          pcb.delack_pending <- false;
+          set_flag pcb f_ack_now false;
+          set_flag pcb f_delack_pending false;
           let seq = pcb.snd_nxt in
           let is_rexmt = Seq.lt seq pcb.snd_max in
           if is_rexmt then t.st.rexmt_segs <- t.st.rexmt_segs + 1
@@ -557,7 +660,7 @@ and output t pcb ~force =
             ~dst_port:pcb.key.rport ~seq ~ack:pcb.rcv_nxt ~flags ~window
             ~mss_opt:None payload;
           if fin_to_send then begin
-            pcb.fin_sent <- true;
+            set_flag pcb f_fin_sent true;
             (match pcb.state with
             | Established -> set_state pcb Fin_wait_1
             | Close_wait -> set_state pcb Last_ack
@@ -566,8 +669,10 @@ and output t pcb ~force =
           pcb.snd_nxt <- Seq.add pcb.snd_nxt (len + if fin_to_send then 1 else 0);
           if Seq.gt pcb.snd_nxt pcb.snd_max then begin
             (* time this transmission if nothing is being timed *)
-            if pcb.rtt_timing = None && len > 0 && not is_rexmt then
-              pcb.rtt_timing <- Some (seq, Psd_sim.Engine.now (eng t));
+            if pcb.rtt_start < 0 && len > 0 && not is_rexmt then begin
+              pcb.rtt_seq <- seq;
+              pcb.rtt_start <- Psd_sim.Engine.now (eng t)
+            end;
             pcb.snd_max <- pcb.snd_nxt
           end;
           if (not (timer_pending pcb tm_rexmt)) && (len > 0 || fin_to_send)
@@ -582,58 +687,104 @@ and output t pcb ~force =
         then arm_persist t pcb
       end
     done;
-    if pcb.ack_now then send_ack t pcb
+    if (ack_now pcb) then send_ack t pcb
 
 (* ----------------------------------------------------------------- *)
 (* construction                                                       *)
 
+(* Reinitialise a pooled pcb to exactly the state a fresh literal would
+   have — every mutable field, no exceptions. [gen] bumps so timer
+   fibers armed against the record's previous life skip their bodies. *)
+let reset_pcb t pcb ~key ~state ~handlers ~rcv_buf ~mss =
+  pcb.gen <- pcb.gen + 1;
+  pcb.key <- key;
+  pcb.state <- state;
+  pcb.handlers <- handlers;
+  pcb.owner <- No_owner;
+  pcb.flags <- 0;
+  pcb.data_base <- 0;
+  pcb.snd_una <- 0;
+  pcb.snd_nxt <- 0;
+  pcb.snd_max <- 0;
+  pcb.snd_wnd <- 0;
+  pcb.snd_wl1 <- 0;
+  pcb.snd_wl2 <- 0;
+  pcb.iss <- 0;
+  pcb.cwnd <- mss;
+  pcb.ssthresh <- 65535;
+  pcb.dup_acks <- 0;
+  pcb.srtt <- 0;
+  pcb.rttvar <- 0;
+  pcb.rto <- t.rto_init_ns;
+  pcb.nrexmt <- 0;
+  pcb.rtt_seq <- 0;
+  pcb.rtt_start <- -1;
+  pcb.last_activity <- 0;
+  pcb.keep_probes <- 0;
+  pcb.irs <- 0;
+  pcb.rcv_nxt <- 0;
+  pcb.rcv_buf <- rcv_buf;
+  pcb.rcv_buffered <- 0;
+  pcb.rcv_adv <- 0;
+  pcb.reass <- [];
+  pcb.fin_rcvd <- -1;
+  pcb.mss <- mss;
+  pcb.parent_listener <- None
+
 let make_pcb t ~key ~state ~handlers ~rcv_buf ~mss =
-  {
-    t;
-    key;
-    state;
-    handlers;
-    handlers_set = false;
-    dead = false;
-    sndq = Mbuf.empty ();
-    data_base = 0;
-    snd_una = 0;
-    snd_nxt = 0;
-    snd_max = 0;
-    snd_wnd = 0;
-    snd_wl1 = 0;
-    snd_wl2 = 0;
-    iss = 0;
-    cwnd = mss;
-    ssthresh = 65535;
-    dup_acks = 0;
-    fin_wanted = false;
-    fin_sent = false;
-    nodelay = false;
-    srtt = 0;
-    rttvar = 0;
-    rto = t.rto_init_ns;
-    nrexmt = 0;
-    rtt_timing = None;
-    timers = Array.init tm_count (fun _ -> Psd_sim.Engine.timer ());
-    tm_pending = 0;
-    keepalive = false;
-    last_activity = 0;
-    keep_probes = 0;
-    irs = 0;
-    rcv_nxt = 0;
-    rcv_buf;
-    rcv_buffered = 0;
-    rcv_adv = 0;
-    reass = [];
-    fin_rcvd_seq = None;
-    mss;
-    ack_now = false;
-    delack_pending = false;
-    undelivered = Mbuf.empty ();
-    fin_undelivered = false;
-    parent_listener = None;
-  }
+  match t.pool with
+  | pcb :: rest ->
+    t.pool <- rest;
+    t.pool_free <- t.pool_free - 1;
+    t.pool_hits <- t.pool_hits + 1;
+    reset_pcb t pcb ~key ~state ~handlers ~rcv_buf ~mss;
+    pcb
+  | [] ->
+    t.pool_fresh <- t.pool_fresh + 1;
+    {
+      t;
+      key;
+      state;
+      handlers;
+      owner = No_owner;
+      flags = 0;
+      gen = 0;
+      sndq = Mbuf.empty ();
+      data_base = 0;
+      snd_una = 0;
+      snd_nxt = 0;
+      snd_max = 0;
+      snd_wnd = 0;
+      snd_wl1 = 0;
+      snd_wl2 = 0;
+      iss = 0;
+      cwnd = mss;
+      ssthresh = 65535;
+      dup_acks = 0;
+      srtt = 0;
+      rttvar = 0;
+      rto = t.rto_init_ns;
+      nrexmt = 0;
+      rtt_seq = 0;
+      rtt_start = -1;
+      tm0 = Psd_sim.Engine.timer ();
+      tm1 = Psd_sim.Engine.timer ();
+      tm2 = Psd_sim.Engine.timer ();
+      tm3 = Psd_sim.Engine.timer ();
+      tm4 = Psd_sim.Engine.timer ();
+      last_activity = 0;
+      keep_probes = 0;
+      irs = 0;
+      rcv_nxt = 0;
+      rcv_buf;
+      rcv_buffered = 0;
+      rcv_adv = 0;
+      reass = [];
+      fin_rcvd = -1;
+      mss;
+      undelivered = Mbuf.empty ();
+      parent_listener = None;
+    }
 
 let fresh_iss t =
   Int32.to_int (Psd_util.Rng.int32 (Psd_sim.Engine.rng (eng t)))
@@ -645,7 +796,7 @@ let fresh_iss t =
 let establish t pcb =
   ignore t;
   set_state pcb Established;
-  pcb.handlers.on_established ();
+  pcb.handlers.on_established pcb;
   match pcb.parent_listener with
   | Some l when not l.l_closed ->
     detach_listener pcb;
@@ -691,11 +842,11 @@ let insert_reass t pcb seq m =
   end
 
 let process_fin_if_ready t pcb =
-  match pcb.fin_rcvd_seq with
-  | Some fs when Seq.geq pcb.rcv_nxt fs && pcb.reass = [] ->
-    pcb.fin_rcvd_seq <- None;
+  let fs = pcb.fin_rcvd in
+  if fs >= 0 && Seq.geq pcb.rcv_nxt fs && pcb.reass = [] then begin
+    pcb.fin_rcvd <- -1;
     pcb.rcv_nxt <- Seq.add fs 1;
-    pcb.ack_now <- true;
+    set_flag pcb f_ack_now true;
     deliver_fin pcb;
     (match pcb.state with
     | Established -> set_state pcb Close_wait
@@ -707,7 +858,7 @@ let process_fin_if_ready t pcb =
       arm_msl t pcb
     | Time_wait -> arm_msl t pcb
     | _ -> ())
-  | _ -> ()
+  end
 
 let handle_listener t (l : listener) (seg : Segment.t) ~from_ip =
   if seg.Segment.flags.Segment.rst then ()
@@ -787,7 +938,7 @@ let handle_syn_sent t pcb (seg : Segment.t) payload =
       pcb.snd_una <- seg.Segment.ack;
       stop_timer t pcb tm_rexmt;
       pcb.nrexmt <- 0;
-      pcb.ack_now <- true;
+      set_flag pcb f_ack_now true;
       establish t pcb;
       send_ack t pcb;
       output t pcb ~force:false
@@ -826,7 +977,7 @@ let process_ack t pcb (seg : Segment.t) =
         let inflight = max pcb.mss (Seq.diff pcb.snd_max pcb.snd_una) in
         pcb.ssthresh <- max (2 * pcb.mss) (min inflight pcb.snd_wnd / 2);
         stop_timer t pcb tm_rexmt;
-        pcb.rtt_timing <- None;
+        pcb.rtt_start <- -1;
         let onxt = pcb.snd_nxt in
         pcb.snd_nxt <- pcb.snd_una;
         pcb.cwnd <- pcb.mss;
@@ -843,18 +994,17 @@ let process_ack t pcb (seg : Segment.t) =
     true
   end
   else if Seq.gt ack pcb.snd_max then begin
-    pcb.ack_now <- true;
+    set_flag pcb f_ack_now true;
     false
   end
   else begin
     (* new data acknowledged *)
     if pcb.dup_acks >= 3 then pcb.cwnd <- pcb.ssthresh;
     pcb.dup_acks <- 0;
-    (match pcb.rtt_timing with
-    | Some (seq0, t0) when Seq.gt ack seq0 ->
-      update_rtt t pcb (Psd_sim.Engine.now (eng t) - t0);
-      pcb.rtt_timing <- None
-    | _ -> ());
+    if pcb.rtt_start >= 0 && Seq.gt ack pcb.rtt_seq then begin
+      update_rtt t pcb (Psd_sim.Engine.now (eng t) - pcb.rtt_start);
+      pcb.rtt_start <- -1
+    end;
     (* congestion window growth *)
     if pcb.cwnd < pcb.ssthresh then pcb.cwnd <- pcb.cwnd + pcb.mss
     else pcb.cwnd <- pcb.cwnd + max 1 (pcb.mss * pcb.mss / pcb.cwnd);
@@ -867,14 +1017,14 @@ let process_ack t pcb (seg : Segment.t) =
       pcb.data_base <- Seq.add pcb.data_base data_acked
     end;
     let fin_acked =
-      pcb.fin_sent && Seq.geq ack (Seq.add (fin_seq pcb) 1)
+      (fin_sent pcb) && Seq.geq ack (Seq.add (fin_seq pcb) 1)
     in
     pcb.snd_una <- ack;
     if Seq.lt pcb.snd_nxt pcb.snd_una then pcb.snd_nxt <- pcb.snd_una;
     pcb.nrexmt <- 0;
     if Seq.diff pcb.snd_max pcb.snd_una = 0 then stop_timer t pcb tm_rexmt
     else arm_rexmt t pcb;
-    if data_acked > 0 then pcb.handlers.on_acked data_acked;
+    if data_acked > 0 then pcb.handlers.on_acked pcb data_acked;
     (* state transitions on FIN acknowledgement *)
     (match pcb.state with
     | Syn_received -> establish t pcb
@@ -884,7 +1034,7 @@ let process_ack t pcb (seg : Segment.t) =
       arm_msl t pcb
     | Last_ack when fin_acked -> drop_pcb t pcb None
     | _ -> ());
-    not pcb.dead
+    not (dead pcb)
   end
 
 let handle_synchronized t pcb (seg : Segment.t) payload =
@@ -910,7 +1060,7 @@ let handle_synchronized t pcb (seg : Segment.t) payload =
           fin := false;
           if pcb.state = Time_wait then arm_msl t pcb
         end;
-        pcb.ack_now <- true;
+        set_flag pcb f_ack_now true;
         if todrop > seg_len || not !fin then begin
           if seg_len > 0 || not f.Segment.ack then true
           else false (* pure ACK with old seq: still process the ack *)
@@ -938,7 +1088,7 @@ let handle_synchronized t pcb (seg : Segment.t) payload =
     let beyond =
       if excess > 0 then
         if excess >= seg_len && seg_len > 0 then begin
-          pcb.ack_now <- true;
+          set_flag pcb f_ack_now true;
           true
         end
         else begin
@@ -965,7 +1115,7 @@ let handle_synchronized t pcb (seg : Segment.t) payload =
     else if not f.Segment.ack then () (* post-handshake segments need ACK *)
     else begin
       let continue_ = process_ack t pcb seg in
-      if continue_ && not pcb.dead then begin
+      if continue_ && not (dead pcb) then begin
         (* window update *)
         if
           Seq.lt pcb.snd_wl1 !seq
@@ -992,9 +1142,9 @@ let handle_synchronized t pcb (seg : Segment.t) payload =
             t.st.bytes_in <- t.st.bytes_in + seg_len;
             deliver_data pcb payload;
             (* ack every other segment; delay otherwise *)
-            if pcb.delack_pending then pcb.ack_now <- true
+            if (delack_pending pcb) then set_flag pcb f_ack_now true
             else begin
-              pcb.delack_pending <- true;
+              set_flag pcb f_delack_pending true;
               arm_delack t pcb
             end
           end
@@ -1002,26 +1152,24 @@ let handle_synchronized t pcb (seg : Segment.t) payload =
             insert_reass t pcb !seq payload;
             splice t pcb;
             (* out-of-order: duplicate ack immediately (fast rexmt aid) *)
-            pcb.ack_now <- true
+            set_flag pcb f_ack_now true
           end
         end
         else if seg_len > 0 then
           (* data arriving in a state that cannot accept it *)
-          pcb.ack_now <- true;
+          set_flag pcb f_ack_now true;
         if !fin then begin
           let fs = Seq.add !seq seg_len in
-          (match pcb.fin_rcvd_seq with
-          | None -> pcb.fin_rcvd_seq <- Some fs
-          | Some _ -> ());
+          if pcb.fin_rcvd < 0 then pcb.fin_rcvd <- fs;
           process_fin_if_ready t pcb
         end
         else process_fin_if_ready t pcb;
-        if not pcb.dead then begin
-          if pcb.ack_now then send_ack t pcb;
+        if not (dead pcb) then begin
+          if (ack_now pcb) then send_ack t pcb;
           output t pcb ~force:false
         end
       end
-      else if pcb.ack_now && not pcb.dead then send_ack t pcb
+      else if (ack_now pcb) && not (dead pcb) then send_ack t pcb
     end
   end
 
@@ -1056,7 +1204,7 @@ let predicted pcb (seg : Segment.t) payload =
 let fast_synchronized t pcb (seg : Segment.t) payload =
   let seq = seg.Segment.seq in
   let continue_ = process_ack t pcb seg in
-  if continue_ && not pcb.dead then begin
+  if continue_ && not (dead pcb) then begin
     (* window update *)
     if
       Seq.lt pcb.snd_wl1 seq
@@ -1076,19 +1224,19 @@ let fast_synchronized t pcb (seg : Segment.t) payload =
       t.st.bytes_in <- t.st.bytes_in + seg_len;
       deliver_data pcb payload;
       (* ack every other segment; delay otherwise *)
-      if pcb.delack_pending then pcb.ack_now <- true
+      if (delack_pending pcb) then set_flag pcb f_ack_now true
       else begin
-        pcb.delack_pending <- true;
+        set_flag pcb f_delack_pending true;
         arm_delack t pcb
       end
     end;
     process_fin_if_ready t pcb;
-    if not pcb.dead then begin
-      if pcb.ack_now then send_ack t pcb;
+    if not (dead pcb) then begin
+      if (ack_now pcb) then send_ack t pcb;
       output t pcb ~force:false
     end
   end
-  else if pcb.ack_now && not pcb.dead then send_ack t pcb
+  else if (ack_now pcb) && not (dead pcb) then send_ack t pcb
 
 let input t ~(hdr : Psd_ip.Header.t) (m : Mbuf.t) =
   Psd_sim.Lock.with_lock t.lock (fun () ->
@@ -1176,7 +1324,8 @@ let create ~ctx ~ip ?(mss = 1460) ?(msl_ns = Psd_sim.Time.sec 30)
     ?(delack_ns = Psd_sim.Time.ms 200) ?(max_rexmt = 12)
     ?(default_rcv_buf = 24 * 1024)
     ?(keep_idle_ns = Psd_sim.Time.sec (2 * 60 * 60))
-    ?(keep_interval_ns = Psd_sim.Time.sec 75) ?(keep_max_probes = 8) () =
+    ?(keep_interval_ns = Psd_sim.Time.sec 75) ?(keep_max_probes = 8)
+    ?(pcb_pool = 1024) () =
   let t =
     {
       ctx;
@@ -1199,6 +1348,12 @@ let create ~ctx ~ip ?(mss = 1460) ?(msl_ns = Psd_sim.Time.sec 30)
       muted = Hashtbl.create 8;
       predict = true;
       conn_gauge = None;
+      pool_cap = max 0 pcb_pool;
+      pool = [];
+      pool_free = 0;
+      pool_fresh = 0;
+      pool_hits = 0;
+      pool_puts = 0;
       st =
         {
           segs_out = 0;
@@ -1234,7 +1389,7 @@ let connect t ?(handlers = null_handlers) ?(claim_data = true)
         make_pcb t ~key ~state:Syn_sent ~handlers ~rcv_buf
           ~mss:t.default_mss
       in
-      pcb.handlers_set <- claim_data;
+      set_flag pcb f_handlers_set claim_data;
       pcb.iss <- fresh_iss t;
       pcb.snd_una <- pcb.iss;
       pcb.snd_nxt <- Seq.add pcb.iss 1;
@@ -1296,7 +1451,7 @@ let close_listener t l =
 let send pcb m =
   let t = pcb.t in
   Psd_sim.Lock.with_lock t.lock (fun () ->
-      if pcb.fin_wanted then invalid_arg "Tcp.send: after shutdown";
+      if (fin_wanted pcb) then invalid_arg "Tcp.send: after shutdown";
       (match pcb.state with
       | Established | Close_wait | Syn_sent | Syn_received -> ()
       | _ -> invalid_arg "Tcp.send: connection not open");
@@ -1311,7 +1466,7 @@ let user_consumed pcb n =
       let new_wnd = rcv_window pcb in
       let advertised = max 0 (Seq.diff pcb.rcv_adv pcb.rcv_nxt) in
       if
-        (not pcb.dead)
+        (not (dead pcb))
         && pcb.state <> Closed
         && (new_wnd - advertised >= 2 * pcb.mss
            || (advertised = 0 && new_wnd > 0))
@@ -1320,8 +1475,8 @@ let user_consumed pcb n =
 let shutdown_send pcb =
   let t = pcb.t in
   Psd_sim.Lock.with_lock t.lock (fun () ->
-      if not pcb.fin_wanted then begin
-        pcb.fin_wanted <- true;
+      if not (fin_wanted pcb) then begin
+        set_flag pcb f_fin_wanted true;
         match pcb.state with
         | Syn_sent ->
           (* nothing sent yet; tear down silently *)
@@ -1334,7 +1489,7 @@ let shutdown_send pcb =
 let abort pcb =
   let t = pcb.t in
   Psd_sim.Lock.with_lock t.lock (fun () ->
-      if not pcb.dead then begin
+      if not (dead pcb) then begin
         (match pcb.state with
         | Syn_received | Established | Fin_wait_1 | Fin_wait_2 | Close_wait
           ->
@@ -1353,16 +1508,16 @@ let set_handlers ?(claim_data = true) pcb h =
   let t = pcb.t in
   Psd_sim.Lock.with_lock t.lock (fun () ->
       pcb.handlers <- h;
-      if not claim_data then pcb.handlers_set <- false
+      if not claim_data then set_flag pcb f_handlers_set false
       else begin
-      pcb.handlers_set <- true;
+      set_flag pcb f_handlers_set true;
       if Mbuf.length pcb.undelivered > 0 then begin
         let pending = Mbuf.split pcb.undelivered (Mbuf.length pcb.undelivered) in
-        h.deliver pending
+        h.deliver pcb pending
       end;
-      if pcb.fin_undelivered then begin
-        pcb.fin_undelivered <- false;
-        h.deliver_fin ()
+      if flag pcb f_fin_undelivered then begin
+        set_flag pcb f_fin_undelivered false;
+        h.deliver_fin pcb
       end
       end)
 
@@ -1405,7 +1560,7 @@ type snapshot = {
 let export pcb =
   let t = pcb.t in
   Psd_sim.Lock.with_lock t.lock (fun () ->
-      if pcb.dead then invalid_arg "Tcp.export: dead pcb";
+      if (dead pcb) then invalid_arg "Tcp.export: dead pcb";
       let snap =
         {
           s_key = pcb.key;
@@ -1420,9 +1575,9 @@ let export pcb =
           s_iss = pcb.iss;
           s_cwnd = pcb.cwnd;
           s_ssthresh = pcb.ssthresh;
-          s_fin_wanted = pcb.fin_wanted;
-          s_fin_sent = pcb.fin_sent;
-          s_nodelay = pcb.nodelay;
+          s_fin_wanted = (fin_wanted pcb);
+          s_fin_sent = (fin_sent pcb);
+          s_nodelay = flag pcb f_nodelay;
           s_srtt = pcb.srtt;
           s_rttvar = pcb.rttvar;
           s_rto = pcb.rto;
@@ -1433,16 +1588,17 @@ let export pcb =
           s_rcv_adv = pcb.rcv_adv;
           s_reass =
             List.map (fun (s, m) -> (s, Mbuf.to_string m)) pcb.reass;
-          s_fin_rcvd_seq = pcb.fin_rcvd_seq;
+          s_fin_rcvd_seq =
+            (if pcb.fin_rcvd < 0 then None else Some pcb.fin_rcvd);
           s_mss = pcb.mss;
           s_sndq = Mbuf.to_string pcb.sndq;
           s_undelivered = Mbuf.to_string pcb.undelivered;
-          s_fin_undelivered = pcb.fin_undelivered;
-          s_delack_pending = pcb.delack_pending;
+          s_fin_undelivered = flag pcb f_fin_undelivered;
+          s_delack_pending = (delack_pending pcb);
         }
       in
       (* Detach without emitting anything: the session is in transit. *)
-      pcb.dead <- true;
+      set_flag pcb f_dead true;
       detach_listener pcb;
       for slot = 0 to tm_count - 1 do
         stop_timer t pcb slot
@@ -1451,7 +1607,7 @@ let export pcb =
       conns_remove t pcb.key;
       snap)
 
-let import t ~handlers snap =
+let import t ?(owner = No_owner) ~handlers snap =
   Psd_sim.Lock.with_lock t.lock (fun () ->
       if Hashtbl.mem t.conns snap.s_key then
         invalid_arg "Tcp.import: connection exists";
@@ -1459,7 +1615,10 @@ let import t ~handlers snap =
         make_pcb t ~key:snap.s_key ~state:snap.s_state ~handlers
           ~rcv_buf:snap.s_rcv_buf ~mss:snap.s_mss
       in
-      pcb.handlers_set <- true;
+      (* the owner must be installed before the re-delivery below:
+         shared handlers recover their per-connection state through it *)
+      pcb.owner <- owner;
+      set_flag pcb f_handlers_set true;
       pcb.data_base <- snap.s_data_base;
       pcb.snd_una <- snap.s_snd_una;
       pcb.snd_nxt <- snap.s_snd_nxt;
@@ -1470,9 +1629,9 @@ let import t ~handlers snap =
       pcb.iss <- snap.s_iss;
       pcb.cwnd <- snap.s_cwnd;
       pcb.ssthresh <- snap.s_ssthresh;
-      pcb.fin_wanted <- snap.s_fin_wanted;
-      pcb.fin_sent <- snap.s_fin_sent;
-      pcb.nodelay <- snap.s_nodelay;
+      set_flag pcb f_fin_wanted snap.s_fin_wanted;
+      set_flag pcb f_fin_sent snap.s_fin_sent;
+      set_flag pcb f_nodelay snap.s_nodelay;
       pcb.srtt <- snap.s_srtt;
       pcb.rttvar <- snap.s_rttvar;
       pcb.rto <- snap.s_rto;
@@ -1482,18 +1641,19 @@ let import t ~handlers snap =
       pcb.rcv_adv <- snap.s_rcv_adv;
       pcb.reass <-
         List.map (fun (s, data) -> (s, Mbuf.of_string data)) snap.s_reass;
-      pcb.fin_rcvd_seq <- snap.s_fin_rcvd_seq;
-      pcb.delack_pending <- snap.s_delack_pending;
+      pcb.fin_rcvd <-
+        (match snap.s_fin_rcvd_seq with None -> -1 | Some fs -> fs);
+      set_flag pcb f_delack_pending snap.s_delack_pending;
       Mbuf.concat pcb.sndq (Mbuf.of_string snap.s_sndq);
       t.memo <- None;
       conns_insert t pcb.key pcb;
       (* Re-deliver data that was buffered but not yet consumed. *)
       if String.length snap.s_undelivered > 0 then
-        handlers.deliver (Mbuf.of_string snap.s_undelivered);
-      if snap.s_fin_undelivered then handlers.deliver_fin ();
+        handlers.deliver pcb (Mbuf.of_string snap.s_undelivered);
+      if snap.s_fin_undelivered then handlers.deliver_fin pcb;
       (* restart machinery *)
       if Seq.diff pcb.snd_max pcb.snd_una > 0 then arm_rexmt t pcb;
-      if pcb.delack_pending then arm_delack t pcb;
+      if (delack_pending pcb) then arm_delack t pcb;
       if pcb.state = Time_wait then arm_msl t pcb;
       pcb)
 
@@ -1511,12 +1671,12 @@ let snapshot_local_port snap = snap.s_key.lport
 let set_keepalive pcb v =
   let t = pcb.t in
   Psd_sim.Lock.with_lock t.lock (fun () ->
-      pcb.keepalive <- v;
+      set_flag pcb f_keepalive v;
       pcb.last_activity <- Psd_sim.Engine.now (eng t);
       if v then arm_keepalive t pcb else stop_timer t pcb tm_keep)
 
 let can_send pcb =
-  (not pcb.dead) && (not pcb.fin_wanted)
+  (not (dead pcb)) && (not (fin_wanted pcb))
   &&
   match pcb.state with
   | Established | Close_wait | Syn_sent | Syn_received -> true

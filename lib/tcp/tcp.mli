@@ -46,16 +46,34 @@ type pcb
 type listener
 
 type handlers = {
-  deliver : Psd_mbuf.Mbuf.t -> unit;
+  deliver : pcb -> Psd_mbuf.Mbuf.t -> unit;
       (** in-order data, called once per newly contiguous chunk *)
-  deliver_fin : unit -> unit;  (** peer closed its send side (EOF) *)
-  on_established : unit -> unit;
-  on_acked : int -> unit;  (** bytes newly acknowledged; wakes senders *)
-  on_error : error -> unit;
-  on_state : state -> unit;  (** after every state transition *)
+  deliver_fin : pcb -> unit;  (** peer closed its send side (EOF) *)
+  on_established : pcb -> unit;
+  on_acked : pcb -> int -> unit;
+      (** bytes newly acknowledged; wakes senders *)
+  on_error : pcb -> error -> unit;
+  on_state : pcb -> state -> unit;  (** after every state transition *)
 }
+(** Every callback receives the connection it fired for, so one
+    [handlers] record can serve every connection of a stack
+    (per-connection context lives behind {!set_owner}) — at one million
+    connections, six closures per socket were a measurable share of
+    per-connection memory. Closure-per-connection handlers still work:
+    ignore the [pcb] argument. *)
 
 val null_handlers : handlers
+
+val set_owner : pcb -> exn -> unit
+(** Attach an upcall token for shared handlers to recover per-connection
+    state from (an [exn] as a universal type: declare
+    [exception Sock of t] and match it back). Cleared to {!No_owner}
+    when the connection is dropped. *)
+
+val owner : pcb -> exn
+
+exception No_owner
+(** Default {!owner} value. *)
 
 type stats = {
   mutable segs_out : int;
@@ -96,12 +114,16 @@ val create :
   ?keep_idle_ns:int ->
   ?keep_interval_ns:int ->
   ?keep_max_probes:int ->
+  ?pcb_pool:int ->
   unit ->
   t
 (** Registers the instance as the IP protocol-6 handler of [ip]. Defaults:
     MSS 1460, MSL 30 s, minimum RTO 500 ms, initial RTO 1 s, delayed-ACK
     200 ms, 12 retransmissions before giving up, 24 KB receive buffer
-    (the per-configuration buffer sizes of Table 2 are set here). *)
+    (the per-configuration buffer sizes of Table 2 are set here).
+    [pcb_pool] bounds the PCB free list (default 1024 records; [0]
+    disables pooling — dispatch is bit-identical either way, which the
+    differential suite checks). *)
 
 (* --- opening ---------------------------------------------------------- *)
 
@@ -192,6 +214,12 @@ val cwnd : pcb -> int
 val stats : t -> stats
 val active_pcbs : t -> int
 
+val pool_stats : t -> int * int * int * int
+(** [(fresh, hits, puts, free)]: PCBs built from scratch, served from
+    the free list, returned to it, and currently parked on it. With no
+    leak, [free = puts - hits] and [active_pcbs = fresh + hits - puts]
+    (exports excluded) — the scale smoke test asserts this. *)
+
 val set_conn_gauge : t -> (int -> unit) -> unit
 (** Install a maintained-count hook: called with [+1] when a PCB enters
     the connection table (passive open, connect, import) and [-1] when
@@ -209,10 +237,12 @@ val export : pcb -> snapshot
     unacknowledged send data and undelivered receive data) is captured.
     The PCB becomes unusable. *)
 
-val import : t -> handlers:handlers -> snapshot -> pcb
+val import : t -> ?owner:exn -> handlers:handlers -> snapshot -> pcb
 (** Install exported state into another instance; timers restart, and the
     connection continues exactly where it stopped. Undelivered in-order
-    data is re-delivered through the new [handlers.deliver]. *)
+    data is re-delivered through the new [handlers.deliver] — [owner] is
+    installed first, so shared handlers can already recover their
+    per-connection state during that re-delivery. *)
 
 val snapshot_size : snapshot -> int
 (** Approximate wire size in bytes of the state (what session migration

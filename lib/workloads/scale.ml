@@ -4,10 +4,13 @@
    per-connection timers (wheel), ephemeral-port allocation, listener
    backlog/accept paths, and per-connection memory.
 
-   Topology:
+   Topology — client hosts pack 250 per /24 segment, and the farm grows
+   segments as needed, so host count is bounded by addressing (250
+   segments x 250 hosts = 62,500), not by one subnet:
 
-     client[0..h-1]  --- segment A --- router --- segment B --- server
-     10.0.1.1..h          (shared)   .254 / .254   (shared)     10.0.2.1
+     seg 1: client[0..249]     10.0.1.1..250  ---+
+     seg 2: client[250..499]   10.0.2.1..250  ---+-- router --- server
+     ...          10.0.<k>.0/24, iface .254   ---+    10.1.0.254  10.1.0.1
 
    Each connection: connect, send one ping, read the echo, then hold
    the connection open until a common close deadline so that all
@@ -20,6 +23,11 @@
    sweep measures retransmission storms rather than steady-state
    control-plane behavior.
 
+   The server echoes each connection's ping and then parks an
+   event-driven {!Sockets.on_hangup} hook instead of blocking in
+   [recv]: at a million connections, a per-connection reader fiber and
+   the receive buffer it pins would dominate idle memory.
+
    Wall-clock is measured around the whole simulation; the GC walks
    used for the memory samples are timed and excluded so events/sec
    reflects simulator throughput, not measurement overhead. *)
@@ -29,6 +37,7 @@ open Psd_core
 type result = {
   conns : int;
   hosts : int;
+  segments : int; (* client /24 segments hung off the gateway *)
   connected : int;
   echoed : int;
   failed : int;
@@ -43,23 +52,105 @@ type result = {
   rexmt_segs : int;
   injected : int;
   final_pcbs : int; (* leak check: should be 0 after the drain *)
+  pool_fresh : int; (* PCB pool counters summed over all stacks *)
+  pool_hits : int;
+  pool_puts : int;
+  pool_free : int;
 }
+
+type error =
+  | Bad_conns of int (* conns must be >= 1 *)
+  | Bad_per_host of int (* per_host must be >= 1 *)
+  | Too_many_hosts of { hosts : int; limit : int }
+
+let pp_error fmt = function
+  | Bad_conns n -> Format.fprintf fmt "conns must be >= 1 (got %d)" n
+  | Bad_per_host n -> Format.fprintf fmt "per_host must be >= 1 (got %d)" n
+  | Too_many_hosts { hosts; limit } ->
+    Format.fprintf fmt
+      "conns/per_host needs %d client hosts; the address plan caps at %d \
+       (250 segments x 250 hosts)"
+      hosts limit
 
 let server_port = 4000
 
-(* at most 250 client hosts fit the 10.0.1.0/24 segment *)
-let max_hosts = 250
+(* 250 hosts fit one 10.0.<k>.0/24 segment (.254 is the gateway) *)
+let hosts_per_segment = 250
+let max_segments = 250
+let host_limit = hosts_per_segment * max_segments
+
+(* Validate a conns/per_host combination and derive the farm shape. *)
+let plan ~conns ~per_host =
+  if conns < 1 then Error (Bad_conns conns)
+  else if per_host < 1 then Error (Bad_per_host per_host)
+  else
+    let hosts = (conns + per_host - 1) / per_host in
+    if hosts > host_limit then
+      Error (Too_many_hosts { hosts; limit = host_limit })
+    else Ok (hosts, (hosts + hosts_per_segment - 1) / hosts_per_segment)
+
+let client_addr h =
+  Printf.sprintf "10.0.%d.%d"
+    ((h / hosts_per_segment) + 1)
+    ((h mod hosts_per_segment) + 1)
+
+let segment_gateway k = Printf.sprintf "10.0.%d.254" (k + 1)
+let segment_net k = Printf.sprintf "10.0.%d.0" (k + 1)
+let server_addr = "10.1.0.1"
+let server_gateway = "10.1.0.254"
 
 let ok what = function Ok v -> v | Error e -> failwith (what ^ ": " ^ e)
+
+(* Echo [ping_bytes] back, then hand the connection to an [on_hangup]
+   hook and exit the fiber: the close still happens at exactly the
+   virtual time a blocked reader would have observed EOF, but the idle
+   hold costs no parked fiber and no inflated receive buffer. *)
+let serve_echo eng c ~ping_bytes =
+  Psd_sim.Engine.spawn eng ~name:"scale-echo" (fun () ->
+      let rec echo got =
+        if got >= ping_bytes then
+          Sockets.on_hangup c (fun () -> Sockets.close c)
+        else
+          match Sockets.recv c ~max:65536 with
+          | Ok "" | Error _ -> Sockets.close c
+          | Ok d -> (
+            match Sockets.send c d with
+            | Ok _ -> echo (got + String.length d)
+            | Error _ -> Sockets.close c)
+      in
+      echo 0)
+
+let sum_pool_stats all_systems =
+  List.fold_left
+    (fun (a, b, c, d) sys ->
+      match System.kernel_stack sys with
+      | Some stack ->
+        let f, h, p, fr = Psd_tcp.Tcp.pool_stats (Netstack.tcp stack) in
+        (a + f, b + h, c + p, d + fr)
+      | None -> (a, b, c, d))
+    (0, 0, 0, 0) all_systems
+
+let sum_rexmt all_systems =
+  List.fold_left
+    (fun acc sys ->
+      List.fold_left
+        (fun acc st -> acc + st.Psd_tcp.Tcp.rexmt_segs)
+        acc
+        (System.stacks_tcp_stats sys))
+    0 all_systems
 
 let run ?(config = Psd_cost.Config.mach25_kernel) ?(conns = 1000)
     ?(per_host = 500) ?(bps = 100_000_000)
     ?(spacing_ns = Psd_sim.Time.us 2000) ?(hold_ns = Psd_sim.Time.sec 5)
     ?(ping_bytes = 64) ?(backlog = 4096) ?(seed = 11) ?fault () =
-  let hosts = min max_hosts ((conns + per_host - 1) / per_host) in
+  match plan ~conns ~per_host with
+  | Error e -> Error e
+  | Ok (hosts, nsegs) ->
   let eng = Psd_sim.Engine.create ~seed () in
-  let seg_a = Psd_link.Segment.create eng ~bps () in
-  let seg_b = Psd_link.Segment.create eng ~bps () in
+  let client_segs =
+    Array.init nsegs (fun _ -> Psd_link.Segment.create eng ~bps ())
+  in
+  let seg_srv = Psd_link.Segment.create eng ~bps () in
   let wire_faults =
     match fault with
     | Some policy when not (Psd_link.Fault.is_null policy) ->
@@ -72,31 +163,37 @@ let run ?(config = Psd_cost.Config.mach25_kernel) ?(conns = 1000)
           in
           Psd_link.Segment.set_fault seg (Some f);
           f)
-        [ seg_a; seg_b ]
+        (Array.to_list client_segs @ [ seg_srv ])
     | _ -> []
   in
   let server =
-    System.create ~eng ~segment:seg_b ~config ~addr:"10.0.2.1" ~name:"srv" ()
+    System.create ~eng ~segment:seg_srv ~config ~addr:server_addr ~name:"srv"
+      ()
   in
   let clients =
     Array.init hosts (fun h ->
-        System.create ~eng ~segment:seg_a ~config
-          ~addr:(Printf.sprintf "10.0.1.%d" (h + 1))
+        System.create ~eng
+          ~segment:client_segs.(h / hosts_per_segment)
+          ~config ~addr:(client_addr h)
           ~name:(Printf.sprintf "cli%d" h)
           ())
   in
   let _router =
     Router.create ~eng ~name:"gw"
-      ~ifaces:[ (seg_a, "10.0.1.254"); (seg_b, "10.0.2.254") ]
+      ~ifaces:
+        (List.init nsegs (fun k -> (client_segs.(k), segment_gateway k))
+        @ [ (seg_srv, server_gateway) ])
       ()
   in
-  Array.iter
-    (fun sys ->
-      System.add_route sys ~net:"10.0.2.0" ~mask:"255.255.255.0"
-        ~gateway:"10.0.1.254")
+  Array.iteri
+    (fun h sys ->
+      System.add_route sys ~net:"10.1.0.0" ~mask:"255.255.255.0"
+        ~gateway:(segment_gateway (h / hosts_per_segment)))
     clients;
-  System.add_route server ~net:"10.0.1.0" ~mask:"255.255.255.0"
-    ~gateway:"10.0.2.254";
+  for k = 0 to nsegs - 1 do
+    System.add_route server ~net:(segment_net k) ~mask:"255.255.255.0"
+      ~gateway:server_gateway
+  done;
   let all_systems = server :: Array.to_list clients in
   (* Maintained PCB population: each kernel stack bumps the counter as
      connections enter/leave its table, so sampling is O(1) instead of
@@ -110,7 +207,7 @@ let run ?(config = Psd_cost.Config.mach25_kernel) ?(conns = 1000)
             live_pcbs := !live_pcbs + d)
       | None -> ())
     all_systems;
-  (* server: accept forever, echo each connection until EOF *)
+  (* server: accept forever, echo each connection until it hangs up *)
   let srv_app = System.app server ~name:"scale-srv" in
   Psd_sim.Engine.spawn eng ~name:"scale-accept" (fun () ->
       let l = Sockets.stream srv_app in
@@ -118,16 +215,7 @@ let run ?(config = Psd_cost.Config.mach25_kernel) ?(conns = 1000)
       ok "scale listen" (Sockets.listen l ~backlog ());
       let rec loop () =
         let c = ok "scale accept" (Sockets.accept l) in
-        Psd_sim.Engine.spawn eng ~name:"scale-echo" (fun () ->
-            let rec echo () =
-              match Sockets.recv c ~max:65536 with
-              | Ok "" | Error _ -> Sockets.close c
-              | Ok d -> (
-                match Sockets.send c d with
-                | Ok _ -> echo ()
-                | Error _ -> Sockets.close c)
-            in
-            echo ());
+        serve_echo eng c ~ping_bytes;
         loop ()
       in
       loop ());
@@ -207,44 +295,49 @@ let run ?(config = Psd_cost.Config.mach25_kernel) ?(conns = 1000)
   let delta_bytes = float_of_int ((peak_words - base_words) * 8) in
   let events = Psd_sim.Engine.events_scheduled eng in
   let virtual_ns = Psd_sim.Engine.now eng in
-  let rexmt_segs =
-    List.fold_left
-      (fun acc sys ->
-        List.fold_left
-          (fun acc st -> acc + st.Psd_tcp.Tcp.rexmt_segs)
-          acc
-          (System.stacks_tcp_stats sys))
-      0 all_systems
+  let pool_fresh, pool_hits, pool_puts, pool_free =
+    sum_pool_stats all_systems
   in
-  {
-    conns;
-    hosts;
-    connected = !connected;
-    echoed = !echoed;
-    failed = !failed;
-    peak_pcbs;
-    bytes_per_conn = delta_bytes /. float_of_int (max 1 conns);
-    bytes_per_pcb = delta_bytes /. float_of_int (max 1 peak_pcbs);
-    events;
-    virtual_ns;
-    wall_s;
-    events_per_wall_s = float_of_int events /. wall_s;
-    wall_ms_per_sim_s =
-      wall_s *. 1000. /. (float_of_int virtual_ns /. 1e9);
-    rexmt_segs;
-    injected =
-      List.fold_left
-        (fun acc f -> acc + Psd_link.Fault.injected (Psd_link.Fault.stats f))
-        0 wire_faults;
-    final_pcbs = !live_pcbs;
-  }
+  Ok
+    {
+      conns;
+      hosts;
+      segments = nsegs;
+      connected = !connected;
+      echoed = !echoed;
+      failed = !failed;
+      peak_pcbs;
+      bytes_per_conn = delta_bytes /. float_of_int (max 1 conns);
+      bytes_per_pcb = delta_bytes /. float_of_int (max 1 peak_pcbs);
+      events;
+      virtual_ns;
+      wall_s;
+      events_per_wall_s = float_of_int events /. wall_s;
+      wall_ms_per_sim_s =
+        wall_s *. 1000. /. (float_of_int virtual_ns /. 1e9);
+      rexmt_segs = sum_rexmt all_systems;
+      injected =
+        List.fold_left
+          (fun acc f ->
+            acc + Psd_link.Fault.injected (Psd_link.Fault.stats f))
+          0 wire_faults;
+      final_pcbs = !live_pcbs;
+      pool_fresh;
+      pool_hits;
+      pool_puts;
+      pool_free;
+    }
 
 (* Host-sharded variant: the server and the gateway router stay on
-   shard 0; client hosts round-robin over shards 1..n-1 (all on shard 0
-   when [nshards = 1]). Both segments are full-duplex so per-NIC
-   transmit state shards cleanly, with [prop_ns] propagation delay
-   setting the conservative lookahead window. Differences from [run],
-   chosen for partition-independence:
+   shard 0; client hosts distribute over shards 1..n-1 (all on shard 0
+   when [nshards = 1]). With enough segments, whole segments map to
+   shards ([h / 250]), giving each domain contiguous farms; with fewer
+   segments than shards the old per-host round-robin keeps every shard
+   busy — and reproduces the exact partition the differential suite
+   has always checked for single-segment runs. All segments are
+   full-duplex so per-NIC transmit state shards cleanly, with [prop_ns]
+   propagation delay setting the conservative lookahead window.
+   Differences from [run], chosen for partition-independence:
    - per-shard counters (connected/echoed/failed, PCB gauges), each
      written only by its own domain and summed between rounds;
    - wire faults are per-receiving-NIC processes on the client and
@@ -256,37 +349,51 @@ let run_par ?(config = Psd_cost.Config.mach25_kernel) ?(conns = 1000)
     ?(spacing_ns = Psd_sim.Time.us 2000) ?(hold_ns = Psd_sim.Time.sec 5)
     ?(ping_bytes = 64) ?(backlog = 4096) ?(seed = 11) ?fault
     ?(nshards = 2) ?(domains = true) ?(prop_ns = Psd_sim.Time.ms 1) () =
-  let hosts = min max_hosts ((conns + per_host - 1) / per_host) in
+  match plan ~conns ~per_host with
+  | Error e -> Error e
+  | Ok (hosts, nsegs) ->
   let shard = Psd_sim.Shard.create ~seed ~n:nshards () in
-  let shard_of h = if nshards = 1 then 0 else 1 + (h mod (nshards - 1)) in
+  let shard_of h =
+    if nshards = 1 then 0
+    else if nsegs >= nshards - 1 then
+      1 + (h / hosts_per_segment mod (nshards - 1))
+    else 1 + (h mod (nshards - 1))
+  in
   let eng0 = Psd_sim.Shard.engine shard 0 in
-  let seg_a = Psd_link.Segment.create_duplex shard ~bps ~prop_ns () in
-  let seg_b = Psd_link.Segment.create_duplex shard ~bps ~prop_ns () in
+  let client_segs =
+    Array.init nsegs (fun _ ->
+        Psd_link.Segment.create_duplex shard ~bps ~prop_ns ())
+  in
+  let seg_srv = Psd_link.Segment.create_duplex shard ~bps ~prop_ns () in
   let server =
-    System.create ~eng:eng0 ~segment:seg_b ~shard:0 ~config ~addr:"10.0.2.1"
-      ~name:"srv" ()
+    System.create ~eng:eng0 ~segment:seg_srv ~shard:0 ~config
+      ~addr:server_addr ~name:"srv" ()
   in
   let clients =
     Array.init hosts (fun h ->
         System.create
           ~eng:(Psd_sim.Shard.engine shard (shard_of h))
-          ~segment:seg_a ~shard:(shard_of h) ~config
-          ~addr:(Printf.sprintf "10.0.1.%d" (h + 1))
+          ~segment:client_segs.(h / hosts_per_segment)
+          ~shard:(shard_of h) ~config ~addr:(client_addr h)
           ~name:(Printf.sprintf "cli%d" h)
           ())
   in
   let _router =
     Router.create ~eng:eng0 ~shard:0 ~name:"gw"
-      ~ifaces:[ (seg_a, "10.0.1.254"); (seg_b, "10.0.2.254") ]
+      ~ifaces:
+        (List.init nsegs (fun k -> (client_segs.(k), segment_gateway k))
+        @ [ (seg_srv, server_gateway) ])
       ()
   in
-  Array.iter
-    (fun sys ->
-      System.add_route sys ~net:"10.0.2.0" ~mask:"255.255.255.0"
-        ~gateway:"10.0.1.254")
+  Array.iteri
+    (fun h sys ->
+      System.add_route sys ~net:"10.1.0.0" ~mask:"255.255.255.0"
+        ~gateway:(segment_gateway (h / hosts_per_segment)))
     clients;
-  System.add_route server ~net:"10.0.1.0" ~mask:"255.255.255.0"
-    ~gateway:"10.0.2.254";
+  for k = 0 to nsegs - 1 do
+    System.add_route server ~net:(segment_net k) ~mask:"255.255.255.0"
+      ~gateway:server_gateway
+  done;
   let all_systems = server :: Array.to_list clients in
   let wire_faults =
     match fault with
@@ -328,16 +435,7 @@ let run_par ?(config = Psd_cost.Config.mach25_kernel) ?(conns = 1000)
       ok "scale listen" (Sockets.listen l ~backlog ());
       let rec loop () =
         let c = ok "scale accept" (Sockets.accept l) in
-        Psd_sim.Engine.spawn eng0 ~name:"scale-echo" (fun () ->
-            let rec echo () =
-              match Sockets.recv c ~max:65536 with
-              | Ok "" | Error _ -> Sockets.close c
-              | Ok d -> (
-                match Sockets.send c d with
-                | Ok _ -> echo ()
-                | Error _ -> Sockets.close c)
-            in
-            echo ());
+        serve_echo eng0 c ~ping_bytes;
         loop ()
       in
       loop ());
@@ -412,40 +510,44 @@ let run_par ?(config = Psd_cost.Config.mach25_kernel) ?(conns = 1000)
   done;
   let events = !events in
   let virtual_ns = Psd_sim.Shard.now shard in
-  let rexmt_segs =
-    List.fold_left
-      (fun acc sys ->
-        List.fold_left
-          (fun acc st -> acc + st.Psd_tcp.Tcp.rexmt_segs)
-          acc
-          (System.stacks_tcp_stats sys))
-      0 all_systems
+  let pool_fresh, pool_hits, pool_puts, pool_free =
+    sum_pool_stats all_systems
   in
-  {
-    conns;
-    hosts;
-    connected = sum connected;
-    echoed = sum echoed;
-    failed = sum failed;
-    peak_pcbs;
-    bytes_per_conn = delta_bytes /. float_of_int (max 1 conns);
-    bytes_per_pcb = delta_bytes /. float_of_int (max 1 peak_pcbs);
-    events;
-    virtual_ns;
-    wall_s;
-    events_per_wall_s = float_of_int events /. wall_s;
-    wall_ms_per_sim_s = wall_s *. 1000. /. (float_of_int virtual_ns /. 1e9);
-    rexmt_segs;
-    injected =
-      List.fold_left
-        (fun acc f -> acc + Psd_link.Fault.injected (Psd_link.Fault.stats f))
-        0 wire_faults;
-    final_pcbs = sum live_pcbs;
-  }
+  Ok
+    {
+      conns;
+      hosts;
+      segments = nsegs;
+      connected = sum connected;
+      echoed = sum echoed;
+      failed = sum failed;
+      peak_pcbs;
+      bytes_per_conn = delta_bytes /. float_of_int (max 1 conns);
+      bytes_per_pcb = delta_bytes /. float_of_int (max 1 peak_pcbs);
+      events;
+      virtual_ns;
+      wall_s;
+      events_per_wall_s = float_of_int events /. wall_s;
+      wall_ms_per_sim_s =
+        wall_s *. 1000. /. (float_of_int virtual_ns /. 1e9);
+      rexmt_segs = sum_rexmt all_systems;
+      injected =
+        List.fold_left
+          (fun acc f ->
+            acc + Psd_link.Fault.injected (Psd_link.Fault.stats f))
+          0 wire_faults;
+      final_pcbs = sum live_pcbs;
+      pool_fresh;
+      pool_hits;
+      pool_puts;
+      pool_free;
+    }
 
 let pp fmt r =
   Format.fprintf fmt
-    "%7d conns  %3d hosts | %7d echoed %5d failed | %8.0f B/conn %8.0f \
-     B/pcb | %9d events  %8.0f ev/s  %6.1f wall-ms/sim-s | %d rexmt"
-    r.conns r.hosts r.echoed r.failed r.bytes_per_conn r.bytes_per_pcb
-    r.events r.events_per_wall_s r.wall_ms_per_sim_s r.rexmt_segs
+    "%7d conns  %4d hosts/%-3d seg | %7d echoed %5d failed | %8.0f B/conn \
+     %8.0f B/pcb | %9d events  %8.0f ev/s  %6.1f wall-ms/sim-s | %d rexmt \
+     | pool %d/%d/%d/%d"
+    r.conns r.hosts r.segments r.echoed r.failed r.bytes_per_conn
+    r.bytes_per_pcb r.events r.events_per_wall_s r.wall_ms_per_sim_s
+    r.rexmt_segs r.pool_fresh r.pool_hits r.pool_puts r.pool_free

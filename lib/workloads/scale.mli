@@ -1,6 +1,11 @@
 (** Control-plane scale workload: [conns] concurrent TCP connections
     from many client hosts, through a gateway router, to one server.
 
+    Client hosts pack 250 per /24 segment and the farm grows segments
+    as needed ([10.0.<k>.0/24] per segment, server on [10.1.0.0/24]),
+    so the host count is bounded by the address plan — 250 segments of
+    250 hosts, 62,500 hosts — not by a single subnet.
+
     Connections ramp up staggered, all hold open simultaneously at the
     sampling point (memory per connection via [Gc] live-word deltas),
     then close and drain through TIME_WAIT. Reported wall-clock
@@ -8,7 +13,8 @@
 
 type result = {
   conns : int;
-  hosts : int; (* client hosts used (max 250 per /24) *)
+  hosts : int; (* client hosts used *)
+  segments : int; (* client /24 segments hung off the gateway *)
   connected : int;
   echoed : int; (* connections that completed an echo round-trip *)
   failed : int;
@@ -23,7 +29,20 @@ type result = {
   rexmt_segs : int;
   injected : int; (* wire faults injected, when a policy is set *)
   final_pcbs : int; (* after close + drain; 0 means no PCB leak *)
+  pool_fresh : int; (* PCB pool counters summed over every stack: *)
+  pool_hits : int; (* fresh allocations, free-list reuses, ... *)
+  pool_puts : int; (* ... returns to the free list, and records *)
+  pool_free : int; (* parked on it at the end of the run. *)
 }
+
+type error =
+  | Bad_conns of int (* conns must be >= 1 *)
+  | Bad_per_host of int (* per_host must be >= 1 *)
+  | Too_many_hosts of { hosts : int; limit : int }
+      (* the conns/per_host combination needs more client hosts than
+         the 250x250 address plan can number *)
+
+val pp_error : Format.formatter -> error -> unit
 
 val run :
   ?config:Psd_cost.Config.t ->
@@ -37,10 +56,12 @@ val run :
   ?seed:int ->
   ?fault:Psd_link.Fault.policy ->
   unit ->
-  result
+  (result, error) Stdlib.result
 (** Defaults: Mach 2.5 in-kernel stacks, 1000 connections, 500 per
     client host, 100 Mb/s segments, one connect per 2 ms, 5 s hold,
-    64-byte ping, backlog 4096, seed 11, no faults. *)
+    64-byte ping, backlog 4096, seed 11, no faults. Returns [Error]
+    without building any topology when the conns/per_host combination
+    is invalid. *)
 
 val run_par :
   ?config:Psd_cost.Config.t ->
@@ -57,17 +78,18 @@ val run_par :
   ?domains:bool ->
   ?prop_ns:int ->
   unit ->
-  result
+  (result, error) Stdlib.result
 (** Domain-parallel variant of {!run} on a conservative
     {!Psd_sim.Shard} engine: server and router on shard 0, client hosts
-    round-robin over the remaining shards, both segments full-duplex
-    with [prop_ns] (default 1 ms) propagation delay setting the
-    lookahead window. For any [nshards] and either [domains] setting
-    the connection outcome counters, PCB population, and virtual time
-    are bit-identical — the parallel differential suite enforces it.
-    Wire faults are per-receiving-NIC on client and server hosts with
-    RNG streams derived from [seed] and the host index, so one seed
-    fixes one fault schedule for every shard count ([events] and
-    wall-clock fields do legitimately vary between modes). *)
+    over the remaining shards — whole segments per shard when there are
+    enough segments, per-host round-robin otherwise — and every segment
+    full-duplex with [prop_ns] (default 1 ms) propagation delay setting
+    the lookahead window. For any [nshards] and either [domains]
+    setting the connection outcome counters, PCB population, and
+    virtual time are bit-identical — the parallel differential suite
+    enforces it. Wire faults are per-receiving-NIC on client and server
+    hosts with RNG streams derived from [seed] and the host index, so
+    one seed fixes one fault schedule for every shard count ([events]
+    and wall-clock fields do legitimately vary between modes). *)
 
 val pp : Format.formatter -> result -> unit

@@ -637,6 +637,143 @@ let test_portalloc_invariants () =
     Hashtbl.replace seen p ()
   done
 
+(* --- lazy receive buffers and hangup hooks ---------------------------- *)
+
+(* Lazy receive-buffer allocation must be invisible: a socket that never
+   received a byte and one that received and fully drained behave
+   identically — the buffer deflates back to nothing once it holds no
+   observable state (no bytes, no loan, no EOF/error) and re-inflates
+   on the next byte. Exercised through the NEWAPI loan path, whose
+   space/loan accounting is the state a deflate/re-inflate cycle would
+   most easily corrupt. *)
+let test_lazy_rcv_fresh_vs_drained () =
+  let p = make_pair ~config:Cfg.library_newapi_shm_ipf () in
+  let app_b = System.app p.sys_b ~name:"lazy-srv" in
+  let srv = ref None in
+  Psd_sim.Engine.spawn p.eng ~name:"lazy-srv" (fun () ->
+      let l = Sockets.stream app_b in
+      let (_ : int) = ok "bind" (Sockets.bind l ~port:7 ()) in
+      ok "listen" (Sockets.listen l ());
+      srv := Some (ok "accept" (Sockets.accept l)));
+  let done_ = ref false in
+  let client = System.app p.sys_a ~name:"lazy-cli" in
+  Psd_sim.Engine.spawn p.eng ~name:"lazy-cli" (fun () ->
+      let s = Sockets.stream client in
+      ok "connect" (Sockets.connect s dst_b 7);
+      Psd_sim.Engine.sleep p.eng (Psd_sim.Time.ms 10);
+      "fresh socket not readable" => not (Sockets.readable s);
+      let round tag msg =
+        (match !srv with
+        | Some c -> ignore (ok "srv send" (Sockets.send c msg) : int)
+        | None -> Alcotest.fail "no server socket");
+        let loan = ok (tag ^ " recv_loan") (Sockets.recv_loan s ~max:4096) in
+        Alcotest.(check int)
+          (tag ^ " loan length")
+          (String.length msg)
+          (Sockets.loan_length loan);
+        Alcotest.(check string) (tag ^ " loan bytes") msg
+          (Psd_mbuf.Mbuf.to_string (Sockets.loan_view loan));
+        Sockets.return_loan s loan;
+        (try
+           Sockets.return_loan s loan;
+           Alcotest.fail (tag ^ ": double return accepted")
+         with Invalid_argument _ -> ());
+        (tag ^ ": drained socket not readable") => not (Sockets.readable s)
+      in
+      (* first round inflates the buffer; returning the loan drains it
+         back to nothing *)
+      round "fresh" "written-once";
+      (* second round must see exactly the fresh behavior again *)
+      round "drained" "written-twice-longer";
+      (match !srv with Some c -> Sockets.close c | None -> ());
+      (* EOF lands on a drained (deflated) buffer and re-inflates it *)
+      let eof_loan = ok "eof recv_loan" (Sockets.recv_loan s ~max:4096) in
+      Alcotest.(check int) "eof loan is empty" 0 (Sockets.loan_length eof_loan);
+      Sockets.return_loan s eof_loan;
+      Sockets.close s;
+      done_ := true);
+  Psd_sim.Engine.run_for p.eng (Psd_sim.Time.sec 10);
+  "finished" => !done_
+
+(* Same drill through the classic copying API: recv on a never-written
+   socket and on a written-then-drained socket must be
+   indistinguishable, EOF included. *)
+let test_lazy_rcv_classic_recv () =
+  let p = make_pair ~config:Cfg.mach25_kernel () in
+  let app_b = System.app p.sys_b ~name:"lazy2-srv" in
+  let srv = ref None in
+  Psd_sim.Engine.spawn p.eng ~name:"lazy2-srv" (fun () ->
+      let l = Sockets.stream app_b in
+      let (_ : int) = ok "bind" (Sockets.bind l ~port:7 ()) in
+      ok "listen" (Sockets.listen l ());
+      srv := Some (ok "accept" (Sockets.accept l)));
+  let done_ = ref false in
+  let client = System.app p.sys_a ~name:"lazy2-cli" in
+  Psd_sim.Engine.spawn p.eng ~name:"lazy2-cli" (fun () ->
+      let s = Sockets.stream client in
+      ok "connect" (Sockets.connect s dst_b 7);
+      Psd_sim.Engine.sleep p.eng (Psd_sim.Time.ms 10);
+      "fresh not readable" => not (Sockets.readable s);
+      List.iter
+        (fun msg ->
+          (match !srv with
+          | Some c -> ignore (ok "srv send" (Sockets.send c msg) : int)
+          | None -> Alcotest.fail "no server socket");
+          let rec read_all acc =
+            if String.length acc >= String.length msg then acc
+            else
+              match Sockets.recv s ~max:4096 with
+              | Ok "" -> acc
+              | Ok d -> read_all (acc ^ d)
+              | Error e -> Alcotest.failf "recv: %s" e
+          in
+          Alcotest.(check string) "echo" msg (read_all "");
+          "drained not readable" => not (Sockets.readable s))
+        [ "alpha"; "beta-longer"; "gamma" ];
+      (match !srv with Some c -> Sockets.close c | None -> ());
+      (match Sockets.recv s ~max:4096 with
+      | Ok "" -> ()
+      | Ok d -> Alcotest.failf "expected EOF, got %S" d
+      | Error e -> Alcotest.failf "expected EOF, got error %s" e);
+      Sockets.close s;
+      done_ := true);
+  Psd_sim.Engine.run_for p.eng (Psd_sim.Time.sec 10);
+  "finished" => !done_
+
+(* [Sockets.on_hangup]: the hook fires once when the peer's FIN
+   arrives, and immediately when registered on a connection that
+   already hung up. *)
+let test_on_hangup_hook () =
+  let p = make_pair ~config:Cfg.mach25_kernel () in
+  let app_b = System.app p.sys_b ~name:"hup-srv" in
+  let fired = ref 0 in
+  Psd_sim.Engine.spawn p.eng ~name:"hup-srv" (fun () ->
+      let l = Sockets.stream app_b in
+      let (_ : int) = ok "bind" (Sockets.bind l ~port:7 ()) in
+      ok "listen" (Sockets.listen l ());
+      (* connection 1: hook registered while the peer is still open *)
+      let c1 = ok "accept" (Sockets.accept l) in
+      Sockets.on_hangup c1 (fun () ->
+          incr fired;
+          Sockets.close c1);
+      (* connection 2: hook registered long after the FIN arrived *)
+      let c2 = ok "accept" (Sockets.accept l) in
+      Psd_sim.Engine.sleep p.eng (Psd_sim.Time.ms 200);
+      Sockets.on_hangup c2 (fun () ->
+          incr fired;
+          Sockets.close c2));
+  let client = System.app p.sys_a ~name:"hup-cli" in
+  Psd_sim.Engine.spawn p.eng ~name:"hup-cli" (fun () ->
+      let s1 = Sockets.stream client in
+      ok "connect1" (Sockets.connect s1 dst_b 7);
+      let s2 = Sockets.stream client in
+      ok "connect2" (Sockets.connect s2 dst_b 7);
+      Sockets.close s2;
+      Psd_sim.Engine.sleep p.eng (Psd_sim.Time.ms 500);
+      Sockets.close s1);
+  Psd_sim.Engine.run_for p.eng (Psd_sim.Time.sec 5);
+  Alcotest.(check int) "both hooks fired exactly once" 2 !fired
+
 let () =
   Alcotest.run "psd_core"
     [
@@ -689,6 +826,14 @@ let () =
       ( "portalloc",
         [ Alcotest.test_case "invariants" `Quick test_portalloc_invariants ]
       );
+      ( "lazy-state",
+        [
+          Alcotest.test_case "newapi loans, fresh vs drained" `Quick
+            test_lazy_rcv_fresh_vs_drained;
+          Alcotest.test_case "classic recv, fresh vs drained" `Quick
+            test_lazy_rcv_classic_recv;
+          Alcotest.test_case "on_hangup hook" `Quick test_on_hangup_hook;
+        ] );
       ( "bsd-conformity",
         [
           Alcotest.test_case "half close" `Quick test_half_close;

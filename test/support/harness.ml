@@ -21,8 +21,8 @@ type net = {
   mutable delay_ns : int;
 }
 
-let make_host ?keep_idle_ns ?keep_interval_ns ?keep_max_probes eng name
-    addr_s =
+let make_host ?keep_idle_ns ?keep_interval_ns ?keep_max_probes ?pcb_pool eng
+    name addr_s =
   ignore name;
   let cpu = Psd_sim.Cpu.create eng in
   let plat = Psd_cost.Platform.decstation in
@@ -43,20 +43,21 @@ let make_host ?keep_idle_ns ?keep_interval_ns ?keep_max_probes eng name
     Psd_tcp.Tcp.create ~ctx ~ip ~msl_ns:(Psd_sim.Time.ms 50)
       ~rto_min_ns:(Psd_sim.Time.ms 20) ~rto_init_ns:(Psd_sim.Time.ms 40)
       ~delack_ns:(Psd_sim.Time.ms 5) ?keep_idle_ns ?keep_interval_ns
-      ?keep_max_probes ()
+      ?keep_max_probes ?pcb_pool ()
   in
   let udp = Psd_udp.Udp.create ~ctx ~ip () in
   { ctx; ip; tcp; udp; addr }
 
-let create ?(seed = 1) ?keep_idle_ns ?keep_interval_ns ?keep_max_probes () =
+let create ?(seed = 1) ?keep_idle_ns ?keep_interval_ns ?keep_max_probes
+    ?pcb_pool () =
   let eng = Psd_sim.Engine.create ~seed () in
   let a =
-    make_host ?keep_idle_ns ?keep_interval_ns ?keep_max_probes eng "a"
-      "10.0.0.1"
+    make_host ?keep_idle_ns ?keep_interval_ns ?keep_max_probes ?pcb_pool eng
+      "a" "10.0.0.1"
   in
   let b =
-    make_host ?keep_idle_ns ?keep_interval_ns ?keep_max_probes eng "b"
-      "10.0.0.2"
+    make_host ?keep_idle_ns ?keep_interval_ns ?keep_max_probes ?pcb_pool eng
+      "b" "10.0.0.2"
   in
   let net = { eng; a; b; tap = (fun _ -> false); delay_ns = 50_000 } in
   let connect src dst =
@@ -118,12 +119,12 @@ let make_sink () =
 let sink_handlers sink =
   {
     Psd_tcp.Tcp.deliver =
-      (fun m -> Buffer.add_string sink.buf (Psd_mbuf.Mbuf.to_string m));
-    deliver_fin = (fun () -> sink.eof <- true);
-    on_established = (fun () -> sink.established <- true);
-    on_acked = (fun n -> sink.acked <- sink.acked + n);
-    on_error = (fun e -> sink.errors <- e :: sink.errors);
-    on_state = (fun s -> sink.states <- s :: sink.states);
+      (fun _ m -> Buffer.add_string sink.buf (Psd_mbuf.Mbuf.to_string m));
+    deliver_fin = (fun _ -> sink.eof <- true);
+    on_established = (fun _ -> sink.established <- true);
+    on_acked = (fun _ n -> sink.acked <- sink.acked + n);
+    on_error = (fun _ e -> sink.errors <- e :: sink.errors);
+    on_state = (fun _ s -> sink.states <- s :: sink.states);
   }
 
 let contents sink = Buffer.contents sink.buf

@@ -142,7 +142,7 @@ let autoserver net ?(rcv_assign = fun _ -> ()) port =
               {
                 h with
                 Tcp.deliver =
-                  (fun m ->
+                  (fun _ m ->
                     let n = Mbuf.length m in
                     Buffer.add_string sink.buf (Mbuf.to_string m);
                     (* upcalls run under the stack lock: consume later *)
@@ -255,11 +255,11 @@ let oneway_transfer ?(nodelay = true) ?seed ?chunks payload =
         {
           h with
           Tcp.on_established =
-            (fun () ->
+            (fun _ ->
               client_sink.established <- true;
               Psd_sim.Cond.broadcast cond);
           on_acked =
-            (fun n ->
+            (fun _ n ->
               client_sink.acked <- client_sink.acked + n;
               Psd_sim.Cond.broadcast cond);
         };
@@ -331,7 +331,7 @@ let test_echo_bidirectional () =
               {
                 h with
                 Tcp.deliver =
-                  (fun m ->
+                  (fun _ m ->
                     Buffer.add_string server_sink.buf (Mbuf.to_string m);
                     Psd_sim.Engine.spawn net.eng (fun () ->
                         Tcp.send pcb
@@ -410,7 +410,7 @@ let test_flow_control_zero_window () =
               {
                 Tcp.null_handlers with
                 Tcp.deliver =
-                  (fun m -> Buffer.add_string received (Mbuf.to_string m));
+                  (fun _ m -> Buffer.add_string received (Mbuf.to_string m));
               }
           | None -> ()));
   let payload = String.make 100_000 'q' in
@@ -535,7 +535,7 @@ let test_retransmitted_fin_single_eof () =
       let h = sink_handlers client_sink in
       let pcb =
         Tcp.connect net.a.tcp
-          ~handlers:{ h with Tcp.deliver_fin = (fun () -> incr eofs) }
+          ~handlers:{ h with Tcp.deliver_fin = (fun _ -> incr eofs) }
           ~src_port:5000 ~dst:net.b.addr ~dst_port:80 ()
       in
       Psd_sim.Engine.sleep net.eng (Psd_sim.Time.ms 20);
@@ -594,14 +594,14 @@ let prop_close_sequence =
         {
           Tcp.null_handlers with
           Tcp.deliver =
-            (fun m ->
+            (fun _ m ->
               let n = Mbuf.length m in
               Buffer.add_string got (Mbuf.to_string m);
               Psd_sim.Engine.spawn eng (fun () ->
                   match !pcbref with
                   | Some p -> Tcp.user_consumed p n
                   | None -> ()));
-          deliver_fin = (fun () -> incr eofs);
+          deliver_fin = (fun _ -> incr eofs);
         }
       in
       let b_pcb = ref None in
@@ -628,7 +628,7 @@ let prop_close_sequence =
                 {
                   h with
                   Tcp.on_established =
-                    (fun () ->
+                    (fun _ ->
                       established := true;
                       Psd_sim.Cond.broadcast cond);
                 }
@@ -645,6 +645,92 @@ let prop_close_sequence =
       && String.equal (Buffer.contents a_got) "server-goodbye"
       && Tcp.active_pcbs a.tcp = 0
       && Tcp.active_pcbs b.tcp = 0)
+
+(* PCB pooling must be observationally invisible: the same randomized
+   sequence of connect / exchange / close rounds over a lossy wire,
+   run once with the free list enabled and once with it disabled, must
+   produce identical byte streams, EOF counts, TCP counters, and
+   virtual end times. Reuse makes this nontrivial — a recycled PCB
+   must carry nothing from its previous life (timers, sequence state,
+   flags), and the generation counter must keep any timer fire armed
+   in that previous life dead. Sequential rounds force reuse: each
+   round's PCBs drain through TIME_WAIT onto the free list before the
+   next round connects. *)
+let prop_pool_differential =
+  QCheck.Test.make
+    ~name:"tcp: pooled and unpooled runs produce identical transcripts"
+    ~count:15
+    QCheck.(triple small_int (int_range 0 10) (int_range 2 5))
+    (fun (seed, drop_pct, rounds) ->
+      let run_once pcb_pool =
+        let net = create ~seed:(seed + 1300) ~pcb_pool () in
+        let rng =
+          Psd_util.Rng.create ~seed:((seed * 53) + (drop_pct * 7) + rounds)
+        in
+        net.tap <- (fun _ -> Psd_util.Rng.int rng 100 < drop_pct);
+        let transcript = Buffer.create 256 in
+        let server_sink, _ = autoserver net 80 in
+        for r = 0 to rounds - 1 do
+          let sink = make_sink () in
+          let closed = ref false in
+          Psd_sim.Engine.spawn net.eng (fun () ->
+              let pcb =
+                Tcp.connect net.a.tcp
+                  ~handlers:(sink_handlers sink)
+                  ~src_port:(5000 + r) ~dst:net.b.addr ~dst_port:80 ()
+              in
+              Psd_sim.Engine.sleep net.eng (Psd_sim.Time.ms 30);
+              if Tcp.can_send pcb then
+                Tcp.send pcb (Mbuf.of_string (Printf.sprintf "round-%d" r));
+              Psd_sim.Engine.sleep net.eng (Psd_sim.Time.ms 30);
+              Tcp.shutdown_send pcb;
+              closed := true);
+          (* bounded drain: on a clean wire both tables empty out
+             through TIME_WAIT well inside this window; under drops a
+             straggler is fine — both runs see the identical one *)
+          let deadline = Psd_sim.Engine.now net.eng + Psd_sim.Time.sec 5 in
+          while
+            Psd_sim.Engine.now net.eng < deadline
+            && not
+                 (!closed
+                 && Tcp.active_pcbs net.a.tcp = 0
+                 && Tcp.active_pcbs net.b.tcp = 0)
+          do
+            run_for net (Psd_sim.Time.ms 50)
+          done;
+          Buffer.add_string transcript
+            (Printf.sprintf "r%d eof=%b err=%d got=%d@%d " r sink.eof
+               (List.length sink.errors)
+               (Buffer.length sink.buf)
+               (Psd_sim.Engine.now net.eng))
+        done;
+        let st t =
+          let s = Tcp.stats t in
+          ( s.Tcp.segs_out,
+            s.Tcp.bytes_out,
+            s.Tcp.segs_in,
+            s.Tcp.bytes_in,
+            s.Tcp.rexmt_segs,
+            s.Tcp.rst_out )
+        in
+        ( ( Buffer.contents transcript,
+            contents server_sink,
+            server_sink.eof,
+            st net.a.tcp,
+            st net.b.tcp,
+            Tcp.active_pcbs net.a.tcp,
+            Tcp.active_pcbs net.b.tcp,
+            Psd_sim.Engine.now net.eng ),
+          Tcp.pool_stats net.a.tcp )
+      in
+      let pooled, (_, p_hits, p_puts, p_free) = run_once 1024 in
+      let unpooled, (_, u_hits, u_puts, _) = run_once 0 in
+      pooled = unpooled
+      && p_free = p_puts - p_hits
+      && u_hits = 0 && u_puts = 0
+      (* reuse actually exercised: on a clean wire every round after
+         the first connects out of the free list *)
+      && (drop_pct > 0 || p_hits > 0))
 
 let test_abort_resets_peer () =
   let net = create () in
@@ -818,7 +904,7 @@ let test_persist_probes_zero_window () =
               {
                 Tcp.null_handlers with
                 Tcp.deliver =
-                  (fun m -> Buffer.add_string received (Mbuf.to_string m));
+                  (fun _ m -> Buffer.add_string received (Mbuf.to_string m));
               }
           | None -> ()));
   let payload = String.make 60_000 'w' in
@@ -998,7 +1084,7 @@ let prop_migration_at_random_time =
         {
           Tcp.null_handlers with
           Tcp.deliver =
-            (fun m ->
+            (fun _ m ->
               Buffer.add_string received (Mbuf.to_string m);
               let n = Mbuf.length m in
               Psd_sim.Engine.spawn eng (fun () -> Tcp.user_consumed pcb n));
@@ -1036,7 +1122,7 @@ let prop_migration_at_random_time =
                   {
                     Tcp.null_handlers with
                     Tcp.deliver =
-                      (fun m ->
+                      (fun _ m ->
                         Buffer.add_string received (Mbuf.to_string m);
                         let n = Mbuf.length m in
                         Psd_sim.Engine.spawn eng (fun () ->
@@ -1080,7 +1166,7 @@ let prop_bidirectional_with_loss =
                   {
                     h with
                     Tcp.deliver =
-                      (fun m ->
+                      (fun _ m ->
                         let n = Mbuf.length m in
                         Buffer.add_string server_sink.buf (Mbuf.to_string m);
                         Psd_sim.Engine.spawn net.eng (fun () ->
@@ -1097,7 +1183,7 @@ let prop_bidirectional_with_loss =
             {
               h with
               Tcp.deliver =
-                (fun m ->
+                (fun _ m ->
                   let n = Mbuf.length m in
                   Buffer.add_string client_sink.buf (Mbuf.to_string m);
                   Psd_sim.Engine.spawn net.eng (fun () ->
@@ -1214,6 +1300,7 @@ let () =
             test_retransmitted_fin_single_eof;
           Alcotest.test_case "abort" `Quick test_abort_resets_peer;
           QCheck_alcotest.to_alcotest prop_close_sequence;
+          QCheck_alcotest.to_alcotest prop_pool_differential;
         ] );
       ( "corners",
         [
