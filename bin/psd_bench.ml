@@ -278,7 +278,7 @@ let copies_cmd =
       (fun config ->
         let r = W.Copymeter.run ~count ~size config in
         Format.printf "%a@." W.Copymeter.pp r)
-      (Cfg.decstation_rows @ Cfg.newapi_rows);
+      (Cfg.decstation_rows @ Cfg.newapi_rows @ [ Cfg.offload ]);
     (* The NEWAPI-SHM-IPF row is the paper's end state — zero receive
        body copies (the application reads the packet where the filter
        deposited it) and the single transmit gather. Enforce it here so
@@ -295,7 +295,24 @@ let copies_cmd =
            "copies: NEWAPI-SHM-IPF performed %d tx body copies (want %d)"
            r.W.Copymeter.tx_body_copies r.W.Copymeter.sent);
     Format.printf
-      "NEWAPI-SHM-IPF verified: 0 rx body copies, 1 tx gather per packet@."
+      "NEWAPI-SHM-IPF verified: 0 rx body copies, 1 tx gather per packet@.";
+    (* Same discipline for the Offload placement: the NIC DMAs each
+       packet into the loaned buffer the application reads, so the host
+       receive datapath must touch payload bytes exactly zero times,
+       and transmit pays only the NIC's frame gather. *)
+    let r = W.Copymeter.run ~count ~size Cfg.offload in
+    if r.W.Copymeter.rx_body_copies <> 0 then
+      failwith
+        (Printf.sprintf
+           "copies: Offload performed %d host rx body copies (want 0)"
+           r.W.Copymeter.rx_body_copies);
+    if r.W.Copymeter.tx_body_copies <> r.W.Copymeter.sent then
+      failwith
+        (Printf.sprintf
+           "copies: Offload performed %d tx body copies (want %d)"
+           r.W.Copymeter.tx_body_copies r.W.Copymeter.sent);
+    Format.printf
+      "Offload verified: 0 host rx body copies, 1 NIC gather per packet@."
   in
   Cmd.v
     (Cmd.info "copies"
@@ -305,6 +322,185 @@ let copies_cmd =
              one rx delivery copy — and zero rx body copies under the \
              shared-buffer NEWAPI).")
     Term.(const run $ count_arg $ size_arg)
+
+let offload_cmd =
+  let mb_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "mb" ] ~docv:"MB"
+          ~doc:"Megabytes per ttcp transfer (bulk cell and table rows).")
+  in
+  let rounds_arg =
+    Arg.(
+      value & opt int 60
+      & info [ "rounds" ] ~docv:"N" ~doc:"Round trips per latency cell.")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt string "BENCH_offload.json"
+      & info [ "out" ] ~docv:"PATH" ~doc:"Where to write the JSON report.")
+  in
+  let run mb rounds out =
+    let open Psd_core in
+    let nic =
+      match Cfg.offload.Cfg.nic with
+      | Some n -> n
+      | None -> Psd_cost.Platform.nic_default
+    in
+    Format.printf "@.=== Smart-NIC offload (%s, %d PEs, %d-slot ring) ===@.@."
+      nic.Psd_cost.Platform.nic_name nic.Psd_cost.Platform.pes
+      nic.Psd_cost.Platform.ring_slots;
+    (* bulk-transfer cell: the N-PE pipeline against the same NIC with
+       one processing element — FlexTOE's claim in miniature. Virtual
+       time is deterministic, so the speedup is a recorded number, not
+       a wall-clock measurement. *)
+    let cell config =
+      let nic_counters = ref [] in
+      let probe ~sender ~receiver =
+        let grab who sys =
+          match System.nic_pipe sys with
+          | Some p -> [ (who, Psd_mach.Nicpipe.counters p) ]
+          | None -> []
+        in
+        nic_counters := grab "sender" sender @ grab "receiver" receiver
+      in
+      let r = W.Ttcp.run ~mb ~probe config in
+      (r, !nic_counters)
+    in
+    let piped, piped_nic = cell Cfg.offload in
+    let serial, _ = cell Cfg.offload_serial in
+    Format.printf "%a@.%a@." W.Ttcp.pp piped W.Ttcp.pp serial;
+    let speedup =
+      float_of_int serial.W.Ttcp.elapsed_ns
+      /. float_of_int piped.W.Ttcp.elapsed_ns
+    in
+    Format.printf "@.pipeline speedup (virtual time, %d PEs over 1): %.2fx@."
+      nic.Psd_cost.Platform.pes speedup;
+    List.iter
+      (fun (who, cs) ->
+        Format.printf "@.%s NIC pipeline:@.%a@." who
+          Psd_util.Stats.pp_counters cs)
+      piped_nic;
+    if piped.W.Ttcp.elapsed_ns >= serial.W.Ttcp.elapsed_ns then begin
+      Format.eprintf
+        "FATAL: pipeline (%d PEs) no faster than 1 PE on the bulk cell \
+         (%d ns vs %d ns)@."
+        nic.Psd_cost.Platform.pes piped.W.Ttcp.elapsed_ns
+        serial.W.Ttcp.elapsed_ns;
+      exit 1
+    end;
+    (* latency cells (the Table 4 corner points) *)
+    let lat =
+      List.map
+        (fun (name, proto, size) ->
+          let r = W.Protolat.run ~rounds ~proto ~size Cfg.offload in
+          Format.printf "%-14s %8.3f ms rtt@." name r.W.Protolat.rtt_ms;
+          (name, r.W.Protolat.rtt_ms))
+        [
+          ("tcp_1", W.Protolat.Tcp, 1);
+          ("tcp_1460", W.Protolat.Tcp, 1460);
+          ("udp_1", W.Protolat.Udp, 1);
+          ("udp_1472", W.Protolat.Udp, 1472);
+        ]
+    in
+    (* tables with the Offload column, and the regression gate: the
+       classic rows of the extended run must be bit-identical to the
+       seed tables (the offload row is opt-in; nothing about it may
+       perturb an existing configuration's virtual time). *)
+    let prefix n l = List.filteri (fun i _ -> i < n) l in
+    let rows2 = W.Tables.table2 ~mb ~rounds ~with_offload:true () in
+    let rows2_plain = W.Tables.table2 ~mb ~rounds () in
+    let rows3 = W.Tables.table3 ~mb ~rounds ~with_offload:true () in
+    let rows3_plain = W.Tables.table3 ~mb ~rounds () in
+    let t2_ok = prefix (List.length rows2_plain) rows2 = rows2_plain in
+    let t3_ok = prefix (List.length rows3_plain) rows3 = rows3_plain in
+    W.Tables.print_rows ~header:"Table 2 + Offload — DECstation 5000/200"
+      rows2;
+    W.Tables.print_rows ~header:"Table 3 + Offload — NEWAPI" rows3;
+    let t4 = W.Tables.table4 ~rounds ~with_offload:true () in
+    let t4_plain = W.Tables.table4 ~rounds () in
+    (* per (proto, size) case: every classic row of the extended table,
+       restricted to its classic columns, must equal the seed row *)
+    let classic_cols (r : W.Tables.breakdown_row) =
+      {
+        r with
+        W.Tables.us =
+          List.filter (fun (impl, _, _) -> impl <> "Offload") r.W.Tables.us;
+      }
+    in
+    let t4_ok =
+      List.for_all2
+        (fun case case_plain ->
+          let classic =
+            List.filter
+              (fun (r : W.Tables.breakdown_row) ->
+                r.W.Tables.phase
+                <> Psd_cost.Phase.label Psd_cost.Phase.Desc_crossing)
+              case
+          in
+          List.length classic = List.length case_plain
+          && List.for_all2
+               (fun r r_plain -> classic_cols r = r_plain)
+               classic case_plain)
+        t4 t4_plain
+    in
+    if not (t2_ok && t3_ok && t4_ok) then begin
+      Format.eprintf
+        "FATAL: classic rows changed under the offload run (table2 %b, \
+         table3 %b, table4 %b)@."
+        t2_ok t3_ok t4_ok;
+      exit 1
+    end;
+    Format.printf
+      "@.classic rows verified bit-identical with the Offload column added@.";
+    let oc = open_out out in
+    let p fmt = Printf.fprintf oc fmt in
+    p "{\n";
+    p "  \"benchmark\": \"offload\",\n";
+    p "  \"nic\": {\"name\": \"%s\", \"pes\": %d, \"ring_slots\": %d},\n"
+      nic.Psd_cost.Platform.nic_name nic.Psd_cost.Platform.pes
+      nic.Psd_cost.Platform.ring_slots;
+    p "  \"bulk\": {\n";
+    p "    \"mb\": %d,\n" mb;
+    p "    \"piped_kb_per_sec\": %.0f,\n" piped.W.Ttcp.kb_per_sec;
+    p "    \"serial_kb_per_sec\": %.0f,\n" serial.W.Ttcp.kb_per_sec;
+    p "    \"piped_elapsed_ns\": %d,\n" piped.W.Ttcp.elapsed_ns;
+    p "    \"serial_elapsed_ns\": %d,\n" serial.W.Ttcp.elapsed_ns;
+    p "    \"speedup\": %.2f\n" speedup;
+    p "  },\n";
+    p "  \"latency_ms\": {";
+    List.iteri
+      (fun i (name, ms) ->
+        p "%s\"%s\": %.3f" (if i = 0 then "" else ", ") name ms)
+      lat;
+    p "},\n";
+    p "  \"pipeline\": {\n";
+    let nsides = List.length piped_nic in
+    List.iteri
+      (fun i (who, cs) ->
+        p "    \"%s\": {" who;
+        List.iteri
+          (fun j (k, v) ->
+            p "%s\"%s\": %d" (if j = 0 then "" else ", ") k v)
+          cs;
+        p "}%s\n" (if i = nsides - 1 then "" else ","))
+      piped_nic;
+    p "  },\n";
+    p "  \"classic_rows_identical\": true\n";
+    p "}\n";
+    close_out oc;
+    Format.printf "@.wrote %s@." out
+  in
+  Cmd.v
+    (Cmd.info "offload"
+       ~doc:"The Smart-NIC Offload placement: bulk-transfer cell with \
+             N-PE pipeline versus 1-PE serialisation (exits nonzero \
+             unless the pipeline is faster in virtual time), latency \
+             cells, Tables 2/3/4 with the Offload column (exits \
+             nonzero if any classic row changes), NIC pipeline \
+             occupancy/stall counters, all into BENCH_offload.json.")
+    Term.(const run $ mb_arg $ rounds_arg $ out_arg)
 
 let predict_cmd =
   let mb_arg =
@@ -675,6 +871,7 @@ let main =
       series_cmd;
       trace_cmd;
       copies_cmd;
+      offload_cmd;
       predict_cmd;
       scale_cmd;
       par_cmd;

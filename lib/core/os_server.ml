@@ -806,7 +806,7 @@ let create ~host ~netdev ~config ~addr ~routes ?rcv_buf ?delack_ns () =
         ~sink:(Netstack.sink stack) ()
     in
     ()
-  | Config.In_kernel -> ());
+  | Config.In_kernel | Config.Offload -> ());
   (* ICMP port-unreachables for sessions that migrated to applications
      are forwarded as soft errors (one kernel message each) *)
   (match Netstack.icmp stack with

@@ -142,11 +142,28 @@ let eng a = Psd_mach.Host.eng a.host
 
 let in_kernel a = a.config.Config.placement = Config.In_kernel
 
+let offloaded a = a.config.Config.placement = Config.Offload
+
+(* Sessions live in a stack on this host with no OS server in the loop:
+   the kernel stack (In_kernel) or the on-NIC stack (Offload).  Both
+   dispatch through the kernel_stack/kernel_ports plumbing; they differ
+   only in what the call boundary costs (a trap vs a descriptor-ring
+   crossing) and in copy physics. *)
+let local_stack a = in_kernel a || offloaded a
+
+(* The NIC pipeline behind an offloaded app's stack, for the
+   doorbell/completion counters. *)
+let nic_pipe a =
+  match a.kernel_stack with
+  | Some stack -> Psd_mach.Netdev.offload_pipe (Netstack.netdev stack)
+  | None -> None
+
 let location s =
   match s.loc with
   | Fresh -> Loc_none
   | Remote -> Loc_server
-  | Llisten _ | Ltcp _ | Ludp _ -> if in_kernel s.a then Loc_kernel else Loc_library
+  | Llisten _ | Ltcp _ | Ludp _ ->
+    if local_stack s.a then Loc_kernel else Loc_library
 
 let sb_readable = function
   | Some b -> Psd_socket.Sockbuf.readable b
@@ -290,7 +307,34 @@ let chunks len = max 1 ((len + Psd_mbuf.Mbuf.cluster_size - 1) / Psd_mbuf.Mbuf.c
    When the data is not copied (library UDP: "the user data can be
    referenced instead of copied", Table 4) no mbuf storage is allocated
    either. *)
+(* Offload boundary: the host's only datapath work is the descriptor
+   ring.  A send rings the doorbell; a receive reaps a completion; each
+   descriptor pays the bounded host<->NIC queue crossing, attributed to
+   its own phase so the breakdown table shows where the boundary cost
+   lands.  Everything the stack itself charges is zero under the
+   zero-cost platform, so these are the whole host-side cost. *)
+let charge_doorbell a =
+  match a.config.Config.nic with
+  | Some n ->
+    Ctx.charge a.call_ctx Phase.Entry_copyin n.Platform.doorbell;
+    Ctx.charge a.call_ctx Phase.Desc_crossing n.Platform.crossing;
+    (match nic_pipe a with
+    | Some p -> Psd_mach.Nicpipe.doorbell p
+    | None -> ())
+  | None -> ()
+
+let charge_completion a =
+  match a.config.Config.nic with
+  | Some n ->
+    Ctx.charge a.call_ctx Phase.Copyout_exit n.Platform.completion;
+    Ctx.charge a.call_ctx Phase.Desc_crossing n.Platform.crossing;
+    (match nic_pipe a with
+    | Some p -> Psd_mach.Nicpipe.completion p
+    | None -> ())
+  | None -> ()
+
 let charge_entry a (stack : Netstack.t) ~len ~copies =
+  if offloaded a then charge_doorbell a;
   let ctx = Netstack.ctx stack in
   let plat = ctx.Ctx.plat in
   let via_trap = in_kernel a in
@@ -307,6 +351,7 @@ let charge_entry a (stack : Netstack.t) ~len ~copies =
     + if copies then len * copy_per_byte else 0)
 
 let charge_exit a (stack : Netstack.t) ~len ~copies =
+  if offloaded a then charge_completion a;
   let ctx = Netstack.ctx stack in
   let plat = ctx.Ctx.plat in
   let via_trap = in_kernel a in
@@ -361,7 +406,7 @@ let fresh_local_sid a =
    cause (unknown application, resource exhaustion, ...) and it must
    reach the caller instead of collapsing into a generic exception. *)
 let create_socket a knd =
-  if in_kernel a then Ok (make_socket a knd (fresh_local_sid a))
+  if local_stack a then Ok (make_socket a knd (fresh_local_sid a))
   else begin
     let app_id = Option.get a.server_app_id in
     match
@@ -539,8 +584,18 @@ let kernel_ports a = function
 let kstack a = Option.get a.kernel_stack
 
 let charge_trap a =
-  let plat = Psd_mach.Host.plat a.host in
-  Ctx.charge a.call_ctx Phase.Control plat.Platform.trap
+  if offloaded a then begin
+    (* control ops cross the descriptor ring too: post + reap *)
+    match a.config.Config.nic with
+    | Some n ->
+      Ctx.charge a.call_ctx Phase.Control
+        (n.Platform.doorbell + n.Platform.completion);
+      Ctx.charge a.call_ctx Phase.Desc_crossing (2 * n.Platform.crossing)
+    | None -> ()
+  end
+  else
+    let plat = Psd_mach.Host.plat a.host in
+    Ctx.charge a.call_ctx Phase.Control plat.Platform.trap
 
 let bind_local_udp s stack port =
   match
@@ -555,7 +610,7 @@ let bind_local_udp s stack port =
 
 let bind s ?port () =
   if closed s then Error "bad descriptor"
-  else if in_kernel s.a then begin
+  else if local_stack s.a then begin
     charge_trap s.a;
     let ports = kernel_ports s.a s.knd in
     let result =
@@ -597,7 +652,7 @@ let wait_connected s =
 
 let connect s ip port =
   if closed s then Error "bad descriptor"
-  else if in_kernel s.a then begin
+  else if local_stack s.a then begin
     charge_trap s.a;
     match s.knd with
     | S.Dgram -> (
@@ -680,7 +735,7 @@ let connect s ip port =
 
 let listen s ?(backlog = 5) () =
   if s.knd <> S.Stream then Error "listen on datagram socket"
-  else if in_kernel s.a then begin
+  else if local_stack s.a then begin
     charge_trap s.a;
     if s.local_port < 0 then Error "listen before bind"
     else begin
@@ -706,7 +761,7 @@ let listen s ?(backlog = 5) () =
     | _ -> Error "protocol error"
 
 let accept s =
-  if in_kernel s.a then begin
+  if local_stack s.a then begin
     charge_trap s.a;
     match s.loc with
     | Llisten (listener, _) when nonblocking s
@@ -1008,6 +1063,11 @@ let recv_loan s ~max =
       | Ok m ->
         let len = Psd_mbuf.Mbuf.length m in
         charge_exit s.a stack ~len ~copies:true;
+        (* offload: the bytes became application-visible by NIC DMA into
+           loaned memory — the library placements count this deposit at
+           their delivery channel (Pktchan); here the ring is the channel *)
+        if offloaded s.a then
+          Psd_util.Copies.count Psd_util.Copies.Rx_loan len;
         notify_status s;
         Ok { lview = m; llen = len; lsrc = None; lreturned = false }
       | Error `Eof ->
@@ -1038,6 +1098,8 @@ let recv_loan s ~max =
       in
       let len = Psd_mbuf.Mbuf.length m in
       charge_exit s.a stack ~len ~copies:true;
+      if offloaded s.a then
+        Psd_util.Copies.count Psd_util.Copies.Rx_loan len;
       notify_status s;
       Ok
         {
@@ -1162,7 +1224,7 @@ let select ?timeout_ns socks =
     let locally_ready () =
       match List.filter readable socks with [] -> None | rs -> Some rs
     in
-    if in_kernel a then begin
+    if local_stack a then begin
       charge_trap a;
       match timeout_ns with
       | None -> Psd_sim.Cond.until a.local_cond locally_ready
@@ -1218,7 +1280,7 @@ let close s =
       a.n_socks <- List.length a.sockets;
       a.dead_socks <- 0
     end;
-    if in_kernel s.a then begin
+    if local_stack s.a then begin
       charge_trap s.a;
       (match s.loc with
       | Ltcp (pcb, _) -> Psd_tcp.Tcp.shutdown_send pcb
@@ -1263,7 +1325,7 @@ let fork a ~name =
   in
   (* Per the paper: sessions must be returned to the operating system
      before fork so parent and child share them there. *)
-  if not (in_kernel a) then
+  if not (local_stack a) then
     List.iter
       (fun s ->
         if closed s then ()
@@ -1302,7 +1364,7 @@ let fork a ~name =
         dup.rem_ip <- s.rem_ip;
         dup.rem_port <- s.rem_port;
         set_sflag dup f_conn_ok (conn_ok s);
-        if (not (in_kernel a)) && s.sid >= 0 then
+        if (not (local_stack a)) && s.sid >= 0 then
           match rpc s (S.R_dup { sid = s.sid }) with _ -> ()
       end)
     (List.rev a.sockets);
@@ -1356,7 +1418,7 @@ let set_nonblocking s v = set_sflag s f_nonblocking v
 let shutdown s =
   match s.loc with
   | Ltcp (pcb, _) ->
-    if in_kernel s.a then charge_trap s.a;
+    if local_stack s.a then charge_trap s.a;
     Psd_tcp.Tcp.shutdown_send pcb;
     Ok ()
   | Remote -> (

@@ -108,6 +108,35 @@ let create ~eng ~segment ?(shard = 0) ~config ?plat ?rcv_buf ?delack_ns ?fault
       kernel_tcp_ports = Some (Portalloc.create ());
       kernel_udp_ports = Some (Portalloc.create ());
     }
+  | Config.Offload ->
+    (* The seventh placement: the protocol stack's logic runs under a
+       zero-cost platform (it executes but charges the host nothing);
+       all datapath time comes from the NIC pipeline model installed on
+       the netdev, plus explicit doorbell/completion/crossing charges at
+       the socket boundary.  No packet filters: the device hands every
+       frame straight to the on-NIC stack at pipeline completion. *)
+    let nic_prof =
+      Option.value config.Config.nic ~default:Platform.nic_default
+    in
+    let pipe = Psd_mach.Nicpipe.create eng nic_prof in
+    let nic_ctx =
+      Ctx.create ~eng ~cpu:(Psd_mach.Host.cpu host)
+        ~plat:(Platform.zero_cost plat) ~role:Ctx.Kernel_stack
+    in
+    let arp_cache = Psd_arp.Cache.create eng () in
+    let stack =
+      Netstack.create ~ctx:nic_ctx ~netdev ~addr ~routes
+        ~arp:Netstack.Arp_authoritative ~arp_cache
+        ~input:Netstack.Netisr_queue ?rcv_buf ?delack_ns ()
+    in
+    Psd_mach.Netdev.install_offload netdev pipe ~sink:(Netstack.sink stack);
+    {
+      t with
+      kernel_stack = Some stack;
+      kernel_tcp_ports = Some (Portalloc.create ());
+      kernel_udp_ports = Some (Portalloc.create ());
+      ctxs = nic_ctx :: t.ctxs;
+    }
   | Config.Server | Config.Library ->
     let server = Os_server.create ~host ~netdev ~config ~addr ~routes ?rcv_buf ?delack_ns () in
     {
@@ -144,7 +173,7 @@ let rec app t ~name =
   let plat = Psd_mach.Host.plat t.host in
   let a =
     match t.config.Config.placement with
-    | Config.In_kernel ->
+    | Config.In_kernel | Config.Offload ->
       let call_ctx =
         Ctx.create ~eng ~cpu:(Psd_mach.Host.cpu t.host) ~plat
           ~role:Ctx.Library_stack
@@ -234,6 +263,8 @@ let addr t = t.addr
 let netdev t = t.netdev
 let server t = t.server
 let kernel_stack t = t.kernel_stack
+
+let nic_pipe t = Psd_mach.Netdev.offload_pipe t.netdev
 
 let fault_stats t = Option.map Psd_link.Fault.stats t.fault
 

@@ -54,6 +54,10 @@ val netdev : t -> Psd_mach.Netdev.t
 val server : t -> Os_server.t option
 val kernel_stack : t -> Netstack.t option
 
+val nic_pipe : t -> Psd_mach.Nicpipe.t option
+(** The NIC pipeline model, present exactly under the Offload placement
+    (pipeline occupancy/stall counters for the offload benchmark). *)
+
 val stacks_tcp_stats : t -> Psd_tcp.Tcp.stats list
 (** TCP statistics of every stack on the host (kernel or server plus any
     application libraries), for experiment reporting. *)

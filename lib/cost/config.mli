@@ -8,7 +8,13 @@
     NEWAPI of Section 4.2), and which historical OS profile supplies the
     cost multipliers. *)
 
-type placement = In_kernel | Server | Library
+type placement =
+  | In_kernel
+  | Server
+  | Library
+  | Offload
+      (** the TCP fast path runs on a smart-NIC model; the host sees only
+          a descriptor ring (doorbell + completion, loaned rx buffers) *)
 
 type delivery =
   | Pf_ipc  (** one Mach IPC message per incoming packet *)
@@ -33,9 +39,13 @@ type t = {
   large_tcp_bug : bool;
       (** 386BSD and BNR2SS could not send large TCP packets; benchmarks
           report NA for the affected cells (paper Table 2). *)
+  nic : Platform.nic option;
+      (** the NIC compute profile; [Some _] exactly for [Offload] rows *)
 }
 
 val pp : Format.formatter -> t -> unit
+
+val pp_placement : Format.formatter -> placement -> unit
 
 (* Named configurations used by the experiments. *)
 
@@ -50,6 +60,14 @@ val library_shm_ipf : t
 val library_newapi_ipc : t
 val library_newapi_shm : t
 val library_newapi_shm_ipf : t
+
+val offload : t
+(** Smart-NIC offload with [Platform.nic_default] (four processing
+    elements, fine-grained pipeline parallelism). *)
+
+val offload_serial : t
+(** Same NIC restricted to one processing element — the per-connection
+    serialisation baseline the pipeline speedup is measured against. *)
 
 val decstation_rows : t list
 (** The DECstation rows of Table 2, in paper order. *)

@@ -13,6 +13,7 @@ type t =
   | Copyout_exit
   | Wire
   | Control
+  | Desc_crossing
 
 let all =
   [
@@ -30,6 +31,7 @@ let all =
     Copyout_exit;
     Wire;
     Control;
+    Desc_crossing;
   ]
 
 let label = function
@@ -47,6 +49,7 @@ let label = function
   | Copyout_exit -> "copyout/exit"
   | Wire -> "network transit"
   | Control -> "control/session ops"
+  | Desc_crossing -> "descriptor crossing"
 
 let send_path = [ Entry_copyin; Proto_output; Ip_output; Ether_output ]
 

@@ -18,9 +18,12 @@ type t =
   | Copyout_exit  (** copy to the caller's buffer and leave the stack *)
   | Wire  (** network transit *)
   | Control  (** session setup / teardown / migration — not in Table 4 *)
+  | Desc_crossing
+      (** host<->NIC descriptor-queue crossing under the Offload
+          placement — not in the paper's Table 4 *)
 
 val all : t list
-(** In Table 4 row order, [Control] last. *)
+(** In Table 4 row order, [Control] and [Desc_crossing] last. *)
 
 val label : t -> string
 

@@ -68,6 +68,39 @@ val gateway486 : t
 (** Gateway: 33 MHz i486, 3Com 3C503 on ISA — programmed I/O eight bits at
     a time, which makes device copies the throughput bottleneck. *)
 
+type nic = {
+  nic_name : string;
+  pes : int;
+      (** identical processing elements available to the protocol stage *)
+  pre_fixed : int;  (** pre-order stage: parse headers, demux to flow *)
+  pre_per_byte : int;
+  proto_fixed : int;  (** protocol stage: TCP state machine, checksum *)
+  proto_per_byte : int;
+  post_fixed : int;  (** post-order stage: reorder point, completions *)
+  post_per_byte : int;
+  dma_per_byte : int;  (** NIC<->host memory DMA, charged in post-order *)
+  doorbell : int;  (** host CPU cost to ring a doorbell *)
+  completion : int;  (** host CPU cost to reap one completion entry *)
+  crossing : int;  (** per-descriptor host<->NIC queue crossing *)
+  ring_slots : int;  (** bounded descriptor ring depth *)
+}
+(** A smart NIC running the TCP fast path as a FlexTOE-style per-segment
+    stage pipeline: serialised pre-order, [pes]-wide protocol stage,
+    serialised post-order (see DESIGN.md section 16). *)
+
+val nic_default : nic
+(** Four processing elements; calibrated so a single PE is compute-bound
+    on bulk transfer while four are wire-limited. *)
+
+val nic_serial : nic
+(** [nic_default] restricted to one processing element — the
+    per-connection-serialisation baseline the pipeline must beat. *)
+
+val zero_cost : t -> t
+(** Zero every host-CPU cost, keep the wire parameters.  The platform the
+    offloaded protocol stack runs under: its logic executes but charges
+    nothing; the NIC pipeline model supplies the time instead. *)
+
 val frame_time : t -> int -> int
 (** [frame_time p len] is the wire occupancy in ns of a [len]-byte frame,
     including preamble and inter-frame gap. *)

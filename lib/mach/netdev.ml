@@ -21,6 +21,9 @@ type t = {
   mutable rx_frames : int;
   mutable rx_unmatched : int;
   mutable tx_blocked : int;
+  (* smart-NIC offload: when set, frames bypass the interrupt/filter
+     machinery entirely and flow through the NIC pipeline model *)
+  mutable offload : (Nicpipe.t * (Bytes.t -> unit)) option;
 }
 
 let create ?(shard = 0) host segment ~mac =
@@ -36,9 +39,19 @@ let create ?(shard = 0) host segment ~mac =
       rx_frames = 0;
       rx_unmatched = 0;
       tx_blocked = 0;
+      offload = None;
     }
   in
   Psd_link.Segment.set_rx nic (fun frame ->
+      match t.offload with
+      | Some (pipe, sink) ->
+        (* no interrupt fiber, no filter run: the NIC pipeline carries
+           the frame and the stack sees it at pipeline completion; the
+           body reaches the host only by DMA into a loaned buffer *)
+        t.rx_frames <- t.rx_frames + 1;
+        Nicpipe.admit_deliver pipe ~dir:Nicpipe.Rx ~len:(Bytes.length frame)
+          (fun () -> sink frame)
+      | None ->
       Psd_sim.Engine.spawn (Host.eng host) ~name:"netintr" (fun () ->
           let plat = Host.plat host in
           let kctx = Host.kernel_ctx host in
@@ -154,17 +167,26 @@ let egress_allows t frame =
     ok
 
 let transmit t ~ctx ~from_user frame =
-  let plat = Host.plat t.host in
-  let len = Bytes.length frame in
-  let cost =
-    (if from_user then
-       plat.Platform.trap + (len * plat.Platform.copy_user_kernel_per_byte)
-     else 0)
-    + (len * plat.Platform.device_write_per_byte)
-  in
-  Ctx.charge ctx Phase.Ether_output cost;
-  if egress_allows t frame then Psd_link.Segment.transmit t.nic frame
-  else t.tx_blocked <- t.tx_blocked + 1
+  match t.offload with
+  | Some (pipe, _) ->
+    (* descriptor-posted send: no trap, no host device write — the NIC
+       DMAs the frame and serialises it after its tx pipeline *)
+    if egress_allows t frame then
+      Nicpipe.admit_deliver pipe ~dir:Nicpipe.Tx ~len:(Bytes.length frame)
+        (fun () -> Psd_link.Segment.transmit t.nic frame)
+    else t.tx_blocked <- t.tx_blocked + 1
+  | None ->
+    let plat = Host.plat t.host in
+    let len = Bytes.length frame in
+    let cost =
+      (if from_user then
+         plat.Platform.trap + (len * plat.Platform.copy_user_kernel_per_byte)
+       else 0)
+      + (len * plat.Platform.device_write_per_byte)
+    in
+    Ctx.charge ctx Phase.Ether_output cost;
+    if egress_allows t frame then Psd_link.Segment.transmit t.nic frame
+    else t.tx_blocked <- t.tx_blocked + 1
 
 (* Burst transmit for a batched sender (Pktchan tx_recv_batch): each
    frame pays exactly [transmit]'s charges in order, so a batch is
@@ -194,3 +216,7 @@ let rx_frames t = t.rx_frames
 let rx_unmatched t = t.rx_unmatched
 
 let filters t = List.length t.filters
+
+let install_offload t pipe ~sink = t.offload <- Some (pipe, sink)
+
+let offload_pipe t = Option.map fst t.offload

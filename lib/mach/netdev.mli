@@ -98,3 +98,12 @@ val rx_unmatched : t -> int
 (** Frames no filter accepted (counted, then dropped). *)
 
 val filters : t -> int
+
+val install_offload : t -> Nicpipe.t -> sink:(Bytes.t -> unit) -> unit
+(** Put the device in smart-NIC offload mode: every received frame is
+    admitted into the pipeline (no interrupt fiber, no filter run) and
+    handed to [sink] at pipeline completion; every transmitted frame is
+    descriptor-posted (no trap, no host device-write cost) and reaches
+    the wire when its tx pipeline completes. *)
+
+val offload_pipe : t -> Nicpipe.t option

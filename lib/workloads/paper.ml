@@ -24,6 +24,8 @@ let best_rcv_buf machine c =
   | Gateway, "Mach 3.0+BNR2SS Server" -> max_wnd
   | Gateway, "Mach 3.0+UX Library-IPC" -> kb 24
   | Gateway, "Mach 3.0+UX Library-SHM" -> kb 24
+  (* the NIC fast path is never the window bottleneck on either machine *)
+  | _, "Smart-NIC Offload" | _, "Smart-NIC Offload (1 PE)" -> max_wnd
   | _ -> kb 24
 
 let tcp_sizes = [ 1; 100; 512; 1024; 1460 ]

@@ -62,12 +62,14 @@ let print_rows ~header rows =
       Format.printf "@.")
     rows
 
-let table2 ?(machine = Paper.Dec) ?(mb = 16) ?(rounds = 200) () =
+let table2 ?(machine = Paper.Dec) ?(mb = 16) ?(rounds = 200)
+    ?(with_offload = false) () =
   let configs =
     match machine with
     | Paper.Dec -> Cfg.decstation_rows
     | Paper.Gateway -> Cfg.gateway_rows
   in
+  let configs = if with_offload then configs @ [ Cfg.offload ] else configs in
   List.map
     (fun c ->
       row ~machine ~mb ~rounds
@@ -77,7 +79,10 @@ let table2 ?(machine = Paper.Dec) ?(mb = 16) ?(rounds = 200) () =
         c)
     configs
 
-let table3 ?(mb = 16) ?(rounds = 200) () =
+let table3 ?(mb = 16) ?(rounds = 200) ?(with_offload = false) () =
+  let configs =
+    if with_offload then Cfg.table3_rows @ [ Cfg.offload ] else Cfg.table3_rows
+  in
   List.map
     (fun c ->
       row ~machine:Paper.Dec ~mb ~rounds
@@ -85,7 +90,7 @@ let table3 ?(mb = 16) ?(rounds = 200) () =
         ~paper_tcp:(fun label size -> Paper.table3_tcp_latency label size)
         ~paper_udp:(fun label size -> Paper.table3_udp_latency label size)
         c)
-    Cfg.table3_rows
+    configs
 
 (* ------------------------------------------------------------------ *)
 (* Table 4                                                              *)
@@ -102,12 +107,26 @@ let t4_configs =
     ("Server", Cfg.ux_server);
   ]
 
+(* [Desc_crossing] exists only under the Offload placement; it is kept
+   out of the classic breakdown so the seed Table 4 output is unchanged
+   and appended (with the extra column) when the offload row runs. *)
 let breakdown_phases =
   List.filter
-    (fun p -> p <> Psd_cost.Phase.Wire && p <> Psd_cost.Phase.Control)
+    (fun p ->
+      p <> Psd_cost.Phase.Wire
+      && p <> Psd_cost.Phase.Control
+      && p <> Psd_cost.Phase.Desc_crossing)
     Psd_cost.Phase.all
 
-let table4_one ~rounds ~proto ~size =
+let table4_one ?(with_offload = false) ~rounds ~proto ~size () =
+  let configs =
+    if with_offload then t4_configs @ [ ("Offload", Cfg.offload) ]
+    else t4_configs
+  in
+  let phases =
+    if with_offload then breakdown_phases @ [ Psd_cost.Phase.Desc_crossing ]
+    else breakdown_phases
+  in
   let per_config =
     List.map
       (fun (impl, config) ->
@@ -115,7 +134,7 @@ let table4_one ~rounds ~proto ~size =
         let r = Protolat.run ~rounds ~breakdown:b ~proto ~size config in
         ignore r;
         (impl, b))
-      t4_configs
+      configs
   in
   let proto_name = match proto with Protolat.Tcp -> "tcp" | Protolat.Udp -> "udp" in
   let rows =
@@ -133,7 +152,7 @@ let table4_one ~rounds ~proto ~size =
                   Paper.table4_cell impl ~proto:proto_name ~size label ))
               per_config;
         })
-      breakdown_phases
+      phases
   in
   (* network transit: analytic, same for every implementation *)
   let plat = Psd_cost.Platform.decstation in
@@ -170,11 +189,13 @@ let print_breakdown ~title rows =
       Format.printf "%-24s" r.phase;
       List.iter
         (fun (impl, us, paper) ->
-          let t, tp =
-            Option.value (Hashtbl.find_opt totals impl) ~default:(0, 0)
+          let t, tp, any =
+            Option.value (Hashtbl.find_opt totals impl) ~default:(0, 0, false)
           in
           Hashtbl.replace totals impl
-            (t + us, tp + Option.value paper ~default:0);
+            ( t + us,
+              tp + Option.value paper ~default:0,
+              any || paper <> None );
           match paper with
           | Some p -> Format.printf " %6d/%-6d" us p
           | None -> Format.printf " %6d/ -    " us)
@@ -186,13 +207,16 @@ let print_breakdown ~title rows =
   | r :: _ ->
     List.iter
       (fun (impl, _, _) ->
-        let t, tp = Hashtbl.find totals impl in
-        Format.printf " %6d/%-6d" t tp)
+        let t, tp, any = Hashtbl.find totals impl in
+        (* a column with no paper cells at all (the Offload placement)
+           totals to NA on the paper side, not 0 *)
+        if any then Format.printf " %6d/%-6d" t tp
+        else Format.printf " %6d/ -    " t)
       r.us
   | [] -> ());
   Format.printf "@."
 
-let table4 ?(rounds = 200) () =
+let table4 ?(rounds = 200) ?(with_offload = false) () =
   let cases =
     [
       ("TCP 1 byte", Protolat.Tcp, 1);
@@ -203,7 +227,7 @@ let table4 ?(rounds = 200) () =
   in
   List.map
     (fun (title, proto, size) ->
-      let rows = table4_one ~rounds ~proto ~size in
+      let rows = table4_one ~with_offload ~rounds ~proto ~size () in
       print_breakdown ~title rows;
       rows)
     cases
@@ -260,6 +284,9 @@ let figure1 () =
           | Cfg.Pf_shm_ipf ->
             "device-integrated packet filter -> shared-memory ring, single \
              copy from device" )
+      | Cfg.Offload ->
+        ( "smart NIC",
+          "NIC pipeline -> DMA into loaned buffer -> completion ring" )
     in
     Format.printf "  %-38s stack in %-26s rx: %s@." c.Cfg.label where input;
     match c.Cfg.placement with

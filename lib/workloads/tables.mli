@@ -18,14 +18,19 @@ val table2 :
   ?machine:Paper.machine ->
   ?mb:int ->
   ?rounds:int ->
+  ?with_offload:bool ->
   unit ->
   latency_row list
 (** TCP throughput and TCP/UDP round-trip latency for every configuration
     of Table 2 on the chosen machine (default DECstation; default 16 MB
-    transfers, 200 round trips per latency cell). *)
+    transfers, 200 round trips per latency cell). [with_offload] (default
+    false, keeping the seed output unchanged) appends the Smart-NIC
+    Offload row. *)
 
-val table3 : ?mb:int -> ?rounds:int -> unit -> latency_row list
-(** The NEWAPI comparison (DECstation only, like the paper). *)
+val table3 :
+  ?mb:int -> ?rounds:int -> ?with_offload:bool -> unit -> latency_row list
+(** The NEWAPI comparison (DECstation only, like the paper);
+    [with_offload] appends the Smart-NIC Offload row. *)
 
 type breakdown_row = {
   phase : string;
@@ -33,11 +38,14 @@ type breakdown_row = {
       (** (implementation, measured us, paper us) per column *)
 }
 
-val table4 : ?rounds:int -> unit -> breakdown_row list list
+val table4 :
+  ?rounds:int -> ?with_offload:bool -> unit -> breakdown_row list list
 (** Per-layer latency breakdown for Library (SHM-IPF), Kernel (Mach 2.5)
     and Server (UX), TCP and UDP, at 1 byte and the maximum unfragmented
     size — the paper's Table 4 structure. Returns one table per
-    (proto, size) pair. *)
+    (proto, size) pair. [with_offload] appends the Offload column and a
+    "descriptor crossing" row showing where the host<->NIC boundary cost
+    lands. *)
 
 val table1 : unit -> unit
 (** Print the proxy/server call decomposition (paper Table 1). *)

@@ -65,7 +65,7 @@ let verify_loan ~label view ~stream_off =
          off + len))
 
 let run ?plat ?(machine = Paper.Dec) ?(mb = 16) ?rcv_buf ?delack_ns ?(seed = 7)
-    ?fault ?(predict = true) config =
+    ?fault ?(predict = true) ?probe config =
   let plat =
     Option.value plat
       ~default:
@@ -234,6 +234,9 @@ let run ?plat ?(machine = Paper.Dec) ?(mb = 16) ?rcv_buf ?delack_ns ?(seed = 7)
     failwith
       (Printf.sprintf "ttcp[%s]: only %d of %d bytes arrived"
          config.Psd_cost.Config.label !received total);
+  (match probe with
+  | Some f -> f ~sender:sys_a ~receiver:sys_b
+  | None -> ());
   let elapsed = !t_end - !t_start in
   let stats = System.stacks_tcp_stats sys_a in
   let segs_out =

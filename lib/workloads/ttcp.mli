@@ -44,6 +44,7 @@ val run :
   ?seed:int ->
   ?fault:Psd_link.Fault.policy ->
   ?predict:bool ->
+  ?probe:(sender:Psd_core.System.t -> receiver:Psd_core.System.t -> unit) ->
   Psd_cost.Config.t ->
   result
 (** Build a fresh two-host simulation in the given configuration and
@@ -55,7 +56,9 @@ val run :
     policy (or none) leaves the run bit-identical to the seed.
     [predict] (default [true]) toggles the header-prediction fast path
     on both hosts; either setting produces the same result record up to
-    the [predict_hit]/[predict_miss] counters. *)
+    the [predict_hit]/[predict_miss] counters. [probe] runs after the
+    transfer completes, with both hosts still live — the offload bench
+    reads {!Psd_core.System.nic_pipe} counters through it. *)
 
 val run_par :
   ?plat:Psd_cost.Platform.t ->

@@ -366,6 +366,195 @@ let prop_predict_differential =
       && strip_predict on.W.Ttcp.recovery
          = strip_predict off.W.Ttcp.recovery)
 
+(* --- Smart-NIC offload ------------------------------------------------- *)
+
+(* Runs [Ttcp] under the Offload placement capturing both hosts' NIC
+   pipeline counters. [Ttcp.run] pattern-verifies every delivered byte
+   and fails on any shortfall, so a returned result IS the proof that
+   the application saw the exact byte stream. *)
+let offload_run ?(mb = 1) ?seed ?fault config =
+  let pipes = ref [] in
+  let probe ~sender ~receiver =
+    let grab sys =
+      match Psd_core.System.nic_pipe sys with
+      | Some p -> p
+      | None -> Alcotest.fail "offload system without a NIC pipeline"
+    in
+    pipes := [ grab sender; grab receiver ]
+  in
+  let r = W.Ttcp.run ~mb ?seed ?fault ~probe config in
+  match !pipes with
+  | [ s; d ] -> (r, s, d)
+  | _ -> Alcotest.fail "probe did not run"
+
+let test_offload_smoke () =
+  let r, snd_pipe, rcv_pipe = offload_run Cfg.offload in
+  Alcotest.(check int) "bytes" (1024 * 1024) r.W.Ttcp.bytes;
+  "throughput positive" => (r.W.Ttcp.kb_per_sec > 100.);
+  "clean wire, no retransmissions" => (r.W.Ttcp.rexmt = 0);
+  (* the host never takes a per-packet interrupt; all datapath work sits
+     in the pipeline, whose counters must account for both directions *)
+  "sender pipeline carried segments" => (Psd_mach.Nicpipe.segs snd_pipe > 0);
+  "doorbells rung" => (Psd_mach.Nicpipe.doorbells snd_pipe > 0);
+  "completions reaped" => (Psd_mach.Nicpipe.completions rcv_pipe > 0);
+  "occupancy within bounds"
+  => (let o = Psd_mach.Nicpipe.proto_occupancy_pct snd_pipe in
+      o > 0 && o <= 100)
+
+let test_offload_pipeline_speedup () =
+  (* the tentpole claim in miniature: per-segment stage pipelining on N
+     processing elements beats the same NIC serialised to one PE, in
+     virtual time, on the bulk-transfer cell *)
+  let piped, _, _ = offload_run Cfg.offload in
+  let serial, _, _ = offload_run Cfg.offload_serial in
+  "N-PE pipeline strictly faster than 1 PE"
+  => (piped.W.Ttcp.elapsed_ns < serial.W.Ttcp.elapsed_ns);
+  (* and deterministically so: replaying either run reproduces the
+     whole result record *)
+  let piped', _, _ = offload_run Cfg.offload in
+  "offload replay bit-identical" => (piped = piped')
+
+let test_offload_zero_copy () =
+  (* the descriptor-ring contract: the NIC DMAs straight into loaned
+     application memory, so the host receive datapath performs zero
+     body copies, and transmit pays only the NIC-side frame gather *)
+  let count = 100 in
+  let r = W.Copymeter.run ~count Cfg.offload in
+  Alcotest.(check int) "zero host rx body copies" 0
+    r.W.Copymeter.rx_body_copies;
+  Alcotest.(check int) "no copy-out" 0 (site_copies r "rx_copyout");
+  Alcotest.(check int) "no ring copy" 0 (site_copies r "rx_ring");
+  Alcotest.(check int) "no device copy" 0 (site_copies r "rx_device");
+  Alcotest.(check int) "no per-packet IPC" 0 (site_copies r "rx_ipc");
+  Alcotest.(check int) "no reassembly flatten" 0 (site_copies r "rx_flatten");
+  Alcotest.(check int) "every packet loaned" r.W.Copymeter.packets
+    (site_copies r "rx_loan");
+  Alcotest.(check int) "tx: NIC gather is the only body copy"
+    r.W.Copymeter.sent r.W.Copymeter.tx_body_copies;
+  Alcotest.(check int) "no copy-in" 0 (site_copies r "tx_copyin");
+  Alcotest.(check int) "every send an ownership transfer"
+    r.W.Copymeter.sent (site_copies r "tx_owned")
+
+let test_offload_no_pcb_leak () =
+  (* full teardown on the NIC stacks: one echo connection, both sides
+     close, and after 2MSL the offloaded PCB population returns to
+     zero — session state lives (and dies) on the NIC like it would in
+     the kernel; EOF is delivered exactly once per side *)
+  let open Psd_core in
+  let eng = Psd_sim.Engine.create () in
+  let segment = Psd_link.Segment.create eng () in
+  let sys_a =
+    System.create ~eng ~segment ~config:Cfg.offload ~addr:"10.0.0.1"
+      ~name:"a" ()
+  in
+  let sys_b =
+    System.create ~eng ~segment ~config:Cfg.offload ~addr:"10.0.0.2"
+      ~name:"b" ()
+  in
+  let pcbs = ref 0 and peak = ref 0 in
+  let hook sys =
+    match System.kernel_stack sys with
+    | Some st ->
+      Psd_tcp.Tcp.set_conn_gauge (Netstack.tcp st) (fun d ->
+          pcbs := !pcbs + d;
+          if !pcbs > !peak then peak := !pcbs)
+    | None -> Alcotest.fail "offload system without a NIC stack"
+  in
+  hook sys_a;
+  hook sys_b;
+  let eofs = ref 0 in
+  let srv = System.app sys_b ~name:"srv" in
+  Psd_sim.Engine.spawn eng (fun () ->
+      let l = Sockets.stream srv in
+      ignore (Result.get_ok (Sockets.bind l ~port:7 ()));
+      Result.get_ok (Sockets.listen l ());
+      let c = Result.get_ok (Sockets.accept l) in
+      let rec loop () =
+        match Sockets.recv c ~max:65536 with
+        | Ok "" -> incr eofs
+        | Ok d ->
+          ignore (Sockets.send c d);
+          loop ()
+        | Error e -> Alcotest.failf "offload echo server: %s" e
+      in
+      loop ();
+      Sockets.close c;
+      Sockets.close l);
+  let cli = System.app sys_a ~name:"cli" in
+  Psd_sim.Engine.spawn eng (fun () ->
+      let s = Sockets.stream cli in
+      Result.get_ok (Sockets.connect s (System.addr sys_b) 7);
+      ignore (Result.get_ok (Sockets.send s (String.make 3000 'x')));
+      let rec read n =
+        if n < 3000 then
+          match Sockets.recv s ~max:4096 with
+          | Ok "" -> Alcotest.fail "early EOF on the echo client"
+          | Ok d -> read (n + String.length d)
+          | Error e -> Alcotest.failf "offload echo client: %s" e
+      in
+      read 0;
+      (* half-close: our FIN lets the server's echo loop hit EOF and
+         close, whose FIN we must then see exactly once *)
+      Result.get_ok (Sockets.shutdown s);
+      (match Sockets.recv s ~max:1 with
+      | Ok "" -> incr eofs
+      | Ok _ -> Alcotest.fail "data after the echo completed"
+      | Error e -> Alcotest.failf "offload echo client EOF: %s" e);
+      Sockets.close s);
+  Psd_sim.Engine.run_for eng (Psd_sim.Time.sec 300);
+  "both NIC connection tables were populated" => (!peak >= 2);
+  Alcotest.(check int) "both sides saw exactly one EOF" 2 !eofs;
+  Alcotest.(check int) "no PCBs left after teardown + 2MSL" 0 !pcbs
+
+(* Differential: under arbitrary wire-fault regimes the Offload
+   placement delivers exactly the application byte stream the reference
+   host placement (Library-NEWAPI-SHM-IPF) delivers. Both runs verify
+   every byte against the shared stream pattern and fail on shortfall
+   or corruption, so two returned results mean two bit-identical app
+   streams; the property additionally pins the volumes. *)
+let prop_offload_differential =
+  QCheck.Test.make
+    ~name:"offload == library byte streams under chaos" ~count:6
+    QCheck.(
+      pair (int_bound 1000)
+        (QCheck.make
+           Gen.(oneofl [ `Chaos 0.005; `Chaos 0.02; `Drop 0.03; `None ])))
+    (fun (seed, kind) ->
+      let fault =
+        match kind with
+        | `Chaos r -> Psd_link.Fault.chaos r
+        | `Drop r -> Psd_link.Fault.drop_only r
+        | `None -> Psd_link.Fault.none
+      in
+      let off, _, _ = offload_run ~seed ~fault Cfg.offload in
+      let lib = W.Ttcp.run ~mb:1 ~seed ~fault Cfg.library_newapi_shm_ipf in
+      off.W.Ttcp.bytes = 1024 * 1024 && lib.W.Ttcp.bytes = off.W.Ttcp.bytes)
+
+(* Pipeline-depth transcript equality: one processing element and N
+   must hand the application identical byte streams under faults (both
+   runs pattern-verify), differing only in virtual time — and the
+   replay of each depth is deterministic. *)
+let prop_offload_depth_transcript =
+  QCheck.Test.make ~name:"offload: depth 1 == depth N app transcript"
+    ~count:6
+    QCheck.(
+      pair (int_bound 1000)
+        (QCheck.make Gen.(oneofl [ `Chaos 0.01; `Drop 0.02; `None ])))
+    (fun (seed, kind) ->
+      let fault =
+        match kind with
+        | `Chaos r -> Psd_link.Fault.chaos r
+        | `Drop r -> Psd_link.Fault.drop_only r
+        | `None -> Psd_link.Fault.none
+      in
+      let piped, _, _ = offload_run ~seed ~fault Cfg.offload in
+      let serial, _, _ = offload_run ~seed ~fault Cfg.offload_serial in
+      let piped', _, _ = offload_run ~seed ~fault Cfg.offload in
+      piped.W.Ttcp.bytes = serial.W.Ttcp.bytes
+      && piped = piped'
+      && (kind <> `None
+         || piped.W.Ttcp.elapsed_ns < serial.W.Ttcp.elapsed_ns))
+
 (* --- control-plane scale -------------------------------------------- *)
 
 let scale_ok what = function
@@ -585,6 +774,18 @@ let () =
           Alcotest.test_case "chaos 16MB" `Slow test_loss_soak_16mb;
           Alcotest.test_case "clean wire" `Quick
             test_clean_wire_reports_no_faults;
+        ] );
+      ( "offload",
+        [
+          Alcotest.test_case "smoke" `Quick test_offload_smoke;
+          Alcotest.test_case "pipeline speedup" `Quick
+            test_offload_pipeline_speedup;
+          Alcotest.test_case "zero host rx copies" `Quick
+            test_offload_zero_copy;
+          Alcotest.test_case "teardown leaves no PCBs" `Quick
+            test_offload_no_pcb_leak;
+          QCheck_alcotest.to_alcotest prop_offload_differential;
+          QCheck_alcotest.to_alcotest prop_offload_depth_transcript;
         ] );
       ( "scale",
         [
